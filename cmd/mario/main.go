@@ -1,0 +1,155 @@
+// Command mario is the CLI front end of the pipeline optimizer: it searches
+// for the best (scheme, pp, dp, micro-batch, checkpointing) configuration
+// for a model and cluster (Equation 1), prints the tuning trace, visualises
+// the winning schedule, and optionally executes it on the emulated cluster
+// or exports the timeline.
+//
+// Usage:
+//
+//	mario -model GPT3-13B -devices 32 -gbs 128 -mem 40G [-scheme Auto]
+//	      [-tp 1] [-run 3] [-viz] [-svg out.svg] [-trace out.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mario"
+	"mario/internal/tuner"
+	"mario/internal/viz"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "GPT3-1.6B", "model preset (GPT3-1.6B, GPT3-13B, LLaMA2-3B, LLaMA2-13B)")
+		devices   = flag.Int("devices", 8, "total number of devices")
+		gbs       = flag.Int("gbs", 128, "global batch size")
+		mem       = flag.String("mem", "40G", "memory per device")
+		schemeStr = flag.String("scheme", "Auto", "pipeline scheme: Auto, V/1F1B, X/Chimera, W/Interleave, GPipe")
+		tp        = flag.Int("tp", 1, "tensor-parallel degree (held constant)")
+		split     = flag.Bool("split", false, "also try ZB-H1 split-backward on checkpointed candidates")
+		runIters  = flag.Int("run", 0, "execute the winning schedule for N iterations on the emulated cluster")
+		showViz   = flag.Bool("viz", false, "print the winning schedule's timeline as ASCII")
+		svgPath   = flag.String("svg", "", "write the winning timeline as SVG to this path")
+		tracePath = flag.String("trace", "", "write the winning timeline as Chrome trace JSON to this path")
+		emitPath  = flag.String("emit", "", "write the winning instruction-list schedule as JSON to this path")
+		traceAll  = flag.Bool("full-trace", false, "print the full tuning trace")
+	)
+	flag.Parse()
+
+	models := mario.Models()
+	model, ok := models[*modelName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mario: unknown model %q; available:", *modelName)
+		for name := range models {
+			fmt.Fprintf(os.Stderr, " %s", name)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+
+	plan, err := mario.Optimize(mario.Config{
+		PipelineScheme:  *schemeStr,
+		GlobalBatchSize: *gbs,
+		NumDevices:      *devices,
+		MemoryPerDevice: *mem,
+		TP:              *tp,
+		SplitBackward:   *split,
+	}, model)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mario: %v\n", err)
+		os.Exit(1)
+	}
+
+	best := plan.Best
+	fmt.Printf("model %s on %d devices (gbs %d, mem %s, tp %d)\n", model.Name, *devices, *gbs, *mem, *tp)
+	fmt.Printf("best configuration: %s  pp=%d dp=%d mbs=%d micros=%d ckpt=%v\n",
+		best.Label(), best.PP, best.DP, best.MicroBatch, best.Micros, best.Ckpt)
+	fmt.Printf("estimated throughput: %.2f samples/s\n", best.Throughput)
+	if best.Result != nil {
+		lo, hi := best.Result.MinMaxPeak()
+		fmt.Printf("estimated peak memory: [%.2f, %.2f] GB\n", lo/(1<<30), hi/(1<<30))
+	}
+
+	if *traceAll {
+		fmt.Println("\ntuning trace:")
+		for i, c := range plan.Trace {
+			oom := ""
+			if c.OOM {
+				oom = " OOM"
+			}
+			fmt.Printf("  iter %3d %-18s %10.2f%s\n", i, c.Label(), c.Throughput, oom)
+		}
+		fmt.Println("\nranked:")
+		for i, c := range tuner.Rank(plan.Trace) {
+			if i >= 10 {
+				break
+			}
+			fmt.Printf("  #%2d %-18s %10.2f\n", i+1, c.Label(), c.Throughput)
+		}
+	}
+
+	if *showViz {
+		fmt.Println()
+		if err := mario.Visualize(os.Stdout, plan); err != nil {
+			fmt.Fprintf(os.Stderr, "mario: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *svgPath != "" && best.Result != nil {
+		f, err := os.Create(*svgPath)
+		if err == nil {
+			err = viz.SVG(f, best.Result)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mario: writing SVG: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *svgPath)
+	}
+	if *tracePath != "" && best.Result != nil {
+		f, err := os.Create(*tracePath)
+		if err == nil {
+			err = viz.ChromeTrace(f, best.Result)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mario: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *tracePath)
+	}
+
+	if *emitPath != "" {
+		f, err := os.Create(*emitPath)
+		if err == nil {
+			err = mario.SaveSchedule(f, best.Schedule)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mario: writing schedule: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *emitPath)
+	}
+
+	if *runIters > 0 {
+		rep, err := mario.Run(plan, *runIters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mario: run: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nexecuted %d iterations on the emulated cluster:\n", *runIters)
+		fmt.Printf("  measured iteration time: %.4f s\n", rep.IterTime)
+		fmt.Printf("  measured throughput:     %.2f samples/s\n", rep.SamplesPerSec)
+		fmt.Printf("  measured peak memory:    [%.2f, %.2f] GB\n", rep.PeakMemMin/(1<<30), rep.PeakMemMax/(1<<30))
+	}
+}

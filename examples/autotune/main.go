@@ -1,0 +1,46 @@
+// Autotune reproduces the cluster experiment of §6.7 at a 16-GPU scale:
+// tuning GPT3-13B over pipeline scheme × PP dimension × micro-batch size
+// with data parallelism filling the remaining devices (DP = devices/PP),
+// and printing the throughput curve along tuning iterations (Fig. 11).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"mario"
+)
+
+func main() {
+	conf := mario.Config{
+		PipelineScheme:  "Auto",
+		GlobalBatchSize: 128,
+		NumDevices:      16,
+		MemoryPerDevice: "40G",
+		MicroBatchSizes: []int{1, 2, 4, 8},
+	}
+	model := mario.Model("GPT3-13B")
+
+	plan, err := mario.Optimize(conf, model)
+	if err != nil {
+		log.Fatalf("optimize: %v", err)
+	}
+
+	fmt.Println("throughput curve along tuning iterations (x-y-z = scheme-PP-mbs):")
+	var bestSoFar float64
+	for i, c := range plan.Trace {
+		marker := ""
+		if c.OOM {
+			marker = " OOM (zero-throughput penalty)"
+		} else if c.Throughput > bestSoFar {
+			bestSoFar = c.Throughput
+			marker = " <- new best"
+		}
+		bar := strings.Repeat("#", int(c.Throughput/plan.Best.Throughput*40))
+		fmt.Printf("iter %3d %-18s %8.2f |%-40s|%s\n", i, c.Label(), c.Throughput, bar, marker)
+	}
+	fmt.Printf("\nbest: %s at %.2f samples/s (pp=%d dp=%d mbs=%d ckpt=%v)\n",
+		plan.Best.Label(), plan.Best.Throughput,
+		plan.Best.PP, plan.Best.DP, plan.Best.MicroBatch, plan.Best.Ckpt)
+}

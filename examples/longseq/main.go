@@ -1,0 +1,47 @@
+// Longseq demonstrates §6.5: Mario's freed activation memory accommodates
+// longer sequences. For an 8-stage GPT3-1.6B pipeline it sweeps the
+// sequence length upward and reports the longest feasible one with and
+// without Mario's checkpointing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mario"
+)
+
+func main() {
+	base := mario.Model("GPT3-1.6B")
+	const devices = 8
+
+	for _, withMario := range []bool{false, true} {
+		ckpt := withMario
+		label := "baseline 1F1B"
+		if withMario {
+			label = "1F1B + Mario "
+		}
+		maxSeq := 0
+		// Sweep in steps of 256 from the paper's base length of 1024.
+		for seq := 1024; seq <= 64*1024; seq += 256 {
+			model := base.WithSeqLen(seq)
+			plan, err := mario.Optimize(mario.Config{
+				PipelineScheme:  "1F1B",
+				GlobalBatchSize: 2 * devices,
+				NumDevices:      devices,
+				MemoryPerDevice: "40G",
+				MicroBatchSizes: []int{1},
+				MinPP:           devices,
+				Checkpoint:      &ckpt,
+			}, model)
+			if err != nil || plan.Best.Throughput <= 0 {
+				break
+			}
+			maxSeq = seq
+		}
+		if maxSeq == 0 {
+			log.Fatalf("%s: no feasible sequence length", label)
+		}
+		fmt.Printf("%s: longest feasible sequence length = %d tokens\n", label, maxSeq)
+	}
+}

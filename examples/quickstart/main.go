@@ -1,0 +1,47 @@
+// Quickstart mirrors the paper's Listing 1: describe the cluster and the
+// model, let Mario search Equation 1's space for the best configuration,
+// visualise the winning schedule, and execute it on the emulated cluster.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mario"
+)
+
+func main() {
+	conf := mario.Config{
+		PipelineScheme:  "Auto", // search V (1F1B), X (Chimera) and W (Interleave)
+		GlobalBatchSize: 64,
+		NumDevices:      8,
+		MemoryPerDevice: "40G",
+	}
+	model := mario.Model("GPT3-1.6B")
+
+	plan, err := mario.Optimize(conf, model)
+	if err != nil {
+		log.Fatalf("optimize: %v", err)
+	}
+	best := plan.Best
+	fmt.Printf("best configuration: %s (pp=%d, dp=%d, micro-batch=%d, checkpointing=%v)\n",
+		best.Label(), best.PP, best.DP, best.MicroBatch, best.Ckpt)
+	fmt.Printf("estimated throughput: %.2f samples/s\n", best.Throughput)
+	lo, hi := best.Result.MinMaxPeak()
+	fmt.Printf("estimated peak memory per device: [%.2f, %.2f] GB\n", lo/(1<<30), hi/(1<<30))
+
+	fmt.Println("\nwinning schedule timeline:")
+	if err := mario.Visualize(os.Stdout, plan); err != nil {
+		log.Fatalf("visualize: %v", err)
+	}
+
+	report, err := mario.Run(plan, 5)
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	fmt.Printf("\nexecuted 5 iterations on the emulated cluster:\n")
+	fmt.Printf("  measured throughput: %.2f samples/s\n", report.SamplesPerSec)
+	fmt.Printf("  measured peak memory: [%.2f, %.2f] GB\n",
+		report.PeakMemMin/(1<<30), report.PeakMemMax/(1<<30))
+}

@@ -1,0 +1,109 @@
+// Train runs the miniature real-tensor training stack under five schedules
+// — GPipe, 1F1B, Chimera, and their Mario-optimized checkpointed variants —
+// and shows that the per-iteration loss is bit-identical across all of them
+// while Mario's peak live activation memory is dramatically lower and
+// balanced across devices. This is the semantic counterpart of the paper's
+// Megatron-DeepSpeed deployment.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mario"
+)
+
+func main() {
+	const (
+		devices = 4
+		micros  = 8
+	)
+	cfg := mario.TrainConfig{
+		Devices:        devices,
+		BlocksPerStage: 1,
+		Dim:            32,
+		SeqLen:         16,
+		Micros:         micros,
+		BatchPerMicro:  2,
+		Seed:           42,
+		LR:             1e-3,
+	}
+
+	build := func(scheme string, checkpoint bool) *mario.Schedule {
+		s, err := mario.BuildSchedule(scheme, devices, micros)
+		if err != nil {
+			log.Fatalf("build %s: %v", scheme, err)
+		}
+		if checkpoint {
+			s, err = mario.Checkpoint(s)
+			if err != nil {
+				log.Fatalf("checkpoint: %v", err)
+			}
+		}
+		return s
+	}
+
+	schedules := []struct {
+		name  string
+		sched *mario.Schedule
+	}{
+		{"GPipe", build("GPipe", false)},
+		{"1F1B", build("1F1B", false)},
+		{"1F1B+Mario", build("1F1B", true)},
+		// Chimera runs two weight replicas whose gradients merge at the
+		// AllReduce barrier — the losses still match bit for bit.
+		{"Chimera", build("X", false)},
+		{"Chimera+Mario", build("X", true)},
+	}
+
+	fmt.Printf("%-12s %14s   %s\n", "schedule", "loss (iter 0)", "peak live activation KB per device")
+	for _, tc := range schedules {
+		tr, err := mario.NewTrainer(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := tr.RunIteration(tc.sched)
+		if err != nil {
+			log.Fatalf("%s: %v", tc.name, err)
+		}
+		fmt.Printf("%-12s %14.8f  ", tc.name, st.Loss)
+		for _, p := range st.PeakActBytes {
+			fmt.Printf(" %6.0f", float64(p)/1024)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\ntraining 10 iterations under the Mario schedule:")
+	tr, err := mario.NewTrainer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched := build("1F1B", true)
+	for it := 0; it < 10; it++ {
+		st, err := tr.RunIteration(sched)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("iter %2d  loss %.8f\n", it, st.Loss)
+	}
+
+	// Language-model mode: the first stage embeds tokens, the last stage
+	// projects to logits, and the loss is next-token cross-entropy — a real
+	// (toy) GPT trained through the Mario pipeline.
+	fmt.Println("\nlanguage-model mode (next-token cross-entropy, vocab 16):")
+	lmCfg := cfg
+	lmCfg.Vocab = 16
+	lmCfg.LR = 5e-2
+	lm, err := mario.NewTrainer(lmCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for it := 0; it < 10; it++ {
+		st, err := lm.RunIteration(sched)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("iter %2d  CE loss %.6f (per micro, uniform baseline %.4f)\n",
+			it, st.Loss/float64(cfg.Micros), 2.7726)
+	}
+}

@@ -1,0 +1,68 @@
+// Visualize renders the V / X / W pipeline shapes and their Mario-optimized
+// counterparts as ASCII Gantt charts (the paper's Fig. 5), and exports the
+// optimized 1F1B timeline as SVG and Chrome-trace JSON for external
+// viewers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mario"
+)
+
+func main() {
+	const devices, micros = 4, 8
+	for _, scheme := range []string{"V", "X", "W"} {
+		s, err := mario.BuildSchedule(scheme, devices, micros)
+		if err != nil {
+			log.Fatalf("build %s: %v", scheme, err)
+		}
+		chart, err := mario.Render(s)
+		if err != nil {
+			log.Fatalf("render %s: %v", scheme, err)
+		}
+		fmt.Printf("--- %s shape, baseline ---\n%s\n", scheme, chart)
+
+		opt, err := mario.Checkpoint(s)
+		if err != nil {
+			log.Fatalf("checkpoint %s: %v", scheme, err)
+		}
+		chart, err = mario.Render(opt)
+		if err != nil {
+			log.Fatalf("render %s+mario: %v", scheme, err)
+		}
+		fmt.Printf("--- %s shape, Mario checkpointing tessellated ---\n%s\n", scheme, chart)
+	}
+
+	s, err := mario.BuildSchedule("1F1B", devices, micros)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := mario.Checkpoint(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svg, err := os.Create("mario_1f1b.svg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mario.RenderSVG(svg, opt); err != nil {
+		log.Fatal(err)
+	}
+	if err := svg.Close(); err != nil {
+		log.Fatal(err)
+	}
+	trace, err := os.Create("mario_1f1b_trace.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mario.RenderChromeTrace(trace, opt); err != nil {
+		log.Fatal(err)
+	}
+	if err := trace.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote mario_1f1b.svg and mario_1f1b_trace.json")
+}

@@ -1,0 +1,3 @@
+module mario
+
+go 1.22

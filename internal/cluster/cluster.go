@@ -1,0 +1,359 @@
+// Package cluster is the concurrent "hardware" this reproduction substitutes
+// for the paper's A100 cluster: every device is a goroutine executing its
+// instruction list, and point-to-point transfers are real Go channels, so
+// the blocking semantics of the pipeline (including the deadlocks that §5.1
+// pass 4's send buffering exists to avoid) are exercised by the scheduler of
+// a real concurrent runtime rather than by a model.
+//
+// Time is virtual: each device advances a local clock by the ground-truth
+// duration of each instruction (plus deterministic jitter and unmodeled
+// framework overhead), and messages carry their arrival timestamps, so a
+// receive advances the consumer's clock to max(local, arrival) — a
+// conservative parallel discrete-event simulation in which the channel
+// blocking itself enforces causality.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mario/internal/cost"
+	"mario/internal/pipeline"
+	"mario/internal/sim"
+)
+
+// ErrDeadlock is returned when the run makes no progress within the
+// watchdog interval: some device blocked on a channel forever.
+var ErrDeadlock = errors.New("cluster: deadlock (device blocked on p2p)")
+
+// ErrMismatch is returned when a receive pops a message destined for a
+// different instruction, i.e. send/recv orders diverge on a link.
+var ErrMismatch = errors.New("cluster: send/recv order mismatch")
+
+// errAborted marks secondary failures of devices torn down after another
+// device hit the primary error; Run reports the primary error instead.
+var errAborted = errors.New("cluster: aborted")
+
+// Machine describes the emulated cluster.
+type Machine struct {
+	// Truth is the ground-truth per-instruction cost model (what the
+	// hardware "really" does; the profiler only ever observes it through
+	// noisy runs).
+	Truth *cost.Estimator
+	// Noise is the relative amplitude of deterministic per-instruction
+	// jitter (e.g. 0.05 for ±5%).
+	Noise float64
+	// ExtraOverhead is per-instruction framework overhead in seconds that
+	// the analytic estimator does not know about (the "un-modeled
+	// behaviors" that make the paper's simulator overestimate throughput,
+	// §6.6).
+	ExtraOverhead float64
+	// MemSlack multiplies dynamic memory to model allocator fragmentation
+	// and transient buffers (≥ 1; 0 means 1).
+	MemSlack float64
+	// Hetero is the relative amplitude of static per-device speed variation
+	// (chip binning, thermal placement). The profiler only ever measures
+	// one device, so this is a systematic error source for the simulator —
+	// the "un-modeled behaviors" of §6.6.
+	Hetero float64
+	// Seed makes all jitter reproducible.
+	Seed uint64
+	// LinkBuffer is the channel capacity per link; 0 uses a generous
+	// default (eager sends). Set 1 for nearly-synchronous links.
+	LinkBuffer int
+	// DP is the data-parallel degree for the cool-down all-reduce.
+	DP int
+	// Watchdog is the wall-clock no-progress limit; 0 means 5s.
+	Watchdog time.Duration
+}
+
+// SampleKey identifies a class of measured instruction durations.
+type SampleKey struct {
+	Kind  pipeline.Kind
+	Stage int
+}
+
+// Report is the outcome of an emulated run.
+type Report struct {
+	// Total is the virtual makespan of all iterations in seconds.
+	Total float64
+	// IterTime is Total divided by the iteration count.
+	IterTime float64
+	// PeakMem is the measured per-device peak memory in bytes.
+	PeakMem []float64
+	// SamplesPerSec is the measured training throughput.
+	SamplesPerSec float64
+	// Durations holds the measured per-instruction durations, keyed by
+	// (kind, stage), across all iterations — the raw material of
+	// lightweight profiling.
+	Durations map[SampleKey][]float64
+	// DeviceDurations[d] holds the same samples restricted to device d (the
+	// paper profiles the (D-1)-th device).
+	DeviceDurations []map[SampleKey][]float64
+}
+
+type message struct {
+	key    pipeline.Key
+	arrive float64
+}
+
+type linkKey struct {
+	from, to, channel int
+}
+
+// Run executes iters training iterations of the schedule on the emulated
+// cluster and reports measured time, memory and per-instruction samples.
+func (m *Machine) Run(s *pipeline.Schedule, iters int) (*Report, error) {
+	if iters <= 0 {
+		return nil, fmt.Errorf("cluster: iteration count %d must be positive", iters)
+	}
+	if m.Truth == nil {
+		return nil, fmt.Errorf("cluster: machine has no ground-truth cost model")
+	}
+	if m.Truth.Stages != s.NumStages() {
+		return nil, fmt.Errorf("cluster: cost model built for %d stages, schedule has %d", m.Truth.Stages, s.NumStages())
+	}
+	dp := m.DP
+	if dp <= 0 {
+		dp = 1
+	}
+	watchdog := m.Watchdog
+	if watchdog <= 0 {
+		watchdog = 5 * time.Second
+	}
+	bufCap := m.LinkBuffer
+	if bufCap <= 0 {
+		bufCap = 4 * s.Micros * s.NumStages()
+	}
+
+	D := s.NumDevices()
+	links := make(map[linkKey]chan message)
+	for d, list := range s.Lists {
+		for _, in := range list {
+			if in.Kind == pipeline.SendAct || in.Kind == pipeline.SendGrad {
+				lk := linkKey{d, s.PeerDevice(d, in), channelOf(in.Kind)}
+				if links[lk] == nil {
+					links[lk] = make(chan message, bufCap)
+				}
+			}
+		}
+	}
+
+	type devResult struct {
+		clock   float64
+		samples map[SampleKey][]float64
+		err     error
+	}
+	results := make([]devResult, D)
+	done := make(chan struct{})
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	var wg sync.WaitGroup
+
+	for d := 0; d < D; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			res := &results[d]
+			res.samples = make(map[SampleKey][]float64)
+			clock := 0.0
+			rng := newRNG(m.Seed, uint64(d))
+			// Static per-device speed factor, fixed for the machine's
+			// lifetime (drawn from a stream independent of the jitter).
+			devRNG := newRNG(m.Seed^0xDEC0DE, uint64(d))
+			devFactor := 1 + m.Hetero*devRNG.symmetric()
+			for it := 0; it < iters; it++ {
+				for _, in := range s.Lists[d] {
+					var err error
+					clock, err = m.exec(s, d, in, clock, dp, devFactor, rng, links, res.samples, abort)
+					if err != nil {
+						res.err = err
+						abortOnce.Do(func() { close(abort) })
+						return
+					}
+				}
+			}
+			res.clock = clock
+		}(d)
+	}
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(watchdog):
+		abortOnce.Do(func() { close(abort) })
+		<-done
+		return nil, fmt.Errorf("%w after %v", ErrDeadlock, watchdog)
+	}
+
+	rep := &Report{
+		PeakMem:         make([]float64, D),
+		Durations:       make(map[SampleKey][]float64),
+		DeviceDurations: make([]map[SampleKey][]float64, D),
+	}
+	var firstErr error
+	for d := 0; d < D; d++ {
+		if err := results[d].err; err != nil {
+			if firstErr == nil || (errors.Is(firstErr, errAborted) && !errors.Is(err, errAborted)) {
+				firstErr = err
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for d := 0; d < D; d++ {
+		if results[d].clock > rep.Total {
+			rep.Total = results[d].clock
+		}
+		rep.DeviceDurations[d] = results[d].samples
+		for k, v := range results[d].samples {
+			rep.Durations[k] = append(rep.Durations[k], v...)
+		}
+	}
+	rep.IterTime = rep.Total / float64(iters)
+
+	slack := m.MemSlack
+	if slack <= 0 {
+		slack = 1
+	}
+	base := sim.PeakMemory(s, m.Truth)
+	rng := newRNG(m.Seed, 0xA110C)
+	for d, p := range base {
+		static := m.Truth.FrameworkMem
+		dyn := p - static
+		rep.PeakMem[d] = static + dyn*slack*(1+0.01*rng.symmetric())
+	}
+	if rep.IterTime > 0 {
+		rep.SamplesPerSec = float64(s.Micros*m.Truth.MicroBatch*dp) / rep.IterTime
+	}
+	return rep, nil
+}
+
+// exec runs one instruction on device d at local time clock and returns the
+// new local time.
+func (m *Machine) exec(
+	s *pipeline.Schedule, d int, in pipeline.Instr, clock float64, dp int,
+	devFactor float64, rng *rng, links map[linkKey]chan message,
+	samples map[SampleKey][]float64, abort chan struct{},
+) (float64, error) {
+	e := m.Truth
+	jitter := func() float64 { return devFactor * (1 + m.Noise*rng.symmetric()) }
+	overhead := e.LaunchOverhead + m.ExtraOverhead
+
+	switch in.Kind {
+	case pipeline.Forward, pipeline.CkptForward, pipeline.Backward, pipeline.Recompute,
+		pipeline.AllReduce, pipeline.OptimizerStep,
+		pipeline.BackwardInput, pipeline.BackwardWeight:
+		var base float64
+		switch in.Kind {
+		case pipeline.Forward, pipeline.CkptForward:
+			base = e.FwTime[in.Stage]
+		case pipeline.Backward:
+			base = e.BwTime[in.Stage]
+		case pipeline.BackwardInput:
+			base = e.BwTime[in.Stage] * e.BwSplitRatio
+		case pipeline.BackwardWeight:
+			base = e.BwTime[in.Stage] * (1 - e.BwSplitRatio)
+		case pipeline.Recompute:
+			base = e.RcTime[in.Stage]
+		case pipeline.AllReduce:
+			base = e.AllReduceTime(dp, ownedStages(s, d))
+		case pipeline.OptimizerStep:
+			base = e.OptTime
+		}
+		dur := overhead + base*jitter()
+		key := SampleKey{Kind: in.Kind, Stage: in.Stage}
+		if in.Micro == pipeline.NoMicro {
+			key.Stage = -1
+		}
+		samples[key] = append(samples[key], dur)
+		return clock + dur, nil
+
+	case pipeline.SendAct, pipeline.SendGrad:
+		bytes := e.ActP2PBytes
+		if in.Kind == pipeline.SendGrad {
+			bytes = e.GradP2PBytes
+		}
+		lk := linkKey{d, s.PeerDevice(d, in), channelOf(in.Kind)}
+		transfer := e.CommTime(bytes) * jitter()
+		msg := message{key: s.MatchKey(in), arrive: clock + overhead + transfer}
+		select {
+		case links[lk] <- msg:
+			// The measured wire time is visible to profiling (NCCL-style
+			// transfer timing).
+			samples[SampleKey{Kind: in.Kind, Stage: in.Stage}] = append(
+				samples[SampleKey{Kind: in.Kind, Stage: in.Stage}], transfer)
+			return clock + overhead, nil
+		case <-abort:
+			return clock, fmt.Errorf("%w while sending %s from device %d", errAborted, in, d)
+		}
+
+	case pipeline.RecvAct, pipeline.RecvGrad:
+		lk := linkKey{s.PeerDevice(d, in), d, channelOf(in.Kind)}
+		ch := links[lk]
+		if ch == nil {
+			return clock, fmt.Errorf("cluster: device %d has no link for %s", d, in)
+		}
+		select {
+		case msg := <-ch:
+			if msg.key != in.Key() {
+				return clock, fmt.Errorf("%w: device %d expected %s, link delivered %v", ErrMismatch, d, in, msg.key)
+			}
+			if msg.arrive > clock {
+				clock = msg.arrive
+			}
+			return clock + overhead, nil
+		case <-abort:
+			return clock, fmt.Errorf("%w while receiving %s on device %d", errAborted, in, d)
+		}
+	}
+	return clock + overhead, nil
+}
+
+// ownedStages lists the stages whose weights device d holds.
+func ownedStages(s *pipeline.Schedule, d int) []int {
+	var out []int
+	pl := s.Placement
+	for st := 0; st < pl.NumStages(); st++ {
+		for p := 0; p < pl.NumParts(); p++ {
+			if pl.Device(p, st) == d {
+				out = append(out, st)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func channelOf(k pipeline.Kind) int {
+	if k == pipeline.SendGrad || k == pipeline.RecvGrad {
+		return 1
+	}
+	return 0
+}
+
+// rng is a splitmix64-based deterministic generator; each device derives an
+// independent stream from (seed, device).
+type rng struct{ state uint64 }
+
+func newRNG(seed, stream uint64) *rng {
+	return &rng{state: seed*0x9E3779B97F4A7C15 ^ (stream+1)*0xBF58476D1CE4E5B9}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform value in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// symmetric returns a uniform value in [-1, 1).
+func (r *rng) symmetric() float64 { return 2*r.float64() - 1 }

@@ -1,0 +1,215 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"mario/internal/cost"
+	"mario/internal/pipeline"
+	"mario/internal/scheme"
+	"mario/internal/sim"
+)
+
+func machine(e *cost.Estimator) *Machine {
+	return &Machine{Truth: e, Seed: 42}
+}
+
+func mustRun(t *testing.T, m *Machine, s *pipeline.Schedule, iters int) *Report {
+	t.Helper()
+	r, err := m.Run(s, iters)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return r
+}
+
+func buildSched(t *testing.T, sch pipeline.Scheme, cfg scheme.Config) *pipeline.Schedule {
+	t.Helper()
+	s, err := scheme.Build(sch, cfg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return s
+}
+
+// TestClusterMatchesSimulatorNoiseless: with zero noise and zero extra
+// overhead, the concurrent execution and the DP simulator agree on the
+// makespan for every scheme — two independent implementations of the same
+// semantics.
+func TestClusterMatchesSimulatorNoiseless(t *testing.T) {
+	for _, tc := range []struct {
+		sch pipeline.Scheme
+		cfg scheme.Config
+	}{
+		{pipeline.Scheme1F1B, scheme.Config{Devices: 4, Micros: 8}},
+		{pipeline.SchemeGPipe, scheme.Config{Devices: 4, Micros: 8}},
+		{pipeline.SchemeChimera, scheme.Config{Devices: 4, Micros: 8}},
+		{pipeline.SchemeInterleave, scheme.Config{Devices: 4, Micros: 8, Chunks: 2}},
+	} {
+		s := buildSched(t, tc.sch, tc.cfg)
+		e := cost.Uniform(s.NumStages(), 1, 2, 0.25)
+		want, err := sim.Simulate(s, e, sim.Options{})
+		if err != nil {
+			t.Fatalf("%s: sim: %v", tc.sch, err)
+		}
+		got := mustRun(t, machine(e), s, 1)
+		if math.Abs(got.Total-want.Total) > 1e-9 {
+			t.Errorf("%s: cluster makespan %v != simulator %v", tc.sch, got.Total, want.Total)
+		}
+	}
+}
+
+// TestIterationsScaleLinearly: k iterations take k times one iteration when
+// the pipeline flushes between iterations.
+func TestIterationsScaleLinearly(t *testing.T) {
+	s := buildSched(t, pipeline.Scheme1F1B, scheme.Config{Devices: 4, Micros: 4})
+	e := cost.Uniform(4, 1, 2, 0.25)
+	r1 := mustRun(t, machine(e), s, 1)
+	r3 := mustRun(t, machine(e), s, 3)
+	if math.Abs(r3.IterTime-r1.IterTime) > r1.IterTime*0.35 {
+		t.Errorf("per-iteration time drifted: 1 iter %v, 3 iters %v", r1.IterTime, r3.IterTime)
+	}
+}
+
+// TestNoiseIsDeterministic: the same seed reproduces bit-identical results;
+// different seeds differ.
+func TestNoiseIsDeterministic(t *testing.T) {
+	s := buildSched(t, pipeline.Scheme1F1B, scheme.Config{Devices: 4, Micros: 8})
+	e := cost.Uniform(4, 1, 2, 0.25)
+	m1 := &Machine{Truth: e, Noise: 0.05, Seed: 7}
+	m2 := &Machine{Truth: e, Noise: 0.05, Seed: 7}
+	m3 := &Machine{Truth: e, Noise: 0.05, Seed: 8}
+	a := mustRun(t, m1, s, 2)
+	b := mustRun(t, m2, s, 2)
+	c := mustRun(t, m3, s, 2)
+	if a.Total != b.Total {
+		t.Errorf("same seed, different totals: %v vs %v", a.Total, b.Total)
+	}
+	if a.Total == c.Total {
+		t.Errorf("different seeds produced identical totals %v", a.Total)
+	}
+}
+
+// TestExtraOverheadSlowsRuns: unmodeled overhead makes measured runs slower
+// than the noiseless baseline (the mechanism behind the simulator's
+// throughput overestimate in Fig. 10).
+func TestExtraOverheadSlowsRuns(t *testing.T) {
+	s := buildSched(t, pipeline.Scheme1F1B, scheme.Config{Devices: 4, Micros: 8})
+	e := cost.Uniform(4, 1, 2, 0.25)
+	base := mustRun(t, machine(e), s, 1)
+	slow := mustRun(t, &Machine{Truth: e, ExtraOverhead: 0.05, Seed: 42}, s, 1)
+	if slow.Total <= base.Total {
+		t.Errorf("extra overhead did not slow the run: %v vs %v", slow.Total, base.Total)
+	}
+}
+
+// TestDeadlockDetection: an intentionally crossed schedule (two devices that
+// both receive before sending) trips the watchdog instead of hanging.
+func TestDeadlockDetection(t *testing.T) {
+	pl := pipeline.NewLinearPlacement(2)
+	s := &pipeline.Schedule{
+		Scheme:    pipeline.Scheme1F1B,
+		Placement: pl,
+		Micros:    1,
+		Lists: [][]pipeline.Instr{
+			{
+				{Kind: pipeline.RecvGrad, Micro: 0, Stage: 0},
+				{Kind: pipeline.Forward, Micro: 0, Stage: 0},
+				{Kind: pipeline.SendAct, Micro: 0, Stage: 0},
+				{Kind: pipeline.Backward, Micro: 0, Stage: 0},
+			},
+			{
+				{Kind: pipeline.RecvAct, Micro: 0, Stage: 1},
+				{Kind: pipeline.Forward, Micro: 0, Stage: 1},
+				{Kind: pipeline.Backward, Micro: 0, Stage: 1},
+				{Kind: pipeline.SendGrad, Micro: 0, Stage: 1},
+			},
+		},
+	}
+	// Device 0 receives the gradient before sending the activation device 1
+	// needs to produce it: a true cyclic wait.
+	e := cost.Uniform(2, 1, 2, 0.25)
+	m := &Machine{Truth: e, Seed: 1, Watchdog: 200 * time.Millisecond}
+	_, err := m.Run(s, 1)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+// TestMismatchDetection: reordering two sends on the same link without
+// reordering the receives is caught.
+func TestMismatchDetection(t *testing.T) {
+	s := buildSched(t, pipeline.SchemeGPipe, scheme.Config{Devices: 2, Micros: 2})
+	// Swap the first two SendActs on device 0.
+	list := s.Lists[0]
+	var saIdx []int
+	for i, in := range list {
+		if in.Kind == pipeline.SendAct {
+			saIdx = append(saIdx, i)
+		}
+	}
+	if len(saIdx) < 2 {
+		t.Fatal("expected two sends on device 0")
+	}
+	list[saIdx[0]].Micro, list[saIdx[1]].Micro = list[saIdx[1]].Micro, list[saIdx[0]].Micro
+	e := cost.Uniform(2, 1, 2, 0.25)
+	m := &Machine{Truth: e, Seed: 1, Watchdog: 200 * time.Millisecond}
+	if _, err := m.Run(s, 1); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("err = %v, want ErrMismatch", err)
+	}
+}
+
+// TestSamplesCollected: profiling samples cover forward and backward on
+// every stage with one entry per (iteration × instruction).
+func TestSamplesCollected(t *testing.T) {
+	const iters = 3
+	s := buildSched(t, pipeline.Scheme1F1B, scheme.Config{Devices: 4, Micros: 4})
+	e := cost.Uniform(4, 1, 2, 0.25)
+	r := mustRun(t, machine(e), s, iters)
+	for st := 0; st < 4; st++ {
+		fw := r.Durations[SampleKey{Kind: pipeline.Forward, Stage: st}]
+		if len(fw) != 4*iters {
+			t.Errorf("stage %d: %d forward samples, want %d", st, len(fw), 4*iters)
+		}
+	}
+	if len(r.DeviceDurations) != 4 {
+		t.Fatalf("per-device samples missing")
+	}
+	// Device D-1 (the paper's profiling target) must have samples too.
+	if len(r.DeviceDurations[3]) == 0 {
+		t.Error("no samples on the (D-1)-th device")
+	}
+}
+
+// TestMemSlackRaisesMeasuredMemory: fragmentation slack inflates measured
+// peaks above the model's prediction.
+func TestMemSlackRaisesMeasuredMemory(t *testing.T) {
+	s := buildSched(t, pipeline.Scheme1F1B, scheme.Config{Devices: 4, Micros: 8})
+	e := cost.Uniform(4, 1, 2, 0.25)
+	predicted := sim.PeakMemory(s, e)
+	m := &Machine{Truth: e, MemSlack: 1.10, Seed: 3}
+	r := mustRun(t, m, s, 1)
+	for d := range predicted {
+		if r.PeakMem[d] <= predicted[d]*1.05 {
+			t.Errorf("dev%d measured %v not ≥ 5%% above predicted %v", d, r.PeakMem[d], predicted[d])
+		}
+	}
+}
+
+// TestRunRejectsBadInput covers the argument validation paths.
+func TestRunRejectsBadInput(t *testing.T) {
+	s := buildSched(t, pipeline.Scheme1F1B, scheme.Config{Devices: 2, Micros: 2})
+	e := cost.Uniform(2, 1, 2, 0.25)
+	if _, err := (&Machine{Truth: e}).Run(s, 0); err == nil {
+		t.Error("iters=0 accepted")
+	}
+	if _, err := (&Machine{}).Run(s, 1); err == nil {
+		t.Error("nil truth accepted")
+	}
+	wrong := cost.Uniform(3, 1, 2, 0.25)
+	if _, err := (&Machine{Truth: wrong}).Run(s, 1); err == nil {
+		t.Error("stage mismatch accepted")
+	}
+}

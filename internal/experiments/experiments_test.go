@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+var fast = Opts{Fast: true}
+
+// TestTable1MatchesFormulas: GPipe and 1F1B must match Table 1's closed
+// forms exactly; Interleave within half a stash; Mario flattens everything
+// to ≈Mθ.
+func TestTable1MatchesFormulas(t *testing.T) {
+	rows, err := Table1(Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		switch r.Scheme {
+		case "GPipe", "1F1B":
+			if math.Abs(r.ActMin-r.PaperMin) > 1e-6 || math.Abs(r.ActMax-r.PaperMax) > 1e-6 {
+				t.Errorf("%s: measured [%v,%v], paper [%v,%v]", r.Scheme, r.ActMin, r.ActMax, r.PaperMin, r.PaperMax)
+			}
+		default:
+			if r.ActMax > r.PaperMax*1.3 || r.ActMax < r.PaperMin {
+				t.Errorf("%s: measured max %v far from paper range [%v,%v]", r.Scheme, r.ActMax, r.PaperMin, r.PaperMax)
+			}
+		}
+		if r.MarioMax > 1.5 {
+			t.Errorf("%s: Mario peak %v not ≈Mθ", r.Scheme, r.MarioMax)
+		}
+		if r.Scheme == "Chimera" && r.WeightReplicas != 2 {
+			t.Errorf("Chimera weight replicas = %d", r.WeightReplicas)
+		}
+	}
+	var sb strings.Builder
+	PrintTable1(&sb, rows)
+	if !strings.Contains(sb.String(), "GPipe") {
+		t.Error("printer dropped rows")
+	}
+}
+
+// TestFigure2Exact: all five staircase values match the paper's integers.
+func TestFigure2Exact(t *testing.T) {
+	steps, err := Figure2(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 5 {
+		t.Fatalf("expected 5 steps, got %d", len(steps))
+	}
+	for _, s := range steps {
+		if math.Abs(s.Time-s.Paper) > 1e-9 {
+			t.Errorf("%s: %vt, paper %vt", s.Name, s.Time, s.Paper)
+		}
+	}
+}
+
+// TestFigure5Renders: the charts mention every scheme and the Mario glyphs.
+func TestFigure5Renders(t *testing.T) {
+	var sb strings.Builder
+	if err := Figure5(&sb, fast); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"1F1B", "Chimera", "Interleave", "Mario", "R"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 5 output missing %q", want)
+		}
+	}
+}
+
+// TestFigure6Shape: the §6.1 ordering properties hold on the fast grid —
+// ckpt is the slowest variant, ovlp recovers part of the gap, checkpointed
+// variants use far less memory than base.
+func TestFigure6Shape(t *testing.T) {
+	rows, err := Figure6(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCfg := map[string]ThroughputRow{}
+	for _, r := range rows {
+		byCfg[r.Config] = r
+	}
+	for _, shape := range []string{"V", "X", "W"} {
+		base, ckpt, ovlp := byCfg[shape+"-base"], byCfg[shape+"-ckpt"], byCfg[shape+"-ovlp"]
+		if ckpt.Throughput >= base.Throughput {
+			t.Errorf("%s: naive ckpt %v not below base %v", shape, ckpt.Throughput, base.Throughput)
+		}
+		if ovlp.Throughput <= ckpt.Throughput {
+			t.Errorf("%s: ovlp %v not above ckpt %v (passes 2-4 must help)", shape, ovlp.Throughput, ckpt.Throughput)
+		}
+		if ovlp.MemMaxGB > ckpt.MemMaxGB+0.5 {
+			t.Errorf("%s: ovlp memory %v above ckpt %v", shape, ovlp.MemMaxGB, ckpt.MemMaxGB)
+		}
+		if ckpt.MemMaxGB >= base.MemMaxGB*0.8 {
+			t.Errorf("%s: checkpointing saved too little memory: %v vs %v", shape, ckpt.MemMaxGB, base.MemMaxGB)
+		}
+	}
+}
+
+// TestTable5MemoryBalance: checkpointed rows have a narrow [min,max] spread
+// while base rows are wide (the imbalance Mario removes).
+func TestTable5MemoryBalance(t *testing.T) {
+	rows, err := Table5(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		spread := r.MemMaxGB - r.MemMinGB
+		if strings.HasSuffix(r.Config, "-base") && strings.HasPrefix(r.Config, "V") {
+			if spread < 5 {
+				t.Errorf("%s: base spread %v GB suspiciously narrow", r.Config, spread)
+			}
+		}
+		if strings.HasSuffix(r.Config, "-ovlp") {
+			if spread > 5 {
+				t.Errorf("%s: Mario spread %v GB not balanced", r.Config, spread)
+			}
+		}
+	}
+}
+
+// TestFigure7PerDeviceShape: V-base decreases along device index; V-ovlp is
+// flat.
+func TestFigure7PerDeviceShape(t *testing.T) {
+	rows, err := Figure7(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !strings.HasPrefix(r.Config, "V-") {
+			continue
+		}
+		peaks := r.PeakPerDevice
+		switch {
+		case strings.HasSuffix(r.Config, "-base"):
+			if peaks[0] <= peaks[len(peaks)-1] {
+				t.Errorf("%s: first device %v not above last %v", r.Config, peaks[0], peaks[len(peaks)-1])
+			}
+		case strings.HasSuffix(r.Config, "-ovlp"):
+			lo, hi := minMax(peaks)
+			if hi/lo > 1.5 {
+				t.Errorf("%s: imbalance ratio %v too high", r.Config, hi/lo)
+			}
+		}
+	}
+}
+
+// TestFigure8MarioExtendsModels: ovlp reaches at least the base hidden size
+// for every scheme and strictly more for at least one.
+func TestFigure8MarioExtendsModels(t *testing.T) {
+	rows, err := Figure8(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCfg := map[string]Fig8Row{}
+	for _, r := range rows {
+		byCfg[r.Config] = r
+	}
+	improved := false
+	for _, shape := range []string{"V", "X", "W"} {
+		base, ovlp := byCfg[shape+"-base"], byCfg[shape+"-ovlp"]
+		if ovlp.MaxHidden < base.MaxHidden {
+			t.Errorf("%s: ovlp max hidden %d below base %d", shape, ovlp.MaxHidden, base.MaxHidden)
+		}
+		if ovlp.MaxHidden > base.MaxHidden {
+			improved = true
+		}
+	}
+	if !improved {
+		t.Error("Mario never extended the feasible model size")
+	}
+	// Chimera's 2×Mw replicas must cap its absolute scale below 1F1B's.
+	if byCfg["X-ovlp"].MaxParams >= byCfg["V-ovlp"].MaxParams {
+		t.Errorf("Chimera (%v params) should scale worse than 1F1B (%v) due to double weights",
+			byCfg["X-ovlp"].MaxParams, byCfg["V-ovlp"].MaxParams)
+	}
+}
+
+// TestFigure9Ordering: TP1 < TP2 < TP2+Mario on feasible sequence length.
+func TestFigure9Ordering(t *testing.T) {
+	rows, err := Figure9(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 configs, got %d", len(rows))
+	}
+	if !(rows[0].MaxSeqLen < rows[1].MaxSeqLen && rows[1].MaxSeqLen < rows[2].MaxSeqLen) {
+		t.Errorf("sequence scaling not monotone: %v", rows)
+	}
+	if rows[2].GainVsTP1 < 1.4 {
+		t.Errorf("Mario gain %v below the paper's ballpark", rows[2].GainVsTP1)
+	}
+}
+
+// TestFigure10Accuracy: MAPEs stay within the paper's reported error bars
+// and the partial order is essentially preserved.
+func TestFigure10Accuracy(t *testing.T) {
+	r, err := Figure10(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MemMAPE > 0.06 {
+		t.Errorf("memory MAPE %v above the paper's 5.1%%", r.MemMAPE)
+	}
+	if r.ThptMAPE > 0.10 {
+		t.Errorf("throughput MAPE %v above the paper's 9.4%%", r.ThptMAPE)
+	}
+	if r.ThptKendall < 0.8 {
+		t.Errorf("Kendall tau %v: partial order not preserved", r.ThptKendall)
+	}
+	// The paper's overestimate bias shows at the full 8-device scale (see
+	// EXPERIMENTS.md); at the reduced test scale the profiled device's
+	// static speed factor dominates the sign, so only consistency is
+	// asserted here: predictions stay within 10% of measurements per
+	// config.
+	for _, p := range r.Points {
+		if rel := math.Abs(p.ThptPred-p.ThptMeas) / p.ThptMeas; rel > 0.10 {
+			t.Errorf("%s: prediction off by %.1f%%", p.Config, 100*rel)
+		}
+	}
+}
+
+// TestFigure11Structure: the search finds a feasible best, OOM rows carry
+// the zero penalty, and checkpointing is what makes deep pipelines feasible.
+func TestFigure11Structure(t *testing.T) {
+	r, err := Figure11(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BestThpt <= 0 {
+		t.Fatal("no feasible configuration found")
+	}
+	if !strings.Contains(r.BestLabel, "mario") {
+		t.Errorf("best config %s is not Mario-enabled; base configs should OOM on GPT3-13B", r.BestLabel)
+	}
+	for _, p := range r.Points {
+		if p.OOM && p.Throughput != 0 {
+			t.Errorf("%s: OOM with non-zero throughput %v", p.Label, p.Throughput)
+		}
+	}
+}
+
+// TestSummarise: the aggregates are computed over complete variant sets
+// only and ovlp beats ckpt.
+func TestSummarise(t *testing.T) {
+	rows, err := Figure6(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarise(rows)
+	if s.N == 0 {
+		t.Fatal("no pairs summarised")
+	}
+	if s.OvlpOverCkpt <= 1 {
+		t.Errorf("ovlp/ckpt = %v, want > 1", s.OvlpOverCkpt)
+	}
+	if s.OvlpOverBase >= 1 {
+		t.Errorf("ovlp/base = %v, want < 1 (recompute is not entirely free)", s.OvlpOverBase)
+	}
+	PrintSpeedups(io.Discard, "test", s)
+}
+
+// TestPrinters: all printers produce non-empty output without panicking.
+func TestPrinters(t *testing.T) {
+	rows, err := Figure6(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	PrintThroughput(&sb, rows)
+	PrintFigure7(&sb, rows)
+	f8, err := Figure8(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintFigure8(&sb, f8)
+	f9, err := Figure9(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintFigure9(&sb, f9)
+	f10, err := Figure10(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintFigure10(&sb, f10)
+	f11, err := Figure11(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	PrintFigure11(&sb, f11)
+	if sb.Len() < 500 {
+		t.Errorf("printers produced suspiciously little output: %d bytes", sb.Len())
+	}
+}
+
+// TestExtensionZB: the split-backward staircase — time improves at each
+// composition step while device-0 peak memory never decreases (the
+// bubble/memory trade-off of ZB-H1).
+func TestExtensionZB(t *testing.T) {
+	rows, err := ExtensionZB(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 rows, got %d", len(rows))
+	}
+	baseline, split := rows[0], rows[2]
+	if split.Time >= baseline.Time {
+		t.Errorf("split backward %vt not below baseline %vt", split.Time, baseline.Time)
+	}
+	if split.PeakMem < baseline.PeakMem-1e-9 {
+		t.Errorf("split backward reduced memory (%v < %v); it should trade memory for bubbles", split.PeakMem, baseline.PeakMem)
+	}
+	mario, both := rows[1], rows[3]
+	if both.Time >= mario.Time {
+		t.Errorf("composition %vt not below Mario alone %vt", both.Time, mario.Time)
+	}
+	var sb strings.Builder
+	PrintExtensionZB(&sb, rows)
+	if !strings.Contains(sb.String(), "ZB-H1") {
+		t.Error("printer lost labels")
+	}
+}

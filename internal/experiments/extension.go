@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mario/internal/cost"
+	"mario/internal/graph"
+	"mario/internal/pipeline"
+	"mario/internal/scheme"
+	"mario/internal/sim"
+)
+
+// ZBRow is one row of the split-backward extension study.
+type ZBRow struct {
+	Config  string
+	Time    float64 // makespan in t units
+	PeakMem float64 // device-0 peak in Mθ units
+}
+
+// ExtensionZB quantifies the ZB-H1-style split-backward extension (§8 future
+// work) on the Figure-2 pipeline: baseline, Mario checkpointing, split
+// backward alone, and the composition — makespan vs. device-0 peak memory,
+// exposing the bubble/memory trade-off.
+func ExtensionZB(opt Opts) ([]ZBRow, error) {
+	d, n := 4, 4
+	if !opt.Fast {
+		d, n = 8, 8
+	}
+	e := cost.Uniform(d, 1, 2, 0.25)
+	base, err := scheme.Build(pipeline.Scheme1F1B, scheme.Config{Devices: d, Micros: n})
+	if err != nil {
+		return nil, err
+	}
+	var rows []ZBRow
+	add := func(name string, s *pipeline.Schedule, r *sim.Result) error {
+		if r == nil {
+			var err error
+			r, err = sim.Simulate(s, e, sim.Options{})
+			if err != nil {
+				return err
+			}
+		}
+		rows = append(rows, ZBRow{Config: name, Time: r.Total, PeakMem: r.PeakMem[0]})
+		return nil
+	}
+	if err := add("1F1B baseline", base, nil); err != nil {
+		return nil, err
+	}
+	ckpt, rc, err := graph.Optimize(base, graph.Options{Estimator: e})
+	if err != nil {
+		return nil, err
+	}
+	if err := add("+ Mario checkpointing", ckpt, rc); err != nil {
+		return nil, err
+	}
+	split, rs, err := graph.SplitBackward(base, graph.Options{Estimator: e})
+	if err != nil {
+		return nil, err
+	}
+	_ = split
+	if err := add("+ ZB-H1 split backward", nil, rs); err != nil {
+		return nil, err
+	}
+	both, rb, err := graph.SplitBackward(ckpt, graph.Options{Estimator: e})
+	if err != nil {
+		return nil, err
+	}
+	_ = both
+	if err := add("+ Mario + split backward", nil, rb); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// PrintExtensionZB renders the extension study.
+func PrintExtensionZB(w io.Writer, rows []ZBRow) {
+	fmt.Fprintf(w, "%-26s %10s %16s\n", "Config", "Time (t)", "dev0 peak (Mθ)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-26s %10.1f %16.2f\n", r.Config, r.Time, r.PeakMem)
+	}
+}

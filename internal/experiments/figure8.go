@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mario/internal/cost"
+	"mario/internal/graph"
+	"mario/internal/pipeline"
+	"mario/internal/scheme"
+	"mario/internal/sim"
+)
+
+// Fig8Row reports the largest feasible model (hidden-size sweep until OOM)
+// for one configuration — the parameter-scaling experiment of §6.4.
+type Fig8Row struct {
+	Config      string
+	MaxHidden   int
+	MaxParams   float64 // parameters of the largest feasible model
+	ScaleVsBase float64 // MaxParams relative to the scheme's base config
+}
+
+// Figure8 sweeps the GPT3 hidden size (from 512 in steps of 256) on a
+// 16-GPU pipeline — seqlen 1024, 64 layers, 32 heads, global batch 64 —
+// until the simulator predicts OOM on a 40 GB device, for V/X/W × base/
+// ovlp/lmbs. The paper reports V: 3B → 16B (5.3×), X: 3B → 7B (2.3×),
+// W: ~20× with Mario.
+func Figure8(opt Opts) ([]Fig8Row, error) {
+	devices, gbs, layers := 16, 64, 64
+	maxSteps := 40
+	if opt.Fast {
+		devices, gbs, layers = 4, 8, 16
+		maxSteps = 30
+	}
+	base := cost.ModelConfig{Name: "GPT3-scale", Hidden: 512, Layers: layers, Heads: 32, SeqLen: 1024, Vocab: 50304}
+	memLimit := cost.A100_40G.MemBytes
+
+	type cfg struct {
+		sch pipeline.Scheme
+		v   variant
+	}
+	var cfgs []cfg
+	for _, sch := range []pipeline.Scheme{pipeline.Scheme1F1B, pipeline.SchemeChimera, pipeline.SchemeInterleave} {
+		for _, v := range []variant{vBase, vOvlp, vLmbs} {
+			cfgs = append(cfgs, cfg{sch, v})
+		}
+	}
+
+	rows := make([]Fig8Row, len(cfgs))
+	baseParams := map[pipeline.Scheme]float64{}
+	for ci, c := range cfgs {
+		mbs := 1
+		if c.v == vLmbs {
+			mbs = 2
+		}
+		micros := gbs / mbs
+		stages := devices
+		if c.sch == pipeline.SchemeInterleave {
+			stages = devices * 2
+		}
+		maxHidden, maxParams := 0, 0.0
+		for step := 0; step < maxSteps; step++ {
+			h := 512 + 256*step
+			m := base.WithHidden(h)
+			if m.Layers < stages {
+				break
+			}
+			est, err := cost.Analytic(cost.AnalyticConfig{Model: m, HW: cost.A100_40G, Stages: stages, MicroBatch: mbs})
+			if err != nil {
+				return nil, err
+			}
+			feasible, err := feasibleUnder(c.sch, devices, micros, est, c.v, memLimit)
+			if err != nil {
+				return nil, err
+			}
+			if !feasible {
+				break
+			}
+			maxHidden, maxParams = h, m.TotalParams()
+		}
+		rows[ci] = Fig8Row{Config: shapeOf(c.sch, c.v), MaxHidden: maxHidden, MaxParams: maxParams}
+		if c.v == vBase {
+			baseParams[c.sch] = maxParams
+		}
+	}
+	for i, c := range cfgs {
+		if bp := baseParams[c.sch]; bp > 0 {
+			rows[i].ScaleVsBase = rows[i].MaxParams / bp
+		}
+	}
+	return rows, nil
+}
+
+// feasibleUnder reports whether the configuration's simulated peak memory
+// fits the device.
+func feasibleUnder(sch pipeline.Scheme, devices, micros int, est *cost.Estimator, v variant, memLimit float64) (bool, error) {
+	s, err := scheme.Build(sch, scheme.Config{Devices: devices, Micros: micros})
+	if err != nil {
+		return false, err
+	}
+	switch v {
+	case vBase:
+		r, err := sim.Simulate(s, est, sim.Options{MemLimit: memLimit, NoTimeline: true})
+		if err != nil {
+			return false, err
+		}
+		return !r.OOM, nil
+	default:
+		// Mario variants: checkpoint + overlap; a configuration is feasible
+		// if the optimized schedule fits.
+		_, r, err := graph.Optimize(s, graph.Options{
+			Estimator: est,
+			Sim:       sim.Options{MemLimit: memLimit, NoTimeline: true},
+			MaxRounds: 2,
+		})
+		if err != nil {
+			return false, err
+		}
+		return !r.OOM, nil
+	}
+}
+
+// PrintFigure8 renders the parameter-scaling table.
+func PrintFigure8(w io.Writer, rows []Fig8Row) {
+	fmt.Fprintf(w, "%-10s %10s %12s %10s\n", "Config", "MaxHidden", "Params (B)", "vs base")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %10d %12.2f %9.1fx\n", r.Config, r.MaxHidden, r.MaxParams/1e9, r.ScaleVsBase)
+	}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mario/internal/cost"
+	"mario/internal/pipeline"
+)
+
+// Fig9Row reports the maximum feasible sequence length of one parallel
+// configuration — the sequence scaling experiment of §6.5.
+type Fig9Row struct {
+	Config    string
+	TP        int
+	Mario     bool
+	MaxSeqLen int
+	GainVsTP1 float64
+}
+
+// Figure9 sweeps the GPT3-1.6B sequence length upward from 1024 in steps of
+// 64 on a PP=8 pipeline (16 GPUs overall when TP=2), micro-batch 1, global
+// batch = 2 × stages, until the simulator predicts OOM on a 40 GB device.
+// Configurations: PP8/TP1, PP8/TP2, and PP8/TP2 + Mario. The paper reports
+// Mario extends the feasible sequence length by 1.49× over PP8/TP2 and
+// 2.80× over PP8/TP1.
+func Figure9(opt Opts) ([]Fig9Row, error) {
+	devices := 8
+	step := 64
+	maxSteps := 512
+	if opt.Fast {
+		devices, step, maxSteps = 4, 256, 24
+	}
+	gbs := 2 * devices
+	memLimit := cost.A100_40G.MemBytes
+
+	type cfg struct {
+		name  string
+		tp    int
+		mario bool
+	}
+	cfgs := []cfg{
+		{fmt.Sprintf("PP:%d TP:1", devices), 1, false},
+		{fmt.Sprintf("PP:%d TP:2", devices), 2, false},
+		{fmt.Sprintf("PP:%d TP:2 +Mario", devices), 2, true},
+	}
+	rows := make([]Fig9Row, len(cfgs))
+	for ci, c := range cfgs {
+		maxSeq := 0
+		for stepIdx := 0; stepIdx < maxSteps; stepIdx++ {
+			seq := 1024 + step*stepIdx
+			m := cost.GPT3_1_6B.WithSeqLen(seq)
+			est, err := cost.Analytic(cost.AnalyticConfig{
+				Model: m, HW: cost.A100_40G, Stages: devices, MicroBatch: 1, TP: c.tp,
+			})
+			if err != nil {
+				return nil, err
+			}
+			v := vBase
+			if c.mario {
+				v = vOvlp
+			}
+			feasible, err := feasibleUnder(pipeline.Scheme1F1B, devices, gbs, est, v, memLimit)
+			if err != nil {
+				return nil, err
+			}
+			if !feasible {
+				break
+			}
+			maxSeq = seq
+		}
+		rows[ci] = Fig9Row{Config: c.name, TP: c.tp, Mario: c.mario, MaxSeqLen: maxSeq}
+	}
+	if rows[0].MaxSeqLen > 0 {
+		for i := range rows {
+			rows[i].GainVsTP1 = float64(rows[i].MaxSeqLen) / float64(rows[0].MaxSeqLen)
+		}
+	}
+	return rows, nil
+}
+
+// PrintFigure9 renders the sequence-scaling table.
+func PrintFigure9(w io.Writer, rows []Fig9Row) {
+	fmt.Fprintf(w, "%-20s %12s %10s\n", "Config", "MaxSeqLen", "vs TP:1")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %12d %9.2fx\n", r.Config, r.MaxSeqLen, r.GainVsTP1)
+	}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mario/internal/cost"
+	"mario/internal/graph"
+	"mario/internal/pipeline"
+	"mario/internal/scheme"
+	"mario/internal/sim"
+)
+
+// Table1Row reports one scheme's activation-memory footprint measured in
+// units of Mθ (the activation of one micro-batch on one device's stages),
+// before and after Mario, alongside the paper's closed-form range.
+type Table1Row struct {
+	Scheme         pipeline.Scheme
+	WeightReplicas int
+	// ActMin/ActMax are the measured per-device peak activation extremes
+	// of the base scheme in Mθ units.
+	ActMin, ActMax float64
+	// PaperMin/PaperMax are the bounds of Table 1's formulas evaluated at
+	// the same D and N.
+	PaperMin, PaperMax float64
+	// MarioMax is the measured maximum after the Mario passes.
+	MarioMax float64
+	// PaperMario is Table 1's post-Mario value (Mθ or Mθ/2 per device,
+	// expressed here as device-Mθ so Interleave reads 1.0 as well).
+	PaperMario float64
+}
+
+// Table1 measures the per-scheme activation memory ranges of Table 1 with a
+// unit-cost estimator (weights and framework zeroed, one device-stage's
+// activations = its share of Mθ).
+func Table1(opt Opts) ([]Table1Row, error) {
+	d := 8
+	if opt.Fast {
+		d = 4
+	}
+	n := 2 * d
+	var rows []Table1Row
+	for _, sch := range []pipeline.Scheme{pipeline.SchemeGPipe, pipeline.Scheme1F1B, pipeline.SchemeInterleave, pipeline.SchemeChimera} {
+		s, err := scheme.Build(sch, scheme.Config{Devices: d, Micros: n})
+		if err != nil {
+			return nil, err
+		}
+		// Stash cost is deliberately tiny so the measured range isolates
+		// the full-activation replicas the formulas count.
+		est := cost.Uniform(s.NumStages(), 1, 2, 0.01)
+		// Normalise so one device's full stage set costs 1 Mθ: interleaved
+		// devices hold NumStages/D stages.
+		perDev := float64(s.NumStages()) / float64(d)
+		base := sim.PeakMemory(s, est)
+		lo, hi := minMax(base)
+
+		o, _, err := graph.Optimize(s, graph.Options{Estimator: est})
+		if err != nil {
+			return nil, err
+		}
+		_, marioHi := minMax(sim.PeakMemory(o, est))
+
+		row := Table1Row{
+			Scheme:         sch,
+			WeightReplicas: s.Placement.WeightReplicas(),
+			ActMin:         lo / perDev,
+			ActMax:         hi / perDev,
+			MarioMax:       marioHi / perDev,
+			PaperMario:     1,
+		}
+		df, nf := float64(d), float64(n)
+		switch sch {
+		case pipeline.SchemeGPipe:
+			row.PaperMin, row.PaperMax = nf, nf
+		case pipeline.Scheme1F1B:
+			row.PaperMin, row.PaperMax = 1, df
+		case pipeline.SchemeInterleave:
+			// [(D+1), (3D-2)] × Mθ/2, in device-Mθ units.
+			row.PaperMin, row.PaperMax = (df+1)/2, (3*df-2)/2
+		case pipeline.SchemeChimera:
+			row.PaperMin, row.PaperMax = df/2+1, df
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintTable1 renders the rows like the paper's Table 1.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "%-12s %-8s %-22s %-22s %-18s\n", "Scheme", "Weights", "Activation (measured)", "Activation (paper)", "Activation (Mario)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %d×Mw    [%5.2f, %5.2f]×Mθ       [%5.2f, %5.2f]×Mθ       %5.2f×Mθ (paper ≈%g)\n",
+			r.Scheme, r.WeightReplicas, r.ActMin, r.ActMax, r.PaperMin, r.PaperMax, r.MarioMax, r.PaperMario)
+	}
+}
+
+func minMax(v []float64) (lo, hi float64) {
+	lo, hi = v[0], v[0]
+	for _, x := range v[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

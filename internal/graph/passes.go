@@ -1,0 +1,195 @@
+// Package graph implements Mario's graph tuner (§5.1): four optimization
+// passes that tessellate activation checkpointing into a pipeline schedule by
+// identifying and substituting instruction patterns. Passes 1–3 are local
+// list rewrites; pass 4 (prepose-forward) is guided by the lightweight
+// simulator, accepting only moves that reduce the simulated makespan.
+package graph
+
+import (
+	"fmt"
+
+	"mario/internal/cost"
+	"mario/internal/pipeline"
+	"mario/internal/sim"
+)
+
+// ApplyCheckpoint is pass 1: apply activation checkpointing to all paired
+// forward and backward instructions. Every Forward becomes a CkptForward and
+// a Recompute is inserted immediately before the corresponding Backward, so
+// only one activation replica per stage is live at a time.
+func ApplyCheckpoint(s *pipeline.Schedule) {
+	ApplyCheckpointStages(s, func(int) bool { return true })
+}
+
+// ApplyCheckpointStages applies pass 1 selectively: only stages for which
+// keep returns true are checkpointed. This is the knob AdaPipe-style
+// selective recomputation turns (§8 related work); Mario itself uses the
+// all-stages form and lets remove-redundancy revert the useless cases.
+func ApplyCheckpointStages(s *pipeline.Schedule, keep func(stage int) bool) {
+	for d, list := range s.Lists {
+		out := make([]pipeline.Instr, 0, len(list)+len(list)/2)
+		for _, in := range list {
+			switch {
+			case in.Kind == pipeline.Forward && keep(in.Stage):
+				in.Kind = pipeline.CkptForward
+				out = append(out, in)
+			case in.Kind == pipeline.Backward && keep(in.Stage):
+				out = append(out,
+					pipeline.Instr{Kind: pipeline.Recompute, Micro: in.Micro, Part: in.Part, Stage: in.Stage},
+					in,
+				)
+			default:
+				out = append(out, in)
+			}
+		}
+		s.Lists[d] = out
+	}
+	s.Checkpointed = true
+}
+
+// OverlapRecompute is pass 2: prepose each Recompute past the RecvGrad
+// instructions that precede it, so the recomputation runs concurrently with
+// the next device's backward instead of serialising behind the gradient
+// receive. (If RC_i were left after RG_i it would transitively wait for
+// BW_i on the next device, losing the overlap — §5.1.)
+func OverlapRecompute(s *pipeline.Schedule) {
+	for _, list := range s.Lists {
+		for i, in := range list {
+			if in.Kind != pipeline.Recompute {
+				continue
+			}
+			j := i
+			for j > 0 && list[j-1].Kind == pipeline.RecvGrad {
+				list[j-1], list[j] = list[j], list[j-1]
+				j--
+			}
+		}
+	}
+}
+
+// RemoveRedundancy is pass 3: when a CkptForward and its Backward are
+// adjacent (no other compute instruction between them on the device), the
+// activation would be dropped and instantly restored; revert the pair to a
+// plain Forward and delete the Recompute.
+func RemoveRedundancy(s *pipeline.Schedule) {
+	for d, list := range s.Lists {
+		// Locate each instruction once.
+		pos := make(map[pipeline.Key]int, len(list))
+		for i, in := range list {
+			pos[in.Key()] = i
+		}
+		drop := make(map[int]bool) // indices of Recomputes to delete
+		for i, in := range list {
+			if in.Kind != pipeline.CkptForward {
+				continue
+			}
+			bwIdx, ok := pos[pipeline.Key{Kind: pipeline.Backward, Micro: in.Micro, Part: in.Part, Stage: in.Stage}]
+			if !ok || bwIdx < i {
+				continue
+			}
+			rcKey := pipeline.Key{Kind: pipeline.Recompute, Micro: in.Micro, Part: in.Part, Stage: in.Stage}
+			rcIdx, hasRC := pos[rcKey]
+			redundant := true
+			for k := i + 1; k < bwIdx; k++ {
+				if list[k].Kind.IsCompute() && !(hasRC && k == rcIdx) {
+					redundant = false
+					break
+				}
+			}
+			if !redundant {
+				continue
+			}
+			list[i].Kind = pipeline.Forward
+			if hasRC {
+				drop[rcIdx] = true
+			}
+			// The send no longer reads a checkpoint staging buffer.
+			if saIdx, ok := pos[pipeline.Key{Kind: pipeline.SendAct, Micro: in.Micro, Part: in.Part, Stage: in.Stage}]; ok {
+				list[saIdx].Buffered = false
+			}
+		}
+		if len(drop) > 0 {
+			out := list[:0]
+			for i, in := range list {
+				if !drop[i] {
+					out = append(out, in)
+				}
+			}
+			s.Lists[d] = out
+		}
+	}
+}
+
+// Options parameterises the simulator-guided passes and the overall
+// Optimize driver.
+type Options struct {
+	// Estimator supplies per-instruction latencies and memory for the
+	// simulator; required by PreposeForward and Optimize.
+	Estimator *cost.Estimator
+	// Sim configures the acceptance simulations (memory limit, DP, link
+	// semantics).
+	Sim sim.Options
+	// MaxPrepose bounds the number of forward groups preposed per device;
+	// zero means no bound beyond the schedule length.
+	MaxPrepose int
+	// MaxRounds bounds the iterative pass applications; zero means 16.
+	MaxRounds int
+}
+
+// Optimize applies the full pass pipeline — apply-checkpoint once, then
+// overlap-recompute, remove-redundancy and prepose-forward iteratively until
+// the simulated makespan stops improving. It returns the optimized schedule
+// (the input is not modified) and its simulation result.
+func Optimize(s *pipeline.Schedule, opt Options) (*pipeline.Schedule, *sim.Result, error) {
+	if opt.Estimator == nil {
+		return nil, nil, fmt.Errorf("graph: Optimize requires an estimator")
+	}
+	cur := s.Clone()
+	ApplyCheckpoint(cur)
+	OverlapRecompute(cur)
+	RemoveRedundancy(cur)
+	// remove-redundancy may expose new overlap opportunities and vice
+	// versa; they are cheap, so run them to a (two-round) fixpoint before
+	// the guided pass.
+	OverlapRecompute(cur)
+	best, err := sim.Simulate(cur, opt.Estimator, opt.Sim)
+	if err != nil {
+		return nil, nil, fmt.Errorf("graph: simulating checkpointed schedule: %w", err)
+	}
+	rounds := opt.MaxRounds
+	if rounds <= 0 {
+		rounds = 16
+	}
+	// Total prepose budget across rounds: MaxPrepose extra forward groups
+	// per device, unlimited when zero.
+	budget := -1
+	if opt.MaxPrepose > 0 {
+		budget = opt.MaxPrepose * cur.NumDevices()
+	}
+	for r := 0; r < rounds; r++ {
+		if budget == 0 {
+			break
+		}
+		next, nextRes, moves, err := preposeRound(cur, best, opt, budget)
+		if err != nil {
+			return nil, nil, err
+		}
+		if nextRes == best {
+			break
+		}
+		if moves > 0 && budget > 0 {
+			budget -= moves
+			if budget < 0 {
+				budget = 0
+			}
+		}
+		if nextRes.Total >= best.Total {
+			break
+		}
+		cur, best = next, nextRes
+	}
+	if err := pipeline.Validate(cur); err != nil {
+		return nil, nil, fmt.Errorf("graph: optimized schedule invalid: %w", err)
+	}
+	return cur, best, nil
+}

@@ -1,0 +1,225 @@
+package graph
+
+import (
+	"errors"
+
+	"mario/internal/pipeline"
+	"mario/internal/sim"
+)
+
+// A forward group is the contiguous [RecvAct?, CkptForward, SendAct?] run of
+// one micro-batch on one device. Pass 4 moves such groups from the steady
+// phase into the leading bubble region ("prepose the checkpointed forward
+// instructions to the earliest pipeline bubbles").
+type fwGroup struct {
+	start, end int // half-open index range in the device list
+	cfwIdx     int
+	saIdx      int // index of the SendAct inside [start,end) or -1
+}
+
+// findBoundary returns the index of the first backward-like compute
+// instruction (Backward or Recompute) on the list; preposed groups are
+// inserted immediately before it. Returns -1 when the device has no
+// backward region (nothing to prepose past).
+func findBoundary(list []pipeline.Instr) int {
+	for i, in := range list {
+		if in.Kind == pipeline.Backward || in.Kind == pipeline.Recompute {
+			return i
+		}
+	}
+	return -1
+}
+
+// nextGroupAfter locates the first forward group starting at or after idx.
+func nextGroupAfter(list []pipeline.Instr, idx int) (fwGroup, bool) {
+	for i := idx; i < len(list); i++ {
+		if list[i].Kind != pipeline.CkptForward {
+			continue
+		}
+		g := fwGroup{start: i, end: i + 1, cfwIdx: i, saIdx: -1}
+		if i > 0 && list[i-1].Kind == pipeline.RecvAct &&
+			list[i-1].Micro == list[i].Micro && list[i-1].Stage == list[i].Stage {
+			g.start = i - 1
+		}
+		if i+1 < len(list) && list[i+1].Kind == pipeline.SendAct &&
+			list[i+1].Micro == list[i].Micro && list[i+1].Stage == list[i].Stage {
+			g.end = i + 2
+			g.saIdx = i + 1
+		}
+		return g, true
+	}
+	return fwGroup{}, false
+}
+
+// consumerPreposed reports whether the consumer of the (micro, stage)
+// activation executes its forward inside its own leading forward region —
+// §5.1 pass 4's "CFW in the next device is also preposed" test, which
+// decides whether the SendAct may travel with the CkptForward or must stay
+// buffered in place.
+func consumerPreposed(s *pipeline.Schedule, micro, part, stage int) bool {
+	if stage+1 >= s.NumStages() {
+		return true // no consumer; nothing constrains the send
+	}
+	sa := pipeline.Instr{Kind: pipeline.SendAct, Micro: micro, Part: part, Stage: stage}
+	dev := s.PeerDevice(s.Placement.Device(part, stage), sa)
+	list := s.Lists[dev]
+	b := findBoundary(list)
+	if b < 0 {
+		return true
+	}
+	match := s.MatchKey(sa)
+	for i := 0; i < b; i++ {
+		in := list[i]
+		if in.Kind == pipeline.RecvAct && in.Key() == match {
+			return true
+		}
+	}
+	return false
+}
+
+// preposeDevice builds a candidate schedule with the next steady-phase
+// forward group of device d moved to the leading bubble region. It returns
+// false when the device has no group to prepose.
+func preposeDevice(s *pipeline.Schedule, d int) (*pipeline.Schedule, bool) {
+	list := s.Lists[d]
+	b := findBoundary(list)
+	if b < 0 {
+		return nil, false
+	}
+	g, ok := nextGroupAfter(list, b)
+	if !ok {
+		return nil, false
+	}
+	cfw := list[g.cfwIdx]
+	moveSA := g.saIdx >= 0 && consumerPreposed(s, cfw.Micro, cfw.Part, cfw.Stage)
+
+	c := s.Clone()
+	nl := make([]pipeline.Instr, 0, len(list))
+	var moved []pipeline.Instr
+	for i := g.start; i < g.end; i++ {
+		if i == g.saIdx && !moveSA {
+			continue
+		}
+		moved = append(moved, list[i])
+	}
+	for i := 0; i < len(list); i++ {
+		if i == b {
+			nl = append(nl, moved...)
+		}
+		if i >= g.start && i < g.end {
+			if i == g.saIdx && !moveSA {
+				// SendAct stays put, reading from the staging buffer
+				// (§5.1 pass 4 scenario 2).
+				sa := list[i]
+				sa.Buffered = true
+				nl = append(nl, sa)
+			}
+			continue
+		}
+		nl = append(nl, list[i])
+	}
+	c.Lists[d] = nl
+	return c, true
+}
+
+// promoteBufferedSends builds a candidate where every Buffered SendAct whose
+// consumer has since been preposed is moved back next to its CkptForward.
+// Returns false when nothing was promotable.
+func promoteBufferedSends(s *pipeline.Schedule) (*pipeline.Schedule, bool) {
+	c := s.Clone()
+	changed := false
+	for _, list := range c.Lists {
+		for i := 0; i < len(list); i++ {
+			in := list[i]
+			if in.Kind != pipeline.SendAct || !in.Buffered {
+				continue
+			}
+			if !consumerPreposed(c, in.Micro, in.Part, in.Stage) {
+				continue
+			}
+			// Find the producing CkptForward and move the send right after it.
+			for j := 0; j < i; j++ {
+				p := list[j]
+				if p.Kind == pipeline.CkptForward && p.Micro == in.Micro && p.Stage == in.Stage {
+					in.Buffered = false
+					copy(list[j+2:i+1], list[j+1:i])
+					list[j+1] = in
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return c, changed
+}
+
+// preposeRound evaluates one greedy round of pass 4: preposing one group on
+// each single device, preposing one group on all devices at once (to enable
+// cascaded moves none of which helps alone), and promoting buffered sends.
+// The best strictly-improving, non-OOM candidate wins. budget bounds the
+// number of group moves this round may perform (negative = unlimited); the
+// round reports how many it used.
+func preposeRound(cur *pipeline.Schedule, best *sim.Result, opt Options, budget int) (*pipeline.Schedule, *sim.Result, int, error) {
+	type cand struct {
+		s     *pipeline.Schedule
+		r     *sim.Result
+		moves int
+	}
+	var winner *cand
+
+	try := func(c *pipeline.Schedule, moves int) error {
+		r, err := sim.Simulate(c, opt.Estimator, opt.Sim)
+		if err != nil {
+			if errors.Is(err, sim.ErrCommMismatch) || errors.Is(err, sim.ErrDeadlock) {
+				return nil // illegal move; skip silently
+			}
+			return err
+		}
+		if opt.Sim.MemLimit > 0 && r.OOM {
+			return nil
+		}
+		const eps = 1e-12
+		if r.Total < best.Total-eps && (winner == nil || r.Total < winner.r.Total) {
+			winner = &cand{s: c, r: r, moves: moves}
+		}
+		return nil
+	}
+
+	// Composite candidate first — one prepose on every device — because the
+	// cascaded move is both the usual winner and a single simulation. Only
+	// when it fails to improve do we pay for the per-device scan.
+	comp := cur
+	moves := 0
+	for d := 0; d < cur.NumDevices(); d++ {
+		if budget >= 0 && moves >= budget {
+			break
+		}
+		if c, ok := preposeDevice(comp, d); ok {
+			comp = c
+			moves++
+		}
+	}
+	if moves > 0 {
+		if err := try(comp, moves); err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	if c, ok := promoteBufferedSends(cur); ok {
+		if err := try(c, 0); err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	if winner == nil && (budget < 0 || budget >= 1) {
+		for d := 0; d < cur.NumDevices(); d++ {
+			if c, ok := preposeDevice(cur, d); ok {
+				if err := try(c, 1); err != nil {
+					return nil, nil, 0, err
+				}
+			}
+		}
+	}
+	if winner == nil {
+		return cur, best, 0, nil
+	}
+	return winner.s, winner.r, winner.moves, nil
+}

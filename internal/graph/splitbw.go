@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+
+	"mario/internal/pipeline"
+	"mario/internal/sim"
+)
+
+// SplitBackward implements the ZB-H1-style extension the paper lists as
+// future work (§8: "Mario can further adopt the split backward parts of
+// ZB-H1 to overlap remaining bubbles"): every Backward is split into its
+// input-gradient half (BackwardInput, which the upstream stage's backward
+// transitively waits on) and its weight-gradient half (BackwardWeight, which
+// nothing waits on). The SendGrad re-anchors directly after the
+// input-gradient half, unblocking the upstream device earlier; the
+// weight-gradient halves are then sunk into later bubbles when the simulator
+// confirms an improvement within the memory budget.
+//
+// The input schedule is not modified. Estimator.BwSplitRatio controls the
+// B/W split of the backward latency.
+func SplitBackward(s *pipeline.Schedule, opt Options) (*pipeline.Schedule, *sim.Result, error) {
+	if opt.Estimator == nil {
+		return nil, nil, fmt.Errorf("graph: SplitBackward requires an estimator")
+	}
+	cur := splitAll(s)
+	best, err := sim.Simulate(cur, opt.Estimator, opt.Sim)
+	if err != nil {
+		return nil, nil, fmt.Errorf("graph: simulating split schedule: %w", err)
+	}
+	// Reject the plain split if it regressed (possible when extra launch
+	// overheads outweigh the unblocking benefit).
+	if base, err := sim.Simulate(s, opt.Estimator, opt.Sim); err == nil && base.Total < best.Total {
+		return s.Clone(), base, nil
+	}
+
+	// Sink candidates: all weight-gradient halves per device to the end of
+	// the iteration (just before AllReduce), accepted device by device when
+	// the simulator improves without OOM.
+	for d := 0; d < cur.NumDevices(); d++ {
+		cand := cur.Clone()
+		if !sinkWeightGrads(cand, d) {
+			continue
+		}
+		r, err := sim.Simulate(cand, opt.Estimator, opt.Sim)
+		if err != nil {
+			if errors.Is(err, sim.ErrCommMismatch) || errors.Is(err, sim.ErrDeadlock) {
+				continue
+			}
+			return nil, nil, err
+		}
+		if opt.Sim.MemLimit > 0 && r.OOM {
+			continue
+		}
+		if r.Total < best.Total-1e-12 {
+			cur, best = cand, r
+		}
+	}
+	if err := pipeline.Validate(cur); err != nil {
+		return nil, nil, fmt.Errorf("graph: split schedule invalid: %w", err)
+	}
+	return cur, best, nil
+}
+
+// splitAll rewrites every Backward into [BackwardInput, (SendGrad),
+// BackwardWeight], keeping the gradient send immediately after the
+// input-gradient half.
+func splitAll(s *pipeline.Schedule) *pipeline.Schedule {
+	c := s.Clone()
+	for d, list := range c.Lists {
+		out := make([]pipeline.Instr, 0, len(list)+len(list)/3)
+		for i := 0; i < len(list); i++ {
+			in := list[i]
+			if in.Kind != pipeline.Backward {
+				out = append(out, in)
+				continue
+			}
+			bi := in
+			bi.Kind = pipeline.BackwardInput
+			wg := in
+			wg.Kind = pipeline.BackwardWeight
+			out = append(out, bi)
+			if i+1 < len(list) {
+				next := list[i+1]
+				if next.Kind == pipeline.SendGrad && next.Micro == in.Micro && next.Stage == in.Stage {
+					out = append(out, next)
+					i++
+				}
+			}
+			out = append(out, wg)
+		}
+		c.Lists[d] = out
+	}
+	return c
+}
+
+// sinkWeightGrads moves all BackwardWeight instructions of device d to just
+// before its AllReduce (or the end of the list), preserving their relative
+// order. Returns false when the device has none to move.
+func sinkWeightGrads(s *pipeline.Schedule, d int) bool {
+	list := s.Lists[d]
+	var kept, sunk []pipeline.Instr
+	insertAt := -1
+	for _, in := range list {
+		if in.Kind == pipeline.BackwardWeight {
+			sunk = append(sunk, in)
+			continue
+		}
+		if in.Kind == pipeline.AllReduce && insertAt < 0 {
+			insertAt = len(kept)
+		}
+		kept = append(kept, in)
+	}
+	if len(sunk) == 0 {
+		return false
+	}
+	if insertAt < 0 {
+		insertAt = len(kept)
+	}
+	out := make([]pipeline.Instr, 0, len(list))
+	out = append(out, kept[:insertAt]...)
+	out = append(out, sunk...)
+	out = append(out, kept[insertAt:]...)
+	s.Lists[d] = out
+	return true
+}

@@ -1,0 +1,119 @@
+package pipeline
+
+// InsertComm expands a compute-only skeleton (Forward/Backward instructions)
+// into a complete instruction list by inserting the auxiliary communication
+// instructions of Table 3:
+//
+//   - RecvAct  immediately before each Forward whose stage has a predecessor
+//     on another device,
+//   - SendAct  immediately after each Forward whose stage has a successor on
+//     another device,
+//   - RecvGrad immediately before each Backward whose stage has a successor
+//     on another device,
+//   - SendGrad immediately after each Backward whose stage has a predecessor
+//     on another device,
+//
+// and appending the cool-down collective instructions (AllReduce for DP,
+// OptimizerStep) to every device.
+//
+// An activation transfer across the stage boundary s→s+1 is represented by
+// the pair SendAct{Stage: s} on the producer and RecvAct{Stage: s+1} on the
+// consumer; a gradient transfer across s+1→s by SendGrad{Stage: s+1} and
+// RecvGrad{Stage: s}. Matching is therefore by (Micro, Stage) alone and is
+// independent of partition ids, which may change across chunk boundaries in
+// interleaved schedules.
+func InsertComm(s *Schedule) {
+	S := s.NumStages()
+	for d, list := range s.Lists {
+		out := make([]Instr, 0, len(list)*2+2)
+		for _, in := range list {
+			switch in.Kind {
+			case Forward, CkptForward:
+				if in.Stage > 0 && crossesDevice(s, in.Part, in.Stage-1, in.Stage, d) {
+					out = append(out, Instr{Kind: RecvAct, Micro: in.Micro, Part: in.Part, Stage: in.Stage})
+				}
+				out = append(out, in)
+				if in.Stage < S-1 && crossesDevice(s, in.Part, in.Stage, in.Stage+1, d) {
+					out = append(out, Instr{Kind: SendAct, Micro: in.Micro, Part: in.Part, Stage: in.Stage})
+				}
+			case Backward:
+				if in.Stage < S-1 && crossesDevice(s, in.Part, in.Stage, in.Stage+1, d) {
+					out = append(out, Instr{Kind: RecvGrad, Micro: in.Micro, Part: in.Part, Stage: in.Stage})
+				}
+				out = append(out, in)
+				if in.Stage > 0 && crossesDevice(s, in.Part, in.Stage-1, in.Stage, d) {
+					out = append(out, Instr{Kind: SendGrad, Micro: in.Micro, Part: in.Part, Stage: in.Stage})
+				}
+			default:
+				out = append(out, in)
+			}
+		}
+		out = append(out,
+			Instr{Kind: AllReduce, Micro: NoMicro},
+			Instr{Kind: OptimizerStep, Micro: NoMicro},
+		)
+		s.Lists[d] = out
+	}
+}
+
+// crossesDevice reports whether the boundary between loStage and hiStage
+// (hiStage = loStage+1) is a cross-device edge as seen from device d holding
+// one of its endpoints. part is the partition id of the endpoint on d.
+func crossesDevice(s *Schedule, part, loStage, hiStage, d int) bool {
+	other := hiStage
+	if s.deviceOfStage(part, loStage) == d {
+		// d holds the low endpoint.
+		return s.deviceOfStage(partOfStage(s, part, other), other) != d
+	}
+	return s.deviceOfStage(partOfStage(s, part, loStage), loStage) != d
+}
+
+// deviceOfStage resolves the device owning (part, stage) through the
+// placement, resolving interleaved chunk ids from the stage when needed.
+func (s *Schedule) deviceOfStage(part, stage int) int {
+	return s.Placement.Device(part, stage)
+}
+
+// partOfStage returns the partition id the scheme assigns to the given
+// stage, given that a neighbouring instruction carries partition id part.
+// For interleaved placements the part is a function of the stage; for all
+// other placements a micro-batch keeps its partition across stages.
+func partOfStage(s *Schedule, part, stage int) int {
+	if ip, ok := s.Placement.(InterleavedPlacement); ok {
+		return ip.PartOfStage(stage)
+	}
+	return part
+}
+
+// PeerDevice returns, for a communication instruction on device d, the
+// device on the other end of the transfer.
+func (s *Schedule) PeerDevice(d int, in Instr) int {
+	switch in.Kind {
+	case SendAct: // producer at in.Stage, consumer at in.Stage+1
+		return s.deviceOfStage(partOfStage(s, in.Part, in.Stage+1), in.Stage+1)
+	case RecvAct: // consumer at in.Stage, producer at in.Stage-1
+		return s.deviceOfStage(partOfStage(s, in.Part, in.Stage-1), in.Stage-1)
+	case SendGrad: // producer at in.Stage, consumer at in.Stage-1
+		return s.deviceOfStage(partOfStage(s, in.Part, in.Stage-1), in.Stage-1)
+	case RecvGrad: // consumer at in.Stage, producer at in.Stage+1
+		return s.deviceOfStage(partOfStage(s, in.Part, in.Stage+1), in.Stage+1)
+	}
+	return d
+}
+
+// MatchKey returns the key of the instruction on the other side of a
+// communication pair: SA(m,s) ↔ RA(m,s+1) and SG(m,s) ↔ RG(m,s-1).
+// It panics for non-communication instructions.
+func (s *Schedule) MatchKey(in Instr) Key {
+	switch in.Kind {
+	case SendAct:
+		return Key{Kind: RecvAct, Micro: in.Micro, Part: partOfStage(s, in.Part, in.Stage+1), Stage: in.Stage + 1}
+	case RecvAct:
+		return Key{Kind: SendAct, Micro: in.Micro, Part: partOfStage(s, in.Part, in.Stage-1), Stage: in.Stage - 1}
+	case SendGrad:
+		return Key{Kind: RecvGrad, Micro: in.Micro, Part: partOfStage(s, in.Part, in.Stage-1), Stage: in.Stage - 1}
+	case RecvGrad:
+		return Key{Kind: SendGrad, Micro: in.Micro, Part: partOfStage(s, in.Part, in.Stage+1), Stage: in.Stage + 1}
+	}
+	panic("pipeline: MatchKey on non-communication instruction " + in.String())
+}

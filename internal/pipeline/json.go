@@ -1,0 +1,108 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The JSON encoding makes schedules durable artifacts: Mario optimizes ahead
+// of time (§4) and the resulting instruction lists can be stored, diffed and
+// loaded by an executor later. The format is stable and compact: one object
+// per instruction with single-letter field names.
+
+type instrJSON struct {
+	Kind  string `json:"k"`
+	Micro int    `json:"m"`
+	Part  int    `json:"p,omitempty"`
+	Stage int    `json:"s"`
+	Buf   bool   `json:"buf,omitempty"`
+}
+
+type placementJSON struct {
+	Type    string `json:"type"` // "linear", "bidir", "interleaved"
+	Devices int    `json:"devices"`
+	Chunks  int    `json:"chunks,omitempty"`
+}
+
+type scheduleJSON struct {
+	Scheme       string        `json:"scheme"`
+	Micros       int           `json:"micros"`
+	Checkpointed bool          `json:"checkpointed,omitempty"`
+	Placement    placementJSON `json:"placement"`
+	Lists        [][]instrJSON `json:"lists"`
+}
+
+// kindByName inverts the Kind mnemonics.
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, name := range kindNames {
+		m[name] = Kind(k)
+	}
+	return m
+}()
+
+// MarshalJSON implements json.Marshaler.
+func (s *Schedule) MarshalJSON() ([]byte, error) {
+	out := scheduleJSON{
+		Scheme:       string(s.Scheme),
+		Micros:       s.Micros,
+		Checkpointed: s.Checkpointed,
+		Lists:        make([][]instrJSON, len(s.Lists)),
+	}
+	switch p := s.Placement.(type) {
+	case LinearPlacement:
+		out.Placement = placementJSON{Type: "linear", Devices: p.D}
+	case BidirPlacement:
+		out.Placement = placementJSON{Type: "bidir", Devices: p.D}
+	case InterleavedPlacement:
+		out.Placement = placementJSON{Type: "interleaved", Devices: p.D, Chunks: p.V}
+	default:
+		return nil, fmt.Errorf("pipeline: placement %T is not serialisable", s.Placement)
+	}
+	for d, list := range s.Lists {
+		out.Lists[d] = make([]instrJSON, len(list))
+		for i, in := range list {
+			out.Lists[d][i] = instrJSON{
+				Kind: in.Kind.String(), Micro: in.Micro, Part: in.Part, Stage: in.Stage, Buf: in.Buffered,
+			}
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler; the decoded schedule is
+// re-validated so corrupted files are rejected.
+func (s *Schedule) UnmarshalJSON(data []byte) error {
+	var in scheduleJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("pipeline: decoding schedule: %w", err)
+	}
+	switch in.Placement.Type {
+	case "linear":
+		s.Placement = NewLinearPlacement(in.Placement.Devices)
+	case "bidir":
+		s.Placement = NewBidirPlacement(in.Placement.Devices)
+	case "interleaved":
+		s.Placement = NewInterleavedPlacement(in.Placement.Devices, in.Placement.Chunks)
+	default:
+		return fmt.Errorf("pipeline: unknown placement type %q", in.Placement.Type)
+	}
+	s.Scheme = Scheme(in.Scheme)
+	s.Micros = in.Micros
+	s.Checkpointed = in.Checkpointed
+	s.Lists = make([][]Instr, len(in.Lists))
+	for d, list := range in.Lists {
+		s.Lists[d] = make([]Instr, len(list))
+		for i, ij := range list {
+			k, ok := kindByName[ij.Kind]
+			if !ok {
+				return fmt.Errorf("pipeline: unknown instruction kind %q", ij.Kind)
+			}
+			s.Lists[d][i] = Instr{Kind: k, Micro: ij.Micro, Part: ij.Part, Stage: ij.Stage, Buffered: ij.Buf}
+		}
+	}
+	if err := Validate(s); err != nil {
+		return fmt.Errorf("pipeline: decoded schedule invalid: %w", err)
+	}
+	return nil
+}

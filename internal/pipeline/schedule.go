@@ -1,0 +1,163 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Scheme names the pipeline parallelism scheme a schedule was generated from.
+// The paper abbreviates schemes by their visualisation shape: V (1F1B),
+// X (Chimera), W (Interleave).
+type Scheme string
+
+// Supported schemes.
+const (
+	SchemeGPipe      Scheme = "GPipe"
+	Scheme1F1B       Scheme = "1F1B"       // "V"
+	SchemeChimera    Scheme = "Chimera"    // "X"
+	SchemeInterleave Scheme = "Interleave" // "W"
+	SchemeHanayo     Scheme = "Hanayo"     // wave-like (extension)
+)
+
+// Shape returns the single-letter shape alias used in the paper's evaluation
+// (V, X, W); other schemes return their full name.
+func (s Scheme) Shape() string {
+	switch s {
+	case Scheme1F1B:
+		return "V"
+	case SchemeChimera:
+		return "X"
+	case SchemeInterleave:
+		return "W"
+	}
+	return string(s)
+}
+
+// ParseScheme resolves a scheme name or shape alias. It accepts both the
+// long names ("1F1B") and the paper's shape aliases ("V", "X", "W").
+func ParseScheme(name string) (Scheme, error) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "GPIPE":
+		return SchemeGPipe, nil
+	case "1F1B", "V":
+		return Scheme1F1B, nil
+	case "CHIMERA", "X":
+		return SchemeChimera, nil
+	case "INTERLEAVE", "W":
+		return SchemeInterleave, nil
+	case "HANAYO":
+		return SchemeHanayo, nil
+	}
+	return "", fmt.Errorf("pipeline: unknown scheme %q", name)
+}
+
+// Schedule is the expanded IR of one training iteration: one ordered
+// instruction list per device plus the placement that locates each (part,
+// stage) coordinate.
+type Schedule struct {
+	Scheme    Scheme
+	Placement Placement
+	// Micros is the number of micro-batches N in one iteration.
+	Micros int
+	// Lists holds the per-device instruction lists; Lists[d] is executed in
+	// order by device d.
+	Lists [][]Instr
+	// Checkpointed records whether the apply-checkpoint pass has run.
+	Checkpointed bool
+}
+
+// NumDevices returns the device count.
+func (s *Schedule) NumDevices() int { return s.Placement.NumDevices() }
+
+// NumStages returns the global stage count.
+func (s *Schedule) NumStages() int { return s.Placement.NumStages() }
+
+// Clone returns a deep copy of the schedule (instruction lists are copied;
+// the placement, which is immutable, is shared).
+func (s *Schedule) Clone() *Schedule {
+	c := *s
+	c.Lists = make([][]Instr, len(s.Lists))
+	for d, list := range s.Lists {
+		c.Lists[d] = append([]Instr(nil), list...)
+	}
+	return &c
+}
+
+// TotalInstrs returns the total number of instructions across all devices.
+func (s *Schedule) TotalInstrs() int {
+	n := 0
+	for _, l := range s.Lists {
+		n += len(l)
+	}
+	return n
+}
+
+// CountKind returns the number of instructions of the given kind on device
+// d, or across all devices when d is negative.
+func (s *Schedule) CountKind(d int, k Kind) int {
+	n := 0
+	for dev, l := range s.Lists {
+		if d >= 0 && dev != d {
+			continue
+		}
+		for _, in := range l {
+			if in.Kind == k {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Find returns the device and list index of the instruction with the given
+// key, or (-1, -1) if absent.
+func (s *Schedule) Find(key Key) (dev, idx int) {
+	for d, l := range s.Lists {
+		for i, in := range l {
+			if in.Key() == key {
+				return d, i
+			}
+		}
+	}
+	return -1, -1
+}
+
+// Index builds a lookup table from instruction key to (device, index).
+// The table is invalidated by any mutation of the schedule.
+func (s *Schedule) Index() map[Key][2]int {
+	m := make(map[Key][2]int, s.TotalInstrs())
+	for d, l := range s.Lists {
+		for i, in := range l {
+			m[in.Key()] = [2]int{d, i}
+		}
+	}
+	return m
+}
+
+// String renders a compact textual form of the schedule, one device per line.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s D=%d S=%d N=%d ckpt=%v\n",
+		s.Scheme, s.NumDevices(), s.NumStages(), s.Micros, s.Checkpointed)
+	for d, l := range s.Lists {
+		fmt.Fprintf(&b, "dev%d:", d)
+		for _, in := range l {
+			b.WriteByte(' ')
+			b.WriteString(in.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ComputeOnly returns a copy of the device list with communication and
+// collective instructions removed; useful for tests and visualisation.
+func ComputeOnly(list []Instr) []Instr {
+	var out []Instr
+	for _, in := range list {
+		if in.Kind.IsCompute() {
+			out = append(out, in)
+		}
+	}
+	return out
+}

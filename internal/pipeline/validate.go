@@ -1,0 +1,203 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalidSchedule wraps all validation failures so callers can test with
+// errors.Is.
+var ErrInvalidSchedule = errors.New("pipeline: invalid schedule")
+
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalidSchedule, fmt.Sprintf(format, args...))
+}
+
+// Validate checks the structural invariants every executable schedule must
+// satisfy, independent of the scheme that produced it:
+//
+//  1. every micro-batch runs Forward (or CkptForward) exactly once on every
+//     stage and Backward exactly once on every stage;
+//  2. instructions live on the device the placement assigns to their
+//     (part, stage) coordinate;
+//  3. per-device ordering: a stage's FW/CFW precedes its SA; RA precedes its
+//     FW/CFW; RG precedes its BW; BW precedes its SG; FW/CFW of (m,s)
+//     precedes BW of (m,s); a Recompute lies strictly between its CFW and BW;
+//  4. every SendAct/SendGrad has exactly one matching receive and vice versa;
+//  5. a Recompute exists for a (m,s) iff its forward is checkpointed and the
+//     pair was not reverted by remove-redundancy.
+func Validate(s *Schedule) error {
+	if s.Placement == nil {
+		return invalidf("nil placement")
+	}
+	if len(s.Lists) != s.NumDevices() {
+		return invalidf("have %d lists for %d devices", len(s.Lists), s.NumDevices())
+	}
+	if err := validateCoverage(s); err != nil {
+		return err
+	}
+	if err := validatePlacementAndOrder(s); err != nil {
+		return err
+	}
+	return validateCommMatching(s)
+}
+
+func validateCoverage(s *Schedule) error {
+	S := s.NumStages()
+	type cell struct{ fw, bw, bi, wg, rc int }
+	seen := make([][]cell, s.Micros)
+	for m := range seen {
+		seen[m] = make([]cell, S)
+	}
+	for d, list := range s.Lists {
+		for _, in := range list {
+			if in.Micro == NoMicro {
+				continue
+			}
+			if in.Micro < 0 || in.Micro >= s.Micros {
+				return invalidf("dev%d: %s has micro out of range [0,%d)", d, in, s.Micros)
+			}
+			if in.Stage < 0 || in.Stage >= S {
+				return invalidf("dev%d: %s has stage out of range [0,%d)", d, in, S)
+			}
+			c := &seen[in.Micro][in.Stage]
+			switch in.Kind {
+			case Forward, CkptForward:
+				c.fw++
+			case Backward:
+				c.bw++
+			case BackwardInput:
+				c.bi++
+			case BackwardWeight:
+				c.wg++
+			case Recompute:
+				c.rc++
+			}
+		}
+	}
+	for m := range seen {
+		for st, c := range seen[m] {
+			if c.fw != 1 {
+				return invalidf("micro %d stage %d: %d forward instructions, want 1", m, st, c.fw)
+			}
+			whole := c.bw == 1 && c.bi == 0 && c.wg == 0
+			split := c.bw == 0 && c.bi == 1 && c.wg == 1
+			if !whole && !split {
+				return invalidf("micro %d stage %d: backward counts BW=%d BI=%d WG=%d, want one BW or one BI+WG pair",
+					m, st, c.bw, c.bi, c.wg)
+			}
+			if c.rc > 1 {
+				return invalidf("micro %d stage %d: %d recomputes, want at most 1", m, st, c.rc)
+			}
+		}
+	}
+	return nil
+}
+
+func validatePlacementAndOrder(s *Schedule) error {
+	for d, list := range s.Lists {
+		// pos maps a key to its list index for intra-device order checks.
+		pos := make(map[Key]int, len(list))
+		for i, in := range list {
+			if in.Micro != NoMicro {
+				if got := s.Placement.Device(in.Part, in.Stage); got != d {
+					return invalidf("dev%d: %s belongs on dev%d per placement", d, in, got)
+				}
+			}
+			if _, dup := pos[in.Key()]; dup {
+				return invalidf("dev%d: duplicate instruction %s", d, in)
+			}
+			pos[in.Key()] = i
+		}
+		for _, in := range list {
+			i := pos[in.Key()]
+			switch in.Kind {
+			case SendAct:
+				if !in.Buffered {
+					if j, ok := findForward(pos, in.Micro, in.Part, in.Stage); !ok || j > i {
+						return invalidf("dev%d: %s not preceded by its forward", d, in)
+					}
+				} else {
+					// A buffered SA reads a staging buffer written by a
+					// preposed CFW; the CFW must still precede it.
+					if j, ok := pos[Key{Kind: CkptForward, Micro: in.Micro, Part: in.Part, Stage: in.Stage}]; !ok || j > i {
+						return invalidf("dev%d: buffered %s not preceded by its CFW", d, in)
+					}
+				}
+			case RecvAct:
+				if j, ok := findForward(pos, in.Micro, in.Part, in.Stage); !ok || j < i {
+					return invalidf("dev%d: %s not followed by its forward", d, in)
+				}
+			case RecvGrad:
+				if j, ok := findBackwardAnchor(pos, in.Micro, in.Part, in.Stage); !ok || j < i {
+					return invalidf("dev%d: %s not followed by its backward", d, in)
+				}
+			case SendGrad:
+				if j, ok := findBackwardAnchor(pos, in.Micro, in.Part, in.Stage); !ok || j > i {
+					return invalidf("dev%d: %s not preceded by its backward", d, in)
+				}
+			case BackwardWeight:
+				if j, ok := pos[Key{Kind: BackwardInput, Micro: in.Micro, Part: in.Part, Stage: in.Stage}]; !ok || j > i {
+					return invalidf("dev%d: %s not preceded by its input-gradient half", d, in)
+				}
+			case Backward, BackwardInput:
+				j, ok := findForward(pos, in.Micro, in.Part, in.Stage)
+				if !ok || j > i {
+					return invalidf("dev%d: %s not preceded by its forward", d, in)
+				}
+				// A checkpointed forward requires a recompute before the
+				// backward (after remove-redundancy the forward is reverted
+				// to a plain FW, so this stays an iff).
+				ckpt := list[j].Kind == CkptForward
+				r, hasRC := pos[Key{Kind: Recompute, Micro: in.Micro, Part: in.Part, Stage: in.Stage}]
+				if ckpt && (!hasRC || r < j || r > i) {
+					return invalidf("dev%d: %s checkpointed but recompute missing or misplaced", d, in)
+				}
+				if !ckpt && hasRC {
+					return invalidf("dev%d: %s has a recompute but its forward is not checkpointed", d, in)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// findForward locates the Forward or CkptForward for (m, part, stage).
+func findForward(pos map[Key]int, m, part, stage int) (int, bool) {
+	if j, ok := pos[Key{Kind: Forward, Micro: m, Part: part, Stage: stage}]; ok {
+		return j, true
+	}
+	j, ok := pos[Key{Kind: CkptForward, Micro: m, Part: part, Stage: stage}]
+	return j, ok
+}
+
+// findBackwardAnchor locates the Backward, or its input-gradient half when
+// split, for (m, part, stage) — the instruction gradient communication
+// anchors to.
+func findBackwardAnchor(pos map[Key]int, m, part, stage int) (int, bool) {
+	if j, ok := pos[Key{Kind: Backward, Micro: m, Part: part, Stage: stage}]; ok {
+		return j, true
+	}
+	j, ok := pos[Key{Kind: BackwardInput, Micro: m, Part: part, Stage: stage}]
+	return j, ok
+}
+
+func validateCommMatching(s *Schedule) error {
+	idx := s.Index()
+	for d, list := range s.Lists {
+		for _, in := range list {
+			if !in.Kind.IsComm() {
+				continue
+			}
+			mk := s.MatchKey(in)
+			loc, ok := idx[mk]
+			if !ok {
+				return invalidf("dev%d: %s has no matching %s", d, in, mk.Kind)
+			}
+			if peer := s.PeerDevice(d, in); loc[0] != peer {
+				return invalidf("dev%d: %s matches on dev%d, want dev%d", d, in, loc[0], peer)
+			}
+		}
+	}
+	return nil
+}

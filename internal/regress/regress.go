@@ -1,0 +1,129 @@
+// Package regress implements the least-squares linear regression
+// y = a·n + b used by Mario's lightweight profiling (§5.2): execution time,
+// static/dynamic memory and p2p time are all modelled as linear functions of
+// the number of transformer blocks (or micro-batches), with the bias b
+// capturing the framework overhead.
+package regress
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrDegenerate is returned when a fit is impossible (fewer than two points
+// or zero variance in x).
+var ErrDegenerate = errors.New("regress: degenerate input")
+
+// Linear is a fitted line y = A·x + B.
+type Linear struct {
+	A, B float64
+	// R2 is the coefficient of determination of the fit.
+	R2 float64
+}
+
+// Predict evaluates the line at x.
+func (l Linear) Predict(x float64) float64 { return l.A*x + l.B }
+
+// Fit performs ordinary least squares on the paired samples.
+func Fit(xs, ys []float64) (Linear, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return Linear{}, ErrDegenerate
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Linear{}, ErrDegenerate
+	}
+	a := sxy / sxx
+	b := my - a*mx
+	r2 := 1.0
+	if syy > 0 {
+		var ssRes float64
+		for i := range xs {
+			r := ys[i] - (a*xs[i] + b)
+			ssRes += r * r
+		}
+		r2 = 1 - ssRes/syy
+	}
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return Linear{}, ErrDegenerate
+	}
+	return Linear{A: a, B: b, R2: r2}, nil
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// MAPE returns the mean absolute percentage error of predictions against
+// ground truth, as used by the simulator-accuracy evaluation (§6.6). Pairs
+// with zero truth are skipped.
+func MAPE(truth, pred []float64) float64 {
+	if len(truth) != len(pred) {
+		panic("regress: MAPE length mismatch")
+	}
+	var sum float64
+	n := 0
+	for i := range truth {
+		if truth[i] == 0 {
+			continue
+		}
+		sum += math.Abs(pred[i]-truth[i]) / math.Abs(truth[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// KendallTau returns the Kendall rank-correlation coefficient between two
+// score vectors; 1 means the partial order is perfectly preserved. Used to
+// verify the simulator "preserves the partial order" of configurations
+// (§5.3, Fig. 10).
+func KendallTau(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("regress: KendallTau length mismatch")
+	}
+	n := len(a)
+	if n < 2 {
+		return 1
+	}
+	conc, disc := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pa, pb := a[i]-a[j], b[i]-b[j]
+			switch {
+			case pa*pb > 0:
+				conc++
+			case pa*pb < 0:
+				disc++
+			}
+		}
+	}
+	total := n * (n - 1) / 2
+	if total == 0 {
+		return 1
+	}
+	return float64(conc-disc) / float64(total)
+}

@@ -1,0 +1,135 @@
+package regress
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitExactLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x + 7
+	}
+	l, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.A-3) > 1e-12 || math.Abs(l.B-7) > 1e-12 {
+		t.Errorf("fit = %+v, want a=3 b=7", l)
+	}
+	if math.Abs(l.R2-1) > 1e-12 {
+		t.Errorf("R2 = %v, want 1", l.R2)
+	}
+	if got := l.Predict(10); math.Abs(got-37) > 1e-12 {
+		t.Errorf("Predict(10) = %v, want 37", got)
+	}
+}
+
+func TestFitNoisy(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := []float64{2.1, 3.9, 6.2, 7.8, 10.1, 11.9}
+	l, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.A-2) > 0.1 || math.Abs(l.B) > 0.3 {
+		t.Errorf("fit = %+v, want roughly a=2 b=0", l)
+	}
+	if l.R2 < 0.99 {
+		t.Errorf("R2 = %v too low for near-linear data", l.R2)
+	}
+}
+
+func TestFitDegenerate(t *testing.T) {
+	if _, err := Fit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := Fit([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("zero x-variance accepted")
+	}
+	if _, err := Fit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// TestFitRecoversLineProperty: fitting any non-degenerate exact line
+// recovers its parameters.
+func TestFitRecoversLineProperty(t *testing.T) {
+	f := func(a, b float64, n uint8) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		if math.Abs(a) > 1e6 || math.Abs(b) > 1e6 {
+			return true
+		}
+		m := int(n)%8 + 2
+		xs := make([]float64, m)
+		ys := make([]float64, m)
+		for i := range xs {
+			xs[i] = float64(i)
+			ys[i] = a*xs[i] + b
+		}
+		l, err := Fit(xs, ys)
+		if err != nil {
+			return false
+		}
+		scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+		return math.Abs(l.A-a) < 1e-6*scale && math.Abs(l.B-b) < 1e-6*scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestMAPE(t *testing.T) {
+	truth := []float64{10, 20, 0, 40}
+	pred := []float64{11, 18, 5, 44}
+	// errors: 10%, 10%, skipped, 10% → 10%
+	if got := MAPE(truth, pred); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("MAPE = %v, want 0.1", got)
+	}
+	if got := MAPE([]float64{0}, []float64{1}); got != 0 {
+		t.Errorf("all-zero-truth MAPE = %v", got)
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if got := KendallTau(a, a); got != 1 {
+		t.Errorf("identical order tau = %v", got)
+	}
+	rev := []float64{4, 3, 2, 1}
+	if got := KendallTau(a, rev); got != -1 {
+		t.Errorf("reversed order tau = %v", got)
+	}
+	if got := KendallTau([]float64{1}, []float64{5}); got != 1 {
+		t.Errorf("singleton tau = %v", got)
+	}
+}
+
+func TestPanicsOnMismatch(t *testing.T) {
+	for name, f := range map[string]func(){
+		"MAPE":       func() { MAPE([]float64{1}, []float64{1, 2}) },
+		"KendallTau": func() { KendallTau([]float64{1}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,227 @@
+package scheme
+
+import (
+	"mario/internal/pipeline"
+)
+
+// unit is one compute instruction to be placed by the greedy list scheduler.
+type unit struct {
+	kind  pipeline.Kind // Forward or Backward
+	micro int
+	part  int
+	stage int
+	dev   int
+
+	// dependency bookkeeping
+	waiting int     // unresolved predecessors
+	succs   []int   // indices of dependent units
+	ready   float64 // max finish time of resolved predecessors
+}
+
+// greedySchedule performs deterministic earliest-start list scheduling of
+// forward/backward units onto devices. It is used to merge Chimera's two
+// mirrored 1F1B pipelines into per-device instruction lists (the paper picks
+// its Chimera schedule from the released chimera_pipeline_rank.py; the greedy
+// merge reproduces its bidirectional bubble-overlap structure) and is also
+// the extension hook for exploring new pipeline shapes (§5.2,
+// "Visualization").
+//
+// Units are related by the virtual-pipeline dependencies: FW(m,s) after
+// FW(m,s-1); BW(m,s) after BW(m,s+1) and FW(m,s). Ordering decisions use the
+// canonical unit times (forward 1, backward 2) plus a small communication
+// epsilon so that cross-device transfers break ties deterministically.
+func greedySchedule(pl pipeline.Placement, micros []microAssign, fwTime, bwTime float64) [][]pipeline.Instr {
+	const commEps = 1e-3
+	S := pl.NumStages()
+	units := make([]unit, 0, 2*S*len(micros))
+	index := make(map[pipeline.Key]int)
+	for _, ma := range micros {
+		for s := 0; s < S; s++ {
+			part := ma.partAt(pl, s)
+			for _, k := range []pipeline.Kind{pipeline.Forward, pipeline.Backward} {
+				u := unit{kind: k, micro: ma.micro, part: part, stage: s, dev: pl.Device(part, s)}
+				index[pipeline.Key{Kind: k, Micro: ma.micro, Part: part, Stage: s}] = len(units)
+				units = append(units, u)
+			}
+		}
+	}
+	addDep := func(from, to pipeline.Key) {
+		f, t := index[from], index[to]
+		units[f].succs = append(units[f].succs, t)
+		units[t].waiting++
+	}
+	for _, ma := range micros {
+		for s := 0; s < S; s++ {
+			part := ma.partAt(pl, s)
+			fw := pipeline.Key{Kind: pipeline.Forward, Micro: ma.micro, Part: part, Stage: s}
+			bw := pipeline.Key{Kind: pipeline.Backward, Micro: ma.micro, Part: part, Stage: s}
+			addDep(fw, bw)
+			if s > 0 {
+				prev := pipeline.Key{Kind: pipeline.Forward, Micro: ma.micro, Part: ma.partAt(pl, s-1), Stage: s - 1}
+				addDep(prev, fw)
+				prevBW := pipeline.Key{Kind: pipeline.Backward, Micro: ma.micro, Part: ma.partAt(pl, s-1), Stage: s - 1}
+				addDep(bw, prevBW)
+			}
+		}
+	}
+	// 1F1B injection windows: within each partition (pipeline direction),
+	// the forward of the k-th micro-batch at stage s may not start before
+	// the backward of the (k-(S-s))-th micro-batch of the same partition at
+	// the same stage has finished. This bounds the in-flight micro-batches
+	// per direction at stage s to S-s — exactly the memory discipline of
+	// 1F1B — so the merged bidirectional schedule stays within Table 1's
+	// ≈D·Mθ peak instead of flooding early bubbles with forwards.
+	byPart := map[int][]microAssign{}
+	for _, ma := range micros {
+		byPart[ma.part] = append(byPart[ma.part], ma)
+	}
+	for _, seq := range byPart {
+		for k, ma := range seq {
+			for s := 0; s < S; s++ {
+				part := ma.partAt(pl, s)
+				w := S - s
+				if k-w < 0 {
+					continue
+				}
+				prev := seq[k-w]
+				addDep(
+					pipeline.Key{Kind: pipeline.Backward, Micro: prev.micro, Part: prev.partAt(pl, s), Stage: s},
+					pipeline.Key{Kind: pipeline.Forward, Micro: ma.micro, Part: part, Stage: s},
+				)
+			}
+		}
+	}
+
+	devFree := make([]float64, pl.NumDevices())
+	lists := make([][]pipeline.Instr, pl.NumDevices())
+	rq := &readyQueue{units: units}
+	for i := range units {
+		if units[i].waiting == 0 {
+			rq.idx = append(rq.idx, i)
+		}
+	}
+	for rq.Len() > 0 {
+		i := rq.popBest(devFree)
+		u := &units[i]
+		start := u.ready
+		if devFree[u.dev] > start {
+			start = devFree[u.dev]
+		}
+		dur := fwTime
+		if u.kind == pipeline.Backward {
+			dur = bwTime
+		}
+		finish := start + dur
+		devFree[u.dev] = finish
+		lists[u.dev] = append(lists[u.dev], pipeline.Instr{Kind: u.kind, Micro: u.micro, Part: u.part, Stage: u.stage})
+		for _, si := range u.succs {
+			s := &units[si]
+			arrive := finish
+			if s.dev != u.dev {
+				arrive += commEps
+			}
+			if arrive > s.ready {
+				s.ready = arrive
+			}
+			s.waiting--
+			if s.waiting == 0 {
+				rq.idx = append(rq.idx, si)
+			}
+		}
+	}
+	return lists
+}
+
+// microAssign assigns a micro-batch to a partition (pipeline direction or
+// chunk sequence).
+type microAssign struct {
+	micro int
+	part  int // fixed partition for bidirectional schemes
+}
+
+// partAt resolves the partition id the micro-batch uses at the given stage.
+func (ma microAssign) partAt(pl pipeline.Placement, stage int) int {
+	if ip, ok := pl.(pipeline.InterleavedPlacement); ok {
+		return ip.PartOfStage(stage)
+	}
+	return ma.part
+}
+
+// readyQueue holds the indices of schedulable units. popBest selects the
+// unit with the minimal effective start; among equals it prefers backwards
+// over forwards (bounding activation memory) and then lower micro ids for
+// determinism.
+type readyQueue struct {
+	units []unit
+	idx   []int
+}
+
+// Len returns the number of schedulable units.
+func (q *readyQueue) Len() int { return len(q.idx) }
+
+// popBest removes and returns the best schedulable unit: minimal effective
+// start time max(ready, devFree), then Backward before Forward, then lowest
+// micro, part and stage ids.
+func (q *readyQueue) popBest(devFree []float64) int {
+	best := -1
+	for pos, i := range q.idx {
+		if best == -1 || q.better(i, q.idx[best], devFree) {
+			best = pos
+		}
+	}
+	i := q.idx[best]
+	q.idx[best] = q.idx[len(q.idx)-1]
+	q.idx = q.idx[:len(q.idx)-1]
+	return i
+}
+
+func (q *readyQueue) better(a, b int, devFree []float64) bool {
+	ua, ub := q.units[a], q.units[b]
+	ea, eb := ua.ready, ub.ready
+	if devFree[ua.dev] > ea {
+		ea = devFree[ua.dev]
+	}
+	if devFree[ub.dev] > eb {
+		eb = devFree[ub.dev]
+	}
+	if ea != eb {
+		return ea < eb
+	}
+	if (ua.kind == pipeline.Backward) != (ub.kind == pipeline.Backward) {
+		return ua.kind == pipeline.Backward
+	}
+	if ua.micro != ub.micro {
+		return ua.micro < ub.micro
+	}
+	if ua.part != ub.part {
+		return ua.part < ub.part
+	}
+	return ua.stage < ub.stage
+}
+
+// buildChimera constructs the bidirectional "X"-shape schedule: micro-batches
+// are split between the up pipeline (part 0, stage s on device s) and the
+// down pipeline (part 1, stage s on device D-1-s) in alternating blocks of
+// D/2 per wave, then the two streams are merged per device by the greedy
+// scheduler.
+func buildChimera(cfg Config) *pipeline.Schedule {
+	d, n := cfg.Devices, cfg.Micros
+	pl := pipeline.NewBidirPlacement(d)
+	half := d / 2
+	micros := make([]microAssign, n)
+	for m := 0; m < n; m++ {
+		// Waves of D micro-batches: the first D/2 flow up, the next D/2 down.
+		if (m/half)%2 == 0 {
+			micros[m] = microAssign{micro: m, part: 0}
+		} else {
+			micros[m] = microAssign{micro: m, part: 1}
+		}
+	}
+	lists := greedySchedule(pl, micros, 1, 2)
+	return &pipeline.Schedule{
+		Scheme:    pipeline.SchemeChimera,
+		Placement: pl,
+		Micros:    n,
+		Lists:     lists,
+	}
+}

@@ -1,0 +1,194 @@
+// Package scheme generates the initial per-device instruction lists for the
+// pipeline parallelism schemes Mario supports: GPipe, 1F1B ("V"), Chimera
+// ("X") and Interleave ("W"). The generated schedules are the input of the
+// graph tuner (internal/graph); they carry explicit communication
+// instructions and pass pipeline.Validate.
+package scheme
+
+import (
+	"fmt"
+
+	"mario/internal/pipeline"
+)
+
+// Config parameterises schedule generation.
+type Config struct {
+	// Devices is the pipeline-parallel dimension D (one device per pipeline
+	// rank).
+	Devices int
+	// Micros is the number of micro-batches N in one training iteration.
+	Micros int
+	// Chunks is the number of model chunks per device for Interleave
+	// ("W"-shape); ignored by other schemes. Defaults to 2.
+	Chunks int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Chunks == 0 {
+		c.Chunks = 2
+	}
+	return c
+}
+
+func (c Config) check(s pipeline.Scheme) error {
+	if c.Devices <= 0 {
+		return fmt.Errorf("scheme: %s: device count %d must be positive", s, c.Devices)
+	}
+	if c.Micros <= 0 {
+		return fmt.Errorf("scheme: %s: micro-batch count %d must be positive", s, c.Micros)
+	}
+	switch s {
+	case pipeline.SchemeChimera:
+		if c.Devices%2 != 0 {
+			return fmt.Errorf("scheme: Chimera requires an even device count, got %d", c.Devices)
+		}
+	case pipeline.SchemeInterleave:
+		if c.Chunks < 1 {
+			return fmt.Errorf("scheme: Interleave chunk count %d must be positive", c.Chunks)
+		}
+		if c.Micros%c.Devices != 0 {
+			return fmt.Errorf("scheme: Interleave requires micros (%d) divisible by devices (%d)", c.Micros, c.Devices)
+		}
+	}
+	return nil
+}
+
+// Build expands the named scheme into a validated schedule with explicit
+// communication instructions.
+func Build(s pipeline.Scheme, cfg Config) (*pipeline.Schedule, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.check(s); err != nil {
+		return nil, err
+	}
+	var sched *pipeline.Schedule
+	switch s {
+	case pipeline.SchemeGPipe:
+		sched = buildGPipe(cfg)
+	case pipeline.Scheme1F1B:
+		sched = build1F1B(cfg)
+	case pipeline.SchemeChimera:
+		sched = buildChimera(cfg)
+	case pipeline.SchemeInterleave:
+		sched = buildInterleave(cfg)
+	default:
+		return nil, fmt.Errorf("scheme: unsupported scheme %q", s)
+	}
+	pipeline.InsertComm(sched)
+	if err := pipeline.Validate(sched); err != nil {
+		return nil, fmt.Errorf("scheme: generated %s schedule is invalid: %w", s, err)
+	}
+	return sched, nil
+}
+
+// buildGPipe emits all forwards followed by all backwards in reverse
+// micro-batch order (GPipe's fill-drain schedule).
+func buildGPipe(cfg Config) *pipeline.Schedule {
+	d := cfg.Devices
+	sched := &pipeline.Schedule{
+		Scheme:    pipeline.SchemeGPipe,
+		Placement: pipeline.NewLinearPlacement(d),
+		Micros:    cfg.Micros,
+		Lists:     make([][]pipeline.Instr, d),
+	}
+	for dev := 0; dev < d; dev++ {
+		list := make([]pipeline.Instr, 0, 2*cfg.Micros)
+		for m := 0; m < cfg.Micros; m++ {
+			list = append(list, pipeline.Instr{Kind: pipeline.Forward, Micro: m, Stage: dev})
+		}
+		for m := cfg.Micros - 1; m >= 0; m-- {
+			list = append(list, pipeline.Instr{Kind: pipeline.Backward, Micro: m, Stage: dev})
+		}
+		sched.Lists[dev] = list
+	}
+	return sched
+}
+
+// build1F1B emits the one-forward-one-backward schedule of DAPPLE /
+// PipeDream-Flush: device d runs D-1-d warm-up forwards, then alternates
+// forward and backward in the steady phase, then drains the remaining
+// backwards.
+func build1F1B(cfg Config) *pipeline.Schedule {
+	d := cfg.Devices
+	n := cfg.Micros
+	sched := &pipeline.Schedule{
+		Scheme:    pipeline.Scheme1F1B,
+		Placement: pipeline.NewLinearPlacement(d),
+		Micros:    n,
+		Lists:     make([][]pipeline.Instr, d),
+	}
+	for dev := 0; dev < d; dev++ {
+		warmup := d - 1 - dev
+		if warmup > n {
+			warmup = n
+		}
+		list := make([]pipeline.Instr, 0, 2*n)
+		for m := 0; m < warmup; m++ {
+			list = append(list, pipeline.Instr{Kind: pipeline.Forward, Micro: m, Stage: dev})
+		}
+		for j := 0; j < n-warmup; j++ {
+			list = append(list,
+				pipeline.Instr{Kind: pipeline.Forward, Micro: warmup + j, Stage: dev},
+				pipeline.Instr{Kind: pipeline.Backward, Micro: j, Stage: dev},
+			)
+		}
+		for m := n - warmup; m < n; m++ {
+			list = append(list, pipeline.Instr{Kind: pipeline.Backward, Micro: m, Stage: dev})
+		}
+		sched.Lists[dev] = list
+	}
+	return sched
+}
+
+// buildInterleave emits Megatron-LM's interleaved 1F1B schedule with
+// cfg.Chunks model chunks per device. A device processes micro-batches in
+// groups of D per chunk; forwards walk the chunks in ascending order and
+// backwards in descending order, interleaved 1F1B-style after a warm-up of
+// (D-1-d)*2 + (V-1)*D forward units.
+func buildInterleave(cfg Config) *pipeline.Schedule {
+	d, v, n := cfg.Devices, cfg.Chunks, cfg.Micros
+	sched := &pipeline.Schedule{
+		Scheme:    pipeline.SchemeInterleave,
+		Placement: pipeline.NewInterleavedPlacement(d, v),
+		Micros:    n,
+		Lists:     make([][]pipeline.Instr, d),
+	}
+	total := n * v
+	group := d * v
+	// fwUnit maps the k-th forward unit executed by a device to its
+	// (micro, chunk) coordinates, per Megatron's get_model_chunk_id.
+	fwUnit := func(k int) (micro, chunk int) {
+		g, r := k/group, k%group
+		return g*d + r%d, r / d
+	}
+	bwUnit := func(k int) (micro, chunk int) {
+		g, r := k/group, k%group
+		return g*d + r%d, v - 1 - r/d
+	}
+	for dev := 0; dev < d; dev++ {
+		warmup := (d-1-dev)*2 + (v-1)*d
+		if warmup > total {
+			warmup = total
+		}
+		list := make([]pipeline.Instr, 0, 2*total)
+		emitF := func(k int) {
+			m, c := fwUnit(k)
+			list = append(list, pipeline.Instr{Kind: pipeline.Forward, Micro: m, Part: c, Stage: c*d + dev})
+		}
+		emitB := func(k int) {
+			m, c := bwUnit(k)
+			list = append(list, pipeline.Instr{Kind: pipeline.Backward, Micro: m, Part: c, Stage: c*d + dev})
+		}
+		for k := 0; k < warmup; k++ {
+			emitF(k)
+		}
+		for j := 0; j < total-warmup; j++ {
+			emitF(warmup + j)
+			emitB(j)
+		}
+		for k := total - warmup; k < total; k++ {
+			emitB(k)
+		}
+		sched.Lists[dev] = list
+	}
+	return sched
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"mario/internal/cost"
+	"mario/internal/pipeline"
+)
+
+// simulateMemory performs the device-level memory simulation of §5.2: static
+// memory (framework + per-stage training state) is accumulated once, and the
+// dynamic activation memory is tracked instruction by instruction in list
+// order, recording the peak.
+//
+// Accounting rules (per micro-batch m on stage s):
+//
+//   - Forward     +ActFull[s]      retained until the Backward releases it;
+//   - CkptForward +ActStash[s]     only the stage input survives; while the
+//     instruction runs the transient working set ActWork[s] is also live;
+//   - Recompute   +ActFull[s]      the activations are restored and live
+//     until the Backward;
+//   - Backward    −ActFull[s] and, if the forward was checkpointed,
+//     −ActStash[s]; while it runs the ActWork[s] gradient working set is
+//     live;
+//   - a Buffered SendAct holds the stage output (ActP2PBytes) from its
+//     CkptForward until the send executes (§5.1 pass 4, scenario 2).
+func simulateMemory(s *pipeline.Schedule, e *cost.Estimator, res *Result) {
+	copy(res.PeakMem, PeakMemory(s, e))
+}
+
+// PeakMemory returns the per-device peak memory of the schedule under the
+// estimator's memory model, without running the timing simulation. The
+// cluster emulator reuses it as the allocator ground truth.
+func PeakMemory(s *pipeline.Schedule, e *cost.Estimator) []float64 {
+	peaks := make([]float64, s.NumDevices())
+	for d, list := range s.Lists {
+		static := e.FrameworkMem
+		for _, st := range deviceStages(s, d) {
+			static += e.WeightBytes[st]
+		}
+		cur := static
+		peak := cur
+
+		// bufferedSA marks (micro, stage) pairs whose SendAct is buffered,
+		// so the CkptForward must allocate the staging buffer; ckpted marks
+		// pairs whose forward ran checkpointed, so the Backward also
+		// releases the stash. Both are flat bitmaps indexed micro*S+stage.
+		S := s.NumStages()
+		cell := func(in pipeline.Instr) int { return in.Micro*S + in.Stage }
+		bufferedSA := make([]bool, s.Micros*S)
+		ckpted := make([]bool, s.Micros*S)
+		for _, in := range list {
+			if in.Kind == pipeline.SendAct && in.Buffered {
+				bufferedSA[cell(in)] = true
+			}
+		}
+
+		bump := func(v float64) {
+			cur += v
+			if cur > peak {
+				peak = cur
+			}
+		}
+		transient := func(v float64) {
+			if cur+v > peak {
+				peak = cur + v
+			}
+		}
+
+		for _, in := range list {
+			switch in.Kind {
+			case pipeline.Forward:
+				bump(e.ActFull[in.Stage])
+			case pipeline.CkptForward:
+				transient(e.ActWork[in.Stage])
+				bump(e.ActStash[in.Stage])
+				ckpted[cell(in)] = true
+				if bufferedSA[cell(in)] {
+					bump(e.ActP2PBytes)
+				}
+			case pipeline.Recompute:
+				bump(e.ActFull[in.Stage])
+			case pipeline.Backward, pipeline.BackwardWeight:
+				// A whole backward releases the activations when it
+				// finishes; a split backward holds them until the deferred
+				// weight-gradient half runs (ZB-H1's memory trade-off).
+				transient(e.ActWork[in.Stage])
+				cur -= e.ActFull[in.Stage]
+				if ckpted[cell(in)] {
+					cur -= e.ActStash[in.Stage]
+				}
+			case pipeline.BackwardInput:
+				transient(e.ActWork[in.Stage])
+			case pipeline.SendAct:
+				if in.Buffered {
+					cur -= e.ActP2PBytes
+				}
+			}
+		}
+		peaks[d] = peak
+	}
+	return peaks
+}

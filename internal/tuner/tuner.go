@@ -1,0 +1,242 @@
+// Package tuner implements Mario's automatic schedule tuner (§5.3): a grid
+// search over Equation 1's parameters — checkpointing on/off, pipeline
+// scheme, PP dimension, DP dimension, micro-batch size — maximising the
+// simulator-estimated training throughput under the device-memory
+// constraint. Configurations that the simulator predicts to exceed device
+// memory score zero (the paper's OOM penalty), and a data-parallel
+// efficiency coefficient models DP scaling.
+package tuner
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mario/internal/graph"
+	"mario/internal/pipeline"
+	"mario/internal/profile"
+	"mario/internal/scheme"
+	"mario/internal/sim"
+)
+
+// Space is the search space of Equation 1.
+type Space struct {
+	// Devices is the total accelerator count D.
+	Devices int
+	// GlobalBatch is the fixed global batch size (samples per iteration).
+	GlobalBatch int
+	// Schemes lists the candidate pipeline schemes b; nil means {V, X, W}.
+	Schemes []pipeline.Scheme
+	// Checkpoint lists the candidate values of a; nil means {false, true}.
+	Checkpoint []bool
+	// MinPP and MaxPP bound the pipeline-parallel dimension; zero values
+	// default to the paper's 4 ≤ pp ≤ D.
+	MinPP, MaxPP int
+	// MicroBatches lists candidate micro-batch sizes; nil means powers of
+	// two up to 32.
+	MicroBatches []int
+	// TP is the fixed tensor-parallel degree (Equation 1 keeps it
+	// constant); 0 means 1. TP devices are in addition to Devices.
+	TP int
+	// DeviceMem is the per-device memory budget dmem in bytes; zero
+	// disables the OOM penalty.
+	DeviceMem float64
+	// Chunks is the Interleave model-chunk count; 0 means 2.
+	Chunks int
+}
+
+func (s Space) withDefaults() Space {
+	if s.Schemes == nil {
+		s.Schemes = []pipeline.Scheme{pipeline.Scheme1F1B, pipeline.SchemeChimera, pipeline.SchemeInterleave}
+	}
+	if s.Checkpoint == nil {
+		s.Checkpoint = []bool{false, true}
+	}
+	if s.MinPP <= 0 {
+		s.MinPP = 4
+		if s.MinPP > s.Devices {
+			s.MinPP = s.Devices
+		}
+	}
+	if s.MaxPP <= 0 || s.MaxPP > s.Devices {
+		s.MaxPP = s.Devices
+	}
+	if s.MicroBatches == nil {
+		s.MicroBatches = []int{1, 2, 4, 8, 16, 32}
+	}
+	if s.TP <= 0 {
+		s.TP = 1
+	}
+	if s.Chunks <= 0 {
+		s.Chunks = 2
+	}
+	return s
+}
+
+// Candidate is one evaluated configuration. The paper labels candidates
+// x-y-z = scheme-PP-mbs.
+type Candidate struct {
+	Scheme     pipeline.Scheme
+	Ckpt       bool
+	PP, DP     int
+	MicroBatch int
+	Micros     int
+	// Throughput is the estimated end-to-end samples/sec (0 when the
+	// simulator predicts OOM).
+	Throughput float64
+	// OOM reports the memory penalty.
+	OOM bool
+	// Result and Schedule hold the winning simulation artifacts (nil for
+	// infeasible candidates).
+	Result   *sim.Result
+	Schedule *pipeline.Schedule
+}
+
+// Label renders the paper's x-y-z naming plus the Mario flag.
+func (c Candidate) Label() string {
+	tag := "base"
+	if c.Ckpt {
+		tag = "mario"
+	}
+	return fmt.Sprintf("%s-%d-%d(%s)", c.Scheme.Shape(), c.PP, c.MicroBatch, tag)
+}
+
+// Tuner runs the grid search using a profiler as the estimator source E and
+// the simulator as the performance model F.
+type Tuner struct {
+	Prof *profile.Profiler
+	// DPEfficiency is the per-doubling data-parallel scaling coefficient
+	// (0 < eff ≤ 1); 0 means 0.97.
+	DPEfficiency float64
+	// MaxRounds bounds the prepose search inside graph.Optimize; 0 means 8.
+	MaxRounds int
+	// SplitBackward additionally tries the ZB-H1-style split-backward
+	// transformation on each checkpointed candidate, keeping it when the
+	// simulator confirms an improvement within the memory budget.
+	SplitBackward bool
+}
+
+func (t *Tuner) dpEff(dp int) float64 {
+	eff := t.DPEfficiency
+	if eff <= 0 {
+		eff = 0.97
+	}
+	if dp <= 1 {
+		return 1
+	}
+	return math.Pow(eff, math.Log2(float64(dp)))
+}
+
+// Search enumerates the space and returns the best candidate plus the full
+// evaluation trace in iteration order (the throughput curve of Fig. 11).
+func (t *Tuner) Search(space Space) (*Candidate, []Candidate, error) {
+	space = space.withDefaults()
+	if space.Devices <= 0 || space.GlobalBatch <= 0 {
+		return nil, nil, fmt.Errorf("tuner: devices (%d) and global batch (%d) must be positive", space.Devices, space.GlobalBatch)
+	}
+	var trace []Candidate
+	var best *Candidate
+	for _, b := range space.Schemes {
+		for _, a := range space.Checkpoint {
+			for pp := space.MinPP; pp <= space.MaxPP; pp++ {
+				if space.Devices%pp != 0 {
+					continue
+				}
+				dp := space.Devices / pp
+				for _, mbs := range space.MicroBatches {
+					c := t.evaluate(space, b, a, pp, dp, mbs)
+					if c == nil {
+						continue
+					}
+					trace = append(trace, *c)
+					if best == nil || c.Throughput > best.Throughput {
+						cc := *c
+						best = &cc
+					}
+				}
+			}
+		}
+	}
+	if best == nil {
+		return nil, nil, fmt.Errorf("tuner: no feasible configuration in the search space")
+	}
+	return best, trace, nil
+}
+
+// evaluate scores a single grid point; it returns nil for structurally
+// impossible points (indivisible batch, scheme constraints, too few layers)
+// and a zero-throughput candidate for OOM points.
+func (t *Tuner) evaluate(space Space, b pipeline.Scheme, ckpt bool, pp, dp, mbs int) *Candidate {
+	if space.GlobalBatch%(mbs*dp) != 0 {
+		return nil
+	}
+	micros := space.GlobalBatch / (mbs * dp)
+	if micros < 1 {
+		return nil
+	}
+	cfg := scheme.Config{Devices: pp, Micros: micros, Chunks: space.Chunks}
+	stages := pp
+	if b == pipeline.SchemeInterleave {
+		stages = pp * space.Chunks
+	}
+	if t.Prof.Model.Layers < stages {
+		return nil
+	}
+	sched, err := scheme.Build(b, cfg)
+	if err != nil {
+		return nil // scheme constraint (odd Chimera, indivisible Interleave, …)
+	}
+	est, err := t.Prof.EstimatorFor(stages, mbs, space.TP)
+	if err != nil {
+		return nil
+	}
+	simOpts := sim.Options{DP: dp, MemLimit: space.DeviceMem}
+	cand := &Candidate{Scheme: b, Ckpt: ckpt, PP: pp, DP: dp, MicroBatch: mbs, Micros: micros}
+	var res *sim.Result
+	if ckpt {
+		maxRounds := t.MaxRounds
+		if maxRounds <= 0 {
+			maxRounds = 8
+		}
+		gopts := graph.Options{Estimator: est, Sim: simOpts, MaxRounds: maxRounds}
+		opt, r, err := graph.Optimize(sched, gopts)
+		if err != nil {
+			return nil
+		}
+		sched, res = opt, r
+		if t.SplitBackward {
+			if split, sr, err := graph.SplitBackward(sched, gopts); err == nil &&
+				sr.Total < res.Total && !(simOpts.MemLimit > 0 && sr.OOM) {
+				sched, res = split, sr
+			}
+		}
+	} else {
+		r, err := sim.Simulate(sched, est, simOpts)
+		if err != nil {
+			return nil
+		}
+		res = r
+	}
+	cand.Result = res
+	cand.Schedule = sched
+	if res.OOM {
+		cand.OOM = true
+		cand.Throughput = 0 // Equation 1's memory penalty
+		return cand
+	}
+	cand.Throughput = res.SamplesPerSec * t.dpEff(dp)
+	return cand
+}
+
+// Rank returns the trace sorted by descending throughput (stable on labels
+// for determinism).
+func Rank(trace []Candidate) []Candidate {
+	out := append([]Candidate(nil), trace...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Throughput != out[j].Throughput {
+			return out[i].Throughput > out[j].Throughput
+		}
+		return out[i].Label() < out[j].Label()
+	})
+	return out
+}

@@ -1,0 +1,168 @@
+package tuner
+
+import (
+	"testing"
+
+	"mario/internal/cost"
+	"mario/internal/pipeline"
+	"mario/internal/profile"
+)
+
+func newTuner() *Tuner {
+	return &Tuner{
+		Prof: &profile.Profiler{
+			Model:   cost.LLaMA2_3B,
+			HW:      cost.A100_40G,
+			Spec:    profile.DefaultMachine,
+			Devices: 4,
+			Iters:   4,
+		},
+		MaxRounds: 3,
+	}
+}
+
+func TestSearchFindsFeasibleBest(t *testing.T) {
+	tn := newTuner()
+	best, trace, err := tn.Search(Space{
+		Devices:      8,
+		GlobalBatch:  32,
+		MicroBatches: []int{1, 2},
+		DeviceMem:    cost.A100_40G.MemBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Throughput <= 0 {
+		t.Fatalf("best candidate has throughput %v", best.Throughput)
+	}
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	for _, c := range trace {
+		if c.Throughput > best.Throughput {
+			t.Errorf("trace candidate %s (%v) beats reported best %s (%v)", c.Label(), c.Throughput, best.Label(), best.Throughput)
+		}
+		if c.PP*c.DP != 8 {
+			t.Errorf("%s: pp*dp = %d, want 8", c.Label(), c.PP*c.DP)
+		}
+		if c.Micros*c.MicroBatch*c.DP != 32 {
+			t.Errorf("%s: micros*mbs*dp = %d, want global batch 32", c.Label(), c.Micros*c.MicroBatch*c.DP)
+		}
+	}
+}
+
+// TestCheckpointExtendsFeasibility: with a tight memory budget, only
+// checkpointed (Mario) configurations survive; without checkpointing the
+// imbalanced activation memory blows the budget.
+func TestCheckpointExtendsFeasibility(t *testing.T) {
+	tn := newTuner()
+	// A budget chosen so the 1F1B base config OOMs on device 0 but the
+	// checkpointed one fits.
+	est, err := tn.Prof.EstimatorFor(8, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := est.FrameworkMem + est.WeightBytes[0] + 4*est.ActFull[0]
+	best, trace, err := tn.Search(Space{
+		Devices:      8,
+		GlobalBatch:  32,
+		MicroBatches: []int{2},
+		MinPP:        8,
+		Schemes:      []pipeline.Scheme{pipeline.Scheme1F1B},
+		DeviceMem:    budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !best.Ckpt {
+		t.Errorf("best under tight memory should be checkpointed, got %s", best.Label())
+	}
+	sawBaseOOM := false
+	for _, c := range trace {
+		if !c.Ckpt && c.OOM {
+			sawBaseOOM = true
+			if c.Throughput != 0 {
+				t.Errorf("OOM candidate %s has non-zero throughput %v", c.Label(), c.Throughput)
+			}
+		}
+	}
+	if !sawBaseOOM {
+		t.Error("expected the base configuration to hit the OOM penalty")
+	}
+}
+
+func TestDPEfficiency(t *testing.T) {
+	tn := &Tuner{DPEfficiency: 0.9}
+	if got := tn.dpEff(1); got != 1 {
+		t.Errorf("dpEff(1) = %v", got)
+	}
+	if got := tn.dpEff(2); got != 0.9 {
+		t.Errorf("dpEff(2) = %v", got)
+	}
+	if got, want := tn.dpEff(4), 0.81; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("dpEff(4) = %v, want %v", got, want)
+	}
+}
+
+func TestSearchRejectsEmpty(t *testing.T) {
+	tn := newTuner()
+	if _, _, err := tn.Search(Space{Devices: 0, GlobalBatch: 8}); err == nil {
+		t.Error("zero devices accepted")
+	}
+	// Micro-batch sizes that never divide the global batch leave nothing.
+	if _, _, err := tn.Search(Space{Devices: 8, GlobalBatch: 7, MicroBatches: []int{16}, MinPP: 8}); err == nil {
+		t.Error("infeasible space should error")
+	}
+}
+
+func TestRank(t *testing.T) {
+	trace := []Candidate{
+		{Scheme: pipeline.Scheme1F1B, PP: 4, MicroBatch: 1, Throughput: 5},
+		{Scheme: pipeline.Scheme1F1B, PP: 8, MicroBatch: 2, Throughput: 9},
+		{Scheme: pipeline.SchemeChimera, PP: 8, MicroBatch: 2, Throughput: 7},
+	}
+	ranked := Rank(trace)
+	if ranked[0].Throughput != 9 || ranked[2].Throughput != 5 {
+		t.Errorf("Rank order wrong: %v", ranked)
+	}
+	if trace[0].Throughput != 5 {
+		t.Error("Rank mutated its input")
+	}
+}
+
+func TestCandidateLabel(t *testing.T) {
+	c := Candidate{Scheme: pipeline.SchemeChimera, Ckpt: true, PP: 16, MicroBatch: 4}
+	if got, want := c.Label(), "X-16-4(mario)"; got != want {
+		t.Errorf("Label = %q, want %q", got, want)
+	}
+}
+
+// TestSplitBackwardMode: enabling the ZB-H1 extension never lowers the best
+// throughput (it is only kept when the simulator confirms a win) and the
+// winning schedule may contain split backwards.
+func TestSplitBackwardMode(t *testing.T) {
+	space := Space{
+		Devices:      8,
+		GlobalBatch:  32,
+		MicroBatches: []int{2},
+		MinPP:        8,
+		Schemes:      []pipeline.Scheme{pipeline.Scheme1F1B},
+		Checkpoint:   []bool{true},
+		DeviceMem:    cost.A100_40G.MemBytes,
+	}
+	plain := newTuner()
+	bestPlain, _, err := plain.Search(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zb := newTuner()
+	zb.SplitBackward = true
+	bestZB, _, err := zb.Search(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestZB.Throughput < bestPlain.Throughput-1e-9 {
+		t.Errorf("split-backward mode regressed: %v vs %v", bestZB.Throughput, bestPlain.Throughput)
+	}
+	t.Logf("plain %v, with split backward %v", bestPlain.Throughput, bestZB.Throughput)
+}

@@ -1,0 +1,219 @@
+// Package viz renders pipeline schedules and simulated timelines (§5.2
+// "Visualization", Fig. 5): an ASCII Gantt chart for terminals, an SVG
+// export, and a Chrome-trace JSON export loadable in chrome://tracing or
+// Perfetto. Visualisation lets users observe pipeline execution states and
+// bubble distribution instead of relying solely on throughput numbers.
+package viz
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"mario/internal/pipeline"
+	"mario/internal/sim"
+)
+
+// cell is the glyph per instruction kind in the ASCII chart.
+func cell(k pipeline.Kind) byte {
+	switch k {
+	case pipeline.Forward:
+		return 'F'
+	case pipeline.CkptForward:
+		return 'C'
+	case pipeline.Backward:
+		return 'B'
+	case pipeline.Recompute:
+		return 'R'
+	case pipeline.AllReduce:
+		return 'A'
+	case pipeline.OptimizerStep:
+		return 'O'
+	case pipeline.BackwardInput:
+		return 'b'
+	case pipeline.BackwardWeight:
+		return 'w'
+	}
+	return '.'
+}
+
+// ASCII renders the simulated timeline as a Gantt chart with one row per
+// device and one column per time quantum; bubbles appear as spaces.
+// Communication instructions are omitted (they overlap compute in the
+// charts of the paper). quantum ≤ 0 picks one that fits the chart into
+// width ~160 columns.
+func ASCII(res *sim.Result, quantum float64) string {
+	if quantum <= 0 {
+		quantum = res.Total / 160
+		if quantum <= 0 {
+			quantum = 1
+		}
+	}
+	var b strings.Builder
+	cols := int(math.Ceil(res.Total/quantum)) + 1
+	for d, spans := range res.Timeline {
+		row := make([]byte, cols)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, sp := range spans {
+			if !sp.Instr.Kind.IsCompute() {
+				continue
+			}
+			lo := int(sp.Start / quantum)
+			hi := int(math.Ceil(sp.End / quantum))
+			if hi <= lo {
+				hi = lo + 1
+			}
+			g := cell(sp.Instr.Kind)
+			for i := lo; i < hi && i < cols; i++ {
+				row[i] = g
+			}
+		}
+		fmt.Fprintf(&b, "dev%-2d |%s|\n", d, strings.TrimRight(string(row), " "))
+	}
+	fmt.Fprintf(&b, "total %.4g (F=forward C=ckpt-forward B=backward R=recompute A=allreduce O=optstep)\n", res.Total)
+	return b.String()
+}
+
+// ScheduleASCII renders an unsimulated schedule grid: one column per list
+// position, useful for eyeballing instruction order before timing exists.
+func ScheduleASCII(s *pipeline.Schedule) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s D=%d N=%d\n", s.Scheme, s.NumDevices(), s.Micros)
+	for d, list := range s.Lists {
+		fmt.Fprintf(&b, "dev%-2d |", d)
+		for _, in := range list {
+			if !in.Kind.IsCompute() {
+				continue
+			}
+			fmt.Fprintf(&b, "%c%-2d", cell(in.Kind), in.Micro)
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+// svgColor maps kinds to fill colours.
+func svgColor(k pipeline.Kind) string {
+	switch k {
+	case pipeline.Forward:
+		return "#4C78A8"
+	case pipeline.CkptForward:
+		return "#72B7B2"
+	case pipeline.Backward:
+		return "#F58518"
+	case pipeline.Recompute:
+		return "#E45756"
+	case pipeline.AllReduce:
+		return "#B279A2"
+	case pipeline.OptimizerStep:
+		return "#54A24B"
+	}
+	return "#BAB0AC"
+}
+
+// SVG writes the timeline as a standalone SVG document.
+func SVG(w io.Writer, res *sim.Result) error {
+	const rowH, pad, width = 28, 4, 1200
+	if res.Total <= 0 {
+		return fmt.Errorf("viz: empty timeline")
+	}
+	scale := float64(width-2*pad) / res.Total
+	height := len(res.Timeline)*rowH + 2*pad
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="10">`+"\n",
+		width, height); err != nil {
+		return err
+	}
+	for d, spans := range res.Timeline {
+		y := pad + d*rowH
+		for _, sp := range spans {
+			if !sp.Instr.Kind.IsCompute() {
+				continue
+			}
+			x := pad + int(sp.Start*scale)
+			wd := int((sp.End - sp.Start) * scale)
+			if wd < 1 {
+				wd = 1
+			}
+			if _, err := fmt.Fprintf(w,
+				`<rect x="%d" y="%d" width="%d" height="%d" fill="%s"><title>dev%d %s [%.4g,%.4g]</title></rect>`+"\n",
+				x, y, wd, rowH-6, svgColor(sp.Instr.Kind), d, sp.Instr, sp.Start, sp.End); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, `<text x="%d" y="%d" fill="#333">dev%d</text>`+"\n", pad, y+rowH-10, d); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "</svg>\n")
+	return err
+}
+
+// traceEvent is one Chrome-trace "complete" event.
+type traceEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+}
+
+// ChromeTrace writes the timeline in the Chrome trace-event JSON format
+// (open with chrome://tracing or Perfetto). Compute instructions land on
+// tid 0, communication on tid 1, of the device's pid.
+func ChromeTrace(w io.Writer, res *sim.Result) error {
+	var events []traceEvent
+	for d, spans := range res.Timeline {
+		for _, sp := range spans {
+			tid, cat := 0, "compute"
+			if sp.Instr.Kind.IsComm() {
+				tid, cat = 1, "comm"
+			}
+			events = append(events, traceEvent{
+				Name: sp.Instr.String(),
+				Cat:  cat,
+				Ph:   "X",
+				Ts:   sp.Start * 1e6,
+				Dur:  (sp.End - sp.Start) * 1e6,
+				PID:  d,
+				TID:  tid,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}
+
+// MemoryBars renders per-device peak memory as a horizontal ASCII bar chart
+// in GB (used by the Figure 7 experiment output).
+func MemoryBars(peaks []float64, limit float64) string {
+	var b strings.Builder
+	maxV := limit
+	for _, p := range peaks {
+		if p > maxV {
+			maxV = p
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	const width = 60
+	for d, p := range peaks {
+		n := int(p / maxV * width)
+		marker := ""
+		if limit > 0 && p > limit {
+			marker = "  << OOM"
+		}
+		fmt.Fprintf(&b, "dev%-2d %7.2f GB |%s%s\n", d, p/(1<<30), strings.Repeat("#", n), marker)
+	}
+	if limit > 0 {
+		fmt.Fprintf(&b, "limit %6.2f GB\n", limit/(1<<30))
+	}
+	return b.String()
+}

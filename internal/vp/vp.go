@@ -1,0 +1,139 @@
+// Package vp implements the paper's virtual pipeline abstraction (§5.2,
+// Algorithm 1): a uniform way to locate the cross-device ("vertical")
+// dependency of a pipeline instruction regardless of scheme. All schemes
+// obey the fundamental principle that forward instructions execute across
+// all stages in order, followed by backward instructions in reverse order,
+// for each micro-batch; the virtual pipeline encodes how (device, micro,
+// part) coordinates move one logical step along that order.
+package vp
+
+import (
+	"fmt"
+
+	"mario/internal/pipeline"
+)
+
+// Ref identifies an instruction by the coordinates of Algorithm 1: device
+// id, micro id, partition id and instruction kind.
+type Ref struct {
+	Device int
+	Micro  int
+	Part   int
+	Kind   pipeline.Kind
+}
+
+// Resolver finds the previous/next instruction in the virtual pipeline for a
+// scheme. Implementations exist for 1F1B, Chimera and Interleave; new
+// schemes plug in through Register (the "flexible interface for users" of
+// Algorithm 1, line 12).
+type Resolver interface {
+	// FindPrevInst locates the instruction in the previous stage of the
+	// virtual pipeline: the producer a forward consumes from, or the
+	// backward that consumes this stage's gradients. ok is false at the
+	// boundary of the pipeline.
+	FindPrevInst(r Ref) (Ref, bool)
+	// FindNextInst locates the instruction in the next stage.
+	FindNextInst(r Ref) (Ref, bool)
+}
+
+// step returns the logical direction of motion: forward instructions advance
+// +1 stage, backward instructions advance -1 (Algorithm 1, line 2).
+func step(k pipeline.Kind, next bool) int {
+	s := 1
+	if !next {
+		s = -1
+	}
+	if k == pipeline.Backward {
+		s = -s
+	}
+	return s
+}
+
+// oneF1B resolves dependencies for linear placements (GPipe and 1F1B):
+// device ±1 along the logical direction (Algorithm 1, line 5).
+type oneF1B struct {
+	devices int
+}
+
+func (v oneF1B) find(r Ref, next bool) (Ref, bool) {
+	r.Device += step(r.Kind, next)
+	if r.Device < 0 || r.Device >= v.devices {
+		return Ref{}, false
+	}
+	return r, true
+}
+
+func (v oneF1B) FindPrevInst(r Ref) (Ref, bool) { return v.find(r, false) }
+func (v oneF1B) FindNextInst(r Ref) (Ref, bool) { return v.find(r, true) }
+
+// chimera resolves the bidirectional pipelines: the up pipeline (part 0)
+// follows the logical direction, the down pipeline (part 1) the opposite
+// (Algorithm 1, line 7).
+type chimera struct {
+	devices int
+}
+
+func (v chimera) find(r Ref, next bool) (Ref, bool) {
+	s := step(r.Kind, next)
+	if r.Part == 1 {
+		s = -s
+	}
+	r.Device += s
+	if r.Device < 0 || r.Device >= v.devices {
+		return Ref{}, false
+	}
+	return r, true
+}
+
+func (v chimera) FindPrevInst(r Ref) (Ref, bool) { return v.find(r, false) }
+func (v chimera) FindNextInst(r Ref) (Ref, bool) { return v.find(r, true) }
+
+// interleave resolves the cyclic placement: the device index moves in the
+// logical direction modulo the device count, adjusting the partition (chunk)
+// id when the motion wraps across a chunk boundary (Algorithm 1, lines 9-10).
+type interleave struct {
+	devices int
+	chunks  int
+}
+
+func (v interleave) find(r Ref, next bool) (Ref, bool) {
+	s := step(r.Kind, next)
+	nd := (r.Device + s + v.devices) % v.devices
+	np := r.Part
+	if nd != r.Device+s {
+		np += s
+	}
+	if np < 0 || np >= v.chunks {
+		return Ref{}, false
+	}
+	r.Device, r.Part = nd, np
+	return r, true
+}
+
+func (v interleave) FindPrevInst(r Ref) (Ref, bool) { return v.find(r, false) }
+func (v interleave) FindNextInst(r Ref) (Ref, bool) { return v.find(r, true) }
+
+// registry holds user-registered resolvers for emerging pipeline schemes.
+var registry = map[pipeline.Scheme]func(pl pipeline.Placement) Resolver{}
+
+// Register installs a resolver factory for a custom scheme, extending
+// Algorithm 1 beyond the built-in cases.
+func Register(s pipeline.Scheme, f func(pl pipeline.Placement) Resolver) {
+	registry[s] = f
+}
+
+// For returns the resolver for a scheme over the given placement.
+func For(s pipeline.Scheme, pl pipeline.Placement) (Resolver, error) {
+	switch s {
+	case pipeline.Scheme1F1B, pipeline.SchemeGPipe:
+		return oneF1B{devices: pl.NumDevices()}, nil
+	case pipeline.SchemeChimera:
+		return chimera{devices: pl.NumDevices()}, nil
+	case pipeline.SchemeInterleave:
+		return interleave{devices: pl.NumDevices(), chunks: pl.NumParts()}, nil
+	}
+	if f, ok := registry[s]; ok {
+		return f(pl), nil
+	}
+	return nil, fmt.Errorf("vp: no resolver for scheme %q", s)
+}

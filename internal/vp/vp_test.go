@@ -1,0 +1,139 @@
+package vp
+
+import (
+	"testing"
+
+	"mario/internal/pipeline"
+)
+
+func TestOneF1B(t *testing.T) {
+	r, err := For(pipeline.Scheme1F1B, pipeline.NewLinearPlacement(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forward on device 1 came from device 0 and feeds device 2.
+	fw := Ref{Device: 1, Micro: 3, Kind: pipeline.Forward}
+	if prev, ok := r.FindPrevInst(fw); !ok || prev.Device != 0 {
+		t.Errorf("FindPrevInst(FW dev1) = %+v ok=%v, want dev0", prev, ok)
+	}
+	if next, ok := r.FindNextInst(fw); !ok || next.Device != 2 {
+		t.Errorf("FindNextInst(FW dev1) = %+v ok=%v, want dev2", next, ok)
+	}
+	// Backward flows the opposite way.
+	bw := Ref{Device: 1, Micro: 3, Kind: pipeline.Backward}
+	if prev, ok := r.FindPrevInst(bw); !ok || prev.Device != 2 {
+		t.Errorf("FindPrevInst(BW dev1) = %+v ok=%v, want dev2", prev, ok)
+	}
+	// Boundaries.
+	if _, ok := r.FindPrevInst(Ref{Device: 0, Kind: pipeline.Forward}); ok {
+		t.Error("FW on device 0 should have no predecessor")
+	}
+	if _, ok := r.FindNextInst(Ref{Device: 3, Kind: pipeline.Forward}); ok {
+		t.Error("FW on device 3 should have no successor")
+	}
+}
+
+func TestChimeraDirections(t *testing.T) {
+	r, err := For(pipeline.SchemeChimera, pipeline.NewBidirPlacement(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Up pipeline (part 0) moves like 1F1B.
+	up := Ref{Device: 1, Part: 0, Kind: pipeline.Forward}
+	if next, ok := r.FindNextInst(up); !ok || next.Device != 2 {
+		t.Errorf("up FW next = %+v, want dev2", next)
+	}
+	// Down pipeline (part 1) moves the opposite way: forward goes to a
+	// lower device id.
+	down := Ref{Device: 2, Part: 1, Kind: pipeline.Forward}
+	if next, ok := r.FindNextInst(down); !ok || next.Device != 1 {
+		t.Errorf("down FW next = %+v, want dev1", next)
+	}
+	// Down backward moves toward higher device ids.
+	dbw := Ref{Device: 1, Part: 1, Kind: pipeline.Backward}
+	if next, ok := r.FindNextInst(dbw); !ok || next.Device != 2 {
+		t.Errorf("down BW next = %+v, want dev2", next)
+	}
+}
+
+func TestInterleaveWrap(t *testing.T) {
+	r, err := For(pipeline.SchemeInterleave, pipeline.NewInterleavedPlacement(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FW on the last device of chunk 0 wraps to device 0, chunk 1
+	// (Algorithm 1 lines 9-10).
+	fw := Ref{Device: 3, Part: 0, Kind: pipeline.Forward}
+	next, ok := r.FindNextInst(fw)
+	if !ok || next.Device != 0 || next.Part != 1 {
+		t.Errorf("FindNextInst(FW dev3 chunk0) = %+v ok=%v, want dev0 chunk1", next, ok)
+	}
+	// And the inverse direction undoes it.
+	prev, ok := r.FindPrevInst(next)
+	if !ok || prev != fw {
+		t.Errorf("FindPrevInst round-trip = %+v ok=%v, want %+v", prev, ok, fw)
+	}
+	// Chunk boundary at the top of the model.
+	top := Ref{Device: 3, Part: 1, Kind: pipeline.Forward}
+	if _, ok := r.FindNextInst(top); ok {
+		t.Error("last stage should have no forward successor")
+	}
+}
+
+func TestRegisterCustomScheme(t *testing.T) {
+	const custom = pipeline.Scheme("Custom")
+	Register(custom, func(pl pipeline.Placement) Resolver {
+		return oneF1B{devices: pl.NumDevices()}
+	})
+	r, err := For(custom, pipeline.NewLinearPlacement(2))
+	if err != nil {
+		t.Fatalf("For(custom): %v", err)
+	}
+	if next, ok := r.FindNextInst(Ref{Device: 0, Kind: pipeline.Forward}); !ok || next.Device != 1 {
+		t.Errorf("custom resolver broken: %+v ok=%v", next, ok)
+	}
+	if _, err := For(pipeline.Scheme("Missing"), pipeline.NewLinearPlacement(2)); err == nil {
+		t.Error("expected error for unregistered scheme")
+	}
+}
+
+// TestResolverMatchesPlacement cross-checks Algorithm 1 against the
+// placement-derived dependency used by the rest of the system: for every
+// (device, part) the resolver's next-device must equal the placement's
+// device of stage+1.
+func TestResolverMatchesPlacement(t *testing.T) {
+	t.Run("chimera", func(t *testing.T) {
+		pl := pipeline.NewBidirPlacement(8)
+		r, _ := For(pipeline.SchemeChimera, pl)
+		for part := 0; part < 2; part++ {
+			for st := 0; st < pl.NumStages()-1; st++ {
+				dev := pl.Device(part, st)
+				next, ok := r.FindNextInst(Ref{Device: dev, Part: part, Kind: pipeline.Forward})
+				if !ok {
+					t.Fatalf("part %d stage %d: no next", part, st)
+				}
+				if want := pl.Device(part, st+1); next.Device != want {
+					t.Errorf("part %d stage %d: resolver dev %d, placement dev %d", part, st, next.Device, want)
+				}
+			}
+		}
+	})
+	t.Run("interleave", func(t *testing.T) {
+		pl := pipeline.NewInterleavedPlacement(4, 3)
+		r, _ := For(pipeline.SchemeInterleave, pl)
+		for st := 0; st < pl.NumStages()-1; st++ {
+			part := pl.PartOfStage(st)
+			dev := pl.Device(part, st)
+			next, ok := r.FindNextInst(Ref{Device: dev, Part: part, Kind: pipeline.Forward})
+			if !ok {
+				t.Fatalf("stage %d: no next", st)
+			}
+			if want := pl.Device(pl.PartOfStage(st+1), st+1); next.Device != want {
+				t.Errorf("stage %d: resolver dev %d, placement dev %d", st, next.Device, want)
+			}
+			if want := pl.PartOfStage(st + 1); next.Part != want {
+				t.Errorf("stage %d: resolver part %d, placement part %d", st, next.Part, want)
+			}
+		}
+	})
+}

@@ -1,0 +1,261 @@
+// Package mario is a Go reproduction of "Mario: Near Zero-cost Activation
+// Checkpointing in Pipeline Parallelism" (PPoPP '25): a pipeline optimizer
+// that tessellates activation checkpointing into existing pipeline schemes
+// (1F1B "V", Chimera "X", Interleave "W"), hiding the recomputation in
+// pipeline bubbles and balancing activation memory across devices.
+//
+// The public interface mirrors the paper's Listing 1: describe the cluster
+// and the model, call Optimize to search for the best (scheme, pp, dp,
+// micro-batch, checkpointing) configuration, and Run to execute the chosen
+// schedule — here on an emulated cluster with one goroutine per device,
+// since no GPUs are attached.
+//
+//	conf := mario.Config{PipelineScheme: "Auto", GlobalBatchSize: 128,
+//	    NumDevices: 32, MemoryPerDevice: "40G"}
+//	model := mario.Model("GPT3-13B")
+//	plan, err := mario.Optimize(conf, model)
+//	report, err := mario.Run(plan, 10)
+package mario
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mario/internal/cost"
+	"mario/internal/pipeline"
+	"mario/internal/profile"
+	"mario/internal/tuner"
+	"mario/internal/viz"
+)
+
+// Config is the mario_conf of Listing 1.
+type Config struct {
+	// PipelineScheme is "Auto" (search all), a scheme name ("1F1B",
+	// "Chimera", "Interleave", "GPipe") or a shape alias ("V", "X", "W").
+	PipelineScheme string
+	// GlobalBatchSize is the fixed number of samples per training
+	// iteration.
+	GlobalBatchSize int
+	// NumDevices is the total accelerator count.
+	NumDevices int
+	// MemoryPerDevice is the per-device capacity, e.g. "40G", "80G" or
+	// "12345678" (bytes).
+	MemoryPerDevice string
+	// TP is the fixed tensor-parallel degree (Equation 1 keeps TP
+	// constant); 0 means 1.
+	TP int
+	// Checkpoint forces Mario's checkpointing on (true) or off (false);
+	// nil lets the tuner decide.
+	Checkpoint *bool
+	// SplitBackward additionally tries the ZB-H1-style split-backward
+	// transformation on checkpointed candidates (the paper's §8 future
+	// work), kept only when the simulator confirms a win within the memory
+	// budget.
+	SplitBackward bool
+	// MicroBatchSizes restricts the candidate micro-batch sizes; nil means
+	// powers of two.
+	MicroBatchSizes []int
+	// MinPP/MaxPP bound the pipeline dimension (defaults: 4..NumDevices).
+	MinPP, MaxPP int
+	// Machine overrides the emulated hardware imperfections; zero value
+	// uses profile.DefaultMachine.
+	Machine profile.MachineSpec
+	// Hardware overrides the device description; zero value uses A100-40G
+	// with the memory limit from MemoryPerDevice.
+	Hardware *cost.Hardware
+}
+
+// ModelConfig is the model_conf of Listing 1.
+type ModelConfig = cost.ModelConfig
+
+// Model returns a named preset (Table 4): "GPT3-1.6B", "GPT3-13B",
+// "LLaMA2-3B", "LLaMA2-13B". It panics on unknown names (a deliberate
+// fail-fast for a fixed catalogue; use Models for lookup).
+func Model(name string) ModelConfig {
+	m, ok := cost.Models[name]
+	if !ok {
+		panic(fmt.Sprintf("mario: unknown model %q", name))
+	}
+	return m
+}
+
+// Models lists the built-in model presets by name.
+func Models() map[string]ModelConfig {
+	out := make(map[string]ModelConfig, len(cost.Models))
+	for k, v := range cost.Models {
+		out[k] = v
+	}
+	return out
+}
+
+// Plan is the optimized schedule returned by Optimize — the paper's
+// "schedule" object, ready for Run.
+type Plan struct {
+	// Best is the winning configuration.
+	Best tuner.Candidate
+	// Trace is the full tuning trace in search order (Fig. 11's curve).
+	Trace []tuner.Candidate
+	// Profiler retains the fitted estimators for re-simulation.
+	Profiler *profile.Profiler
+
+	memLimit float64
+	tp       int
+}
+
+// ParseMemory converts "40G", "512M", "1T" or a plain byte count to bytes.
+func ParseMemory(s string) (float64, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	s = strings.TrimSuffix(s, "B") // tolerate "40GB", "512MB", …
+	if s == "" {
+		return 0, fmt.Errorf("mario: empty memory spec")
+	}
+	mult := 1.0
+	switch s[len(s)-1] {
+	case 'K':
+		mult = 1 << 10
+	case 'M':
+		mult = 1 << 20
+	case 'G':
+		mult = 1 << 30
+	case 'T':
+		mult = 1 << 40
+	}
+	if mult != 1 {
+		s = s[:len(s)-1]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("mario: invalid memory spec: %w", err)
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("mario: memory must be positive")
+	}
+	return v * mult, nil
+}
+
+// Optimize searches Equation 1's space for the configuration with the best
+// estimated throughput under the memory budget and returns the executable
+// plan.
+func Optimize(conf Config, model ModelConfig) (*Plan, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if conf.NumDevices <= 0 || conf.GlobalBatchSize <= 0 {
+		return nil, fmt.Errorf("mario: NumDevices (%d) and GlobalBatchSize (%d) must be positive",
+			conf.NumDevices, conf.GlobalBatchSize)
+	}
+	hw := cost.A100_40G
+	if conf.Hardware != nil {
+		hw = *conf.Hardware
+	}
+	memLimit := hw.MemBytes
+	if conf.MemoryPerDevice != "" {
+		v, err := ParseMemory(conf.MemoryPerDevice)
+		if err != nil {
+			return nil, err
+		}
+		memLimit = v
+		hw.MemBytes = v
+	}
+	spec := conf.Machine
+	if spec == (profile.MachineSpec{}) {
+		spec = profile.DefaultMachine
+	}
+
+	var schemes []pipeline.Scheme
+	if name := strings.TrimSpace(conf.PipelineScheme); name != "" && !strings.EqualFold(name, "auto") {
+		s, err := pipeline.ParseScheme(name)
+		if err != nil {
+			return nil, err
+		}
+		schemes = []pipeline.Scheme{s}
+	}
+	var ckpt []bool
+	if conf.Checkpoint != nil {
+		ckpt = []bool{*conf.Checkpoint}
+	}
+
+	prof := &profile.Profiler{Model: model, HW: hw, Spec: spec, Devices: 4, Iters: 10}
+	tn := &tuner.Tuner{Prof: prof, SplitBackward: conf.SplitBackward}
+	best, trace, err := tn.Search(tuner.Space{
+		Devices:      conf.NumDevices,
+		GlobalBatch:  conf.GlobalBatchSize,
+		Schemes:      schemes,
+		Checkpoint:   ckpt,
+		MicroBatches: conf.MicroBatchSizes,
+		MinPP:        conf.MinPP,
+		MaxPP:        conf.MaxPP,
+		TP:           conf.TP,
+		DeviceMem:    memLimit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tp := conf.TP
+	if tp <= 0 {
+		tp = 1
+	}
+	return &Plan{Best: *best, Trace: trace, Profiler: prof, memLimit: memLimit, tp: tp}, nil
+}
+
+// RunReport summarises an execution of the plan on the emulated cluster.
+type RunReport struct {
+	// IterTime is the measured time per training iteration in seconds.
+	IterTime float64
+	// SamplesPerSec is the measured training throughput.
+	SamplesPerSec float64
+	// PeakMemMin and PeakMemMax are the per-device peak-memory extremes in
+	// bytes (the (Min,Max GB) columns of Table 5).
+	PeakMemMin, PeakMemMax float64
+	// PeakMem is the full per-device peak memory in bytes.
+	PeakMem []float64
+}
+
+// Run executes the plan's schedule for iters training iterations on the
+// emulated cluster and reports measured throughput and memory.
+func Run(p *Plan, iters int) (*RunReport, error) {
+	if p == nil || p.Best.Schedule == nil {
+		return nil, fmt.Errorf("mario: plan has no schedule")
+	}
+	stages := p.Best.Schedule.NumStages()
+	tp := p.tp
+	if tp <= 0 {
+		tp = 1
+	}
+	mach, err := p.Profiler.NewMachine(p.Profiler.Model, stages, p.Best.MicroBatch, tp)
+	if err != nil {
+		return nil, err
+	}
+	mach.DP = p.Best.DP
+	rep, err := mach.Run(p.Best.Schedule, iters)
+	if err != nil {
+		return nil, err
+	}
+	out := &RunReport{
+		IterTime:      rep.IterTime,
+		SamplesPerSec: rep.SamplesPerSec,
+		PeakMem:       rep.PeakMem,
+	}
+	out.PeakMemMin, out.PeakMemMax = rep.PeakMem[0], rep.PeakMem[0]
+	for _, v := range rep.PeakMem[1:] {
+		if v < out.PeakMemMin {
+			out.PeakMemMin = v
+		}
+		if v > out.PeakMemMax {
+			out.PeakMemMax = v
+		}
+	}
+	return out, nil
+}
+
+// Visualize writes the plan's simulated timeline as an ASCII Gantt chart —
+// the paper's Fig. 5 visualisation.
+func Visualize(w io.Writer, p *Plan) error {
+	if p == nil || p.Best.Result == nil {
+		return fmt.Errorf("mario: plan has no simulation result")
+	}
+	_, err := io.WriteString(w, viz.ASCII(p.Best.Result, 0))
+	return err
+}

@@ -1,0 +1,31 @@
+package mario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mario/internal/pipeline"
+)
+
+// SaveSchedule writes a schedule as JSON — the durable artifact of Mario's
+// ahead-of-time optimization, loadable later by LoadSchedule or an external
+// executor.
+func SaveSchedule(w io.Writer, s *Schedule) error {
+	if s == nil {
+		return fmt.Errorf("mario: nil schedule")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(s)
+}
+
+// LoadSchedule reads a JSON schedule written by SaveSchedule, re-validating
+// all structural invariants.
+func LoadSchedule(r io.Reader) (*Schedule, error) {
+	var s pipeline.Schedule
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
