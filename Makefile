@@ -1,0 +1,27 @@
+# Development entry points; CI (.github/workflows/ci.yml) runs `make check`.
+
+GO ?= go
+
+.PHONY: all build vet test race bench check fmt
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x -benchmem .
+
+check: vet build race
+
+fmt:
+	gofmt -l -w .

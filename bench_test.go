@@ -14,6 +14,7 @@ import (
 	"mario/internal/cost"
 	"mario/internal/experiments"
 	"mario/internal/graph"
+	"mario/internal/obs"
 	"mario/internal/pipeline"
 	"mario/internal/profile"
 	"mario/internal/scheme"
@@ -205,6 +206,67 @@ func BenchmarkClusterRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := m.Run(s, 1); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterRunObs compares the emulated execution with no sink, with
+// a recording sink, and with a JSONL sink. Run with -benchmem: the "nil"
+// case is the zero-cost-when-disabled guard — it must allocate no event
+// storage on top of BenchmarkClusterRun.
+func BenchmarkClusterRunObs(b *testing.B) {
+	s, err := scheme.Build(pipeline.Scheme1F1B, scheme.Config{Devices: 8, Micros: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		sink func() obs.Sink
+	}{
+		{"nil", func() obs.Sink { return nil }},
+		{"recorder", func() obs.Sink { return &obs.Recorder{} }},
+		{"jsonl", func() obs.Sink { return obs.NewJSONL(io.Discard) }},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			m := &cluster.Machine{Truth: cost.Uniform(8, 1, 2, 0.25), Noise: 0.05, Seed: 1}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Sink = mode.sink()
+				if _, err := m.Run(s, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDriftReport measures stats + drift derivation from a measured
+// event stream (the post-run analysis path, off the hot loop).
+func BenchmarkDriftReport(b *testing.B) {
+	s, err := scheme.Build(pipeline.Scheme1F1B, scheme.Config{Devices: 8, Micros: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	est := cost.Uniform(8, 1, 2, 0.25)
+	pred, err := sim.Simulate(s, est, sim.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := &obs.Recorder{}
+	m := &cluster.Machine{Truth: est, Noise: 0.05, Seed: 1, Sink: rec}
+	rep, err := m.Run(s, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := obs.Compute(rec.Events, rep.Total)
+		if st.Instrs == 0 {
+			b.Fatal("no instructions")
+		}
+		if r := obs.ComputeDrift(rec.Events, pred, rep.PeakMem); len(r.Kinds) == 0 {
+			b.Fatal("empty drift report")
 		}
 	}
 }

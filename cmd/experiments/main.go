@@ -21,7 +21,7 @@ import (
 
 func main() {
 	fast := flag.Bool("fast", false, "run reduced-size experiments")
-	run := flag.String("run", "all", "experiment to run (table1, figure2, figure5, figure6, table5, figure7, figure8, figure9, figure10, figure11, extension, summary, all)")
+	run := flag.String("run", "all", "experiment to run (table1, figure2, figure5, figure6, table5, figure7, figure8, figure9, figure10, figure11, drift, extension, summary, all)")
 	flag.Parse()
 
 	opt := experiments.Opts{Fast: *fast}
@@ -118,6 +118,14 @@ func main() {
 			fail("figure11", err)
 		}
 		experiments.PrintFigure11(w, r)
+	}
+	if want("drift") {
+		header("Drift", "per-instruction predicted-vs-measured alignment (observability demo)")
+		r, err := experiments.Drift(opt)
+		if err != nil {
+			fail("drift", err)
+		}
+		experiments.PrintDrift(w, r)
 	}
 	if want("extension") {
 		header("Extension", "ZB-H1 split-backward study (the paper's §8 future work)")

@@ -8,14 +8,18 @@
 //
 //	mario -model GPT3-13B -devices 32 -gbs 128 -mem 40G [-scheme Auto]
 //	      [-tp 1] [-run 3] [-viz] [-svg out.svg] [-trace out.json]
+//	      [-trace-measured out.json] [-events out.jsonl] [-stats] [-drift]
+//	      [-pprof cpu.out]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"mario"
+	"mario/internal/obs"
 	"mario/internal/tuner"
 	"mario/internal/viz"
 )
@@ -35,6 +39,12 @@ func main() {
 		tracePath = flag.String("trace", "", "write the winning timeline as Chrome trace JSON to this path")
 		emitPath  = flag.String("emit", "", "write the winning instruction-list schedule as JSON to this path")
 		traceAll  = flag.Bool("full-trace", false, "print the full tuning trace")
+
+		measuredPath = flag.String("trace-measured", "", "write the measured run's timeline as Chrome trace JSON to this path")
+		eventsPath   = flag.String("events", "", "write the measured run's event stream as JSONL to this path")
+		showStats    = flag.Bool("stats", false, "print per-device measured stats and tuner search counters")
+		showDrift    = flag.Bool("drift", false, "print the predicted-vs-measured drift report")
+		pprofPath    = flag.String("pprof", "", "write a CPU profile of the tuner search to this path")
 	)
 	flag.Parse()
 
@@ -49,14 +59,45 @@ func main() {
 		os.Exit(2)
 	}
 
-	plan, err := mario.Optimize(mario.Config{
+	wantObs := *measuredPath != "" || *eventsPath != "" || *showStats || *showDrift
+	if wantObs && *runIters <= 0 {
+		fmt.Fprintln(os.Stderr, "mario: -trace-measured/-events/-stats/-drift need a measured run; assuming -run 1")
+		*runIters = 1
+	}
+
+	if *pprofPath != "" {
+		f, err := os.Create(*pprofPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mario: pprof: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mario: pprof: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
+	conf := mario.Config{
 		PipelineScheme:  *schemeStr,
 		GlobalBatchSize: *gbs,
 		NumDevices:      *devices,
 		MemoryPerDevice: *mem,
 		TP:              *tp,
 		SplitBackward:   *split,
-	}, model)
+	}
+	if *showStats {
+		conf.Progress = func(explored int, bestLabel string, bestThroughput float64) {
+			fmt.Fprintf(os.Stderr, "\rtuner: explored %4d  best %-18s %10.2f samples/s", explored, bestLabel, bestThroughput)
+		}
+	}
+	plan, err := mario.Optimize(conf, model)
+	if conf.Progress != nil {
+		fmt.Fprintln(os.Stderr)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mario: %v\n", err)
 		os.Exit(1)
@@ -70,6 +111,11 @@ func main() {
 	if best.Result != nil {
 		lo, hi := best.Result.MinMaxPeak()
 		fmt.Printf("estimated peak memory: [%.2f, %.2f] GB\n", lo/(1<<30), hi/(1<<30))
+	}
+	if *showStats {
+		st := plan.SearchStats
+		fmt.Printf("tuner search: explored %d, OOM-rejected %d, pruned %d, best improved %d times\n",
+			st.Explored, st.OOMRejected, st.Pruned, st.Improved)
 	}
 
 	if *traceAll {
@@ -142,7 +188,7 @@ func main() {
 	}
 
 	if *runIters > 0 {
-		rep, err := mario.Run(plan, *runIters)
+		rep, err := mario.RunWithOptions(plan, *runIters, mario.RunOptions{CollectEvents: wantObs})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mario: run: %v\n", err)
 			os.Exit(1)
@@ -151,5 +197,51 @@ func main() {
 		fmt.Printf("  measured iteration time: %.4f s\n", rep.IterTime)
 		fmt.Printf("  measured throughput:     %.2f samples/s\n", rep.SamplesPerSec)
 		fmt.Printf("  measured peak memory:    [%.2f, %.2f] GB\n", rep.PeakMemMin/(1<<30), rep.PeakMemMax/(1<<30))
+
+		if *measuredPath != "" {
+			f, err := os.Create(*measuredPath)
+			if err == nil {
+				err = viz.ChromeTraceMeasured(f, rep.Events)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mario: writing measured trace: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *measuredPath)
+		}
+		if *eventsPath != "" {
+			f, err := os.Create(*eventsPath)
+			if err == nil {
+				sink := obs.NewJSONL(f)
+				for _, e := range rep.Events {
+					sink.Emit(e)
+				}
+				err = sink.Flush()
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mario: writing events: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *eventsPath)
+		}
+		if *showStats && rep.Stats != nil {
+			fmt.Println("\nmeasured per-device stats:")
+			fmt.Print(rep.Stats.Table())
+		}
+		if *showDrift {
+			dr, err := mario.Drift(plan, rep)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mario: drift: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			fmt.Print(dr.Format())
+		}
 	}
 }

@@ -11,21 +11,32 @@
 // receive advances the consumer's clock to max(local, arrival) — a
 // conservative parallel discrete-event simulation in which the channel
 // blocking itself enforces causality.
+//
+// A Machine can carry an obs.Sink: each device then records one obs.Event
+// per executed instruction (virtual start/end, p2p queue wait, modeled
+// memory) in a device-local slice and the stream is delivered after the run
+// in deterministic order. A nil sink allocates no events and perturbs
+// neither virtual time nor the jitter streams.
 package cluster
 
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mario/internal/cost"
+	"mario/internal/obs"
 	"mario/internal/pipeline"
 	"mario/internal/sim"
 )
 
 // ErrDeadlock is returned when the run makes no progress within the
-// watchdog interval: some device blocked on a channel forever.
+// watchdog interval: some device blocked on a channel forever. The error
+// text names, per stuck device, the pending instruction and the link it is
+// blocked on.
 var ErrDeadlock = errors.New("cluster: deadlock (device blocked on p2p)")
 
 // ErrMismatch is returned when a receive pops a message destined for a
@@ -65,8 +76,15 @@ type Machine struct {
 	LinkBuffer int
 	// DP is the data-parallel degree for the cool-down all-reduce.
 	DP int
-	// Watchdog is the wall-clock no-progress limit; 0 means 5s.
+	// Watchdog is the wall-clock no-progress limit; 0 means 5s. The
+	// watchdog re-arms whenever any device executes an instruction, so
+	// long runs do not trip it as long as they keep making progress.
 	Watchdog time.Duration
+	// Sink, when non-nil, receives one obs.Event per executed instruction
+	// after the run completes, device-major in execution order. The event
+	// stream is deterministic for a fixed seed and does not perturb the
+	// run: a nil sink allocates no events.
+	Sink obs.Sink
 }
 
 // SampleKey identifies a class of measured instruction durations.
@@ -92,6 +110,10 @@ type Report struct {
 	// DeviceDurations[d] holds the same samples restricted to device d (the
 	// paper profiles the (D-1)-th device).
 	DeviceDurations []map[SampleKey][]float64
+	// WatchdogResets counts how many times the no-progress watchdog
+	// observed progress and re-armed during the run (0 for runs shorter
+	// than one watchdog interval).
+	WatchdogResets int
 }
 
 type message struct {
@@ -101,6 +123,45 @@ type message struct {
 
 type linkKey struct {
 	from, to, channel int
+}
+
+// devStatus publishes what a device is currently blocked on, so the
+// watchdog can name the stuck instruction and link when it fires. Devices
+// write it only around potentially-blocking channel operations.
+type devStatus struct {
+	mu      sync.Mutex
+	blocked bool
+	send    bool
+	in      pipeline.Instr
+	iter    int
+	peer    int
+}
+
+func (st *devStatus) set(in pipeline.Instr, iter, peer int, send bool) {
+	st.mu.Lock()
+	st.blocked, st.send, st.in, st.iter, st.peer = true, send, in, iter, peer
+	st.mu.Unlock()
+}
+
+func (st *devStatus) clear() {
+	st.mu.Lock()
+	st.blocked = false
+	st.mu.Unlock()
+}
+
+// describe renders the blocked state, or "" when the device is not blocked.
+func (st *devStatus) describe(d int) string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.blocked {
+		return ""
+	}
+	dir, from, to := "recv", st.peer, d
+	if st.send {
+		dir, from, to = "send", d, st.peer
+	}
+	return fmt.Sprintf("dev%d blocked on %s %s (stage %d, micro %d, iter %d) link %d->%d[%s]",
+		d, dir, st.in, st.in.Stage, st.in.Micro, st.iter, from, to, channelName(st.in.Kind))
 }
 
 // Run executes iters training iterations of the schedule on the emulated
@@ -144,9 +205,12 @@ func (m *Machine) Run(s *pipeline.Schedule, iters int) (*Report, error) {
 	type devResult struct {
 		clock   float64
 		samples map[SampleKey][]float64
+		events  []obs.Event
 		err     error
 	}
 	results := make([]devResult, D)
+	statuses := make([]devStatus, D)
+	var progress atomic.Uint64
 	done := make(chan struct{})
 	abort := make(chan struct{})
 	var abortOnce sync.Once
@@ -158,39 +222,78 @@ func (m *Machine) Run(s *pipeline.Schedule, iters int) (*Report, error) {
 			defer wg.Done()
 			res := &results[d]
 			res.samples = make(map[SampleKey][]float64)
-			clock := 0.0
-			rng := newRNG(m.Seed, uint64(d))
+			r := &devRunner{
+				m: m, s: s, d: d, dp: dp,
+				rng:      newRNG(m.Seed, uint64(d)),
+				samples:  res.samples,
+				links:    links,
+				abort:    abort,
+				status:   &statuses[d],
+				progress: &progress,
+			}
 			// Static per-device speed factor, fixed for the machine's
 			// lifetime (drawn from a stream independent of the jitter).
 			devRNG := newRNG(m.Seed^0xDEC0DE, uint64(d))
-			devFactor := 1 + m.Hetero*devRNG.symmetric()
+			r.devFactor = 1 + m.Hetero*devRNG.symmetric()
+			if m.Sink != nil {
+				r.events = make([]obs.Event, 0, len(s.Lists[d])*iters)
+				r.mem = sim.NewMemSim(s, m.Truth, d)
+			}
 			for it := 0; it < iters; it++ {
+				r.iter = it
 				for _, in := range s.Lists[d] {
-					var err error
-					clock, err = m.exec(s, d, in, clock, dp, devFactor, rng, links, res.samples, abort)
-					if err != nil {
+					if err := r.exec(in); err != nil {
 						res.err = err
 						abortOnce.Do(func() { close(abort) })
 						return
 					}
+					progress.Add(1)
 				}
 			}
-			res.clock = clock
+			res.clock = r.clock
+			res.events = r.events
 		}(d)
 	}
 	go func() { wg.Wait(); close(done) }()
-	select {
-	case <-done:
-	case <-time.After(watchdog):
-		abortOnce.Do(func() { close(abort) })
-		<-done
-		return nil, fmt.Errorf("%w after %v", ErrDeadlock, watchdog)
+
+	resets := 0
+	timer := time.NewTimer(watchdog)
+	defer timer.Stop()
+	last := uint64(0)
+watchLoop:
+	for {
+		select {
+		case <-done:
+			break watchLoop
+		case <-timer.C:
+			if cur := progress.Load(); cur != last {
+				// Progress since the last check: re-arm.
+				last = cur
+				resets++
+				timer.Reset(watchdog)
+				continue
+			}
+			abortOnce.Do(func() { close(abort) })
+			<-done
+			var stuck []string
+			for d := range statuses {
+				if desc := statuses[d].describe(d); desc != "" {
+					stuck = append(stuck, desc)
+				}
+			}
+			detail := ""
+			if len(stuck) > 0 {
+				detail = ": " + strings.Join(stuck, "; ")
+			}
+			return nil, fmt.Errorf("%w after %v of no progress%s", ErrDeadlock, watchdog, detail)
+		}
 	}
 
 	rep := &Report{
 		PeakMem:         make([]float64, D),
 		Durations:       make(map[SampleKey][]float64),
 		DeviceDurations: make([]map[SampleKey][]float64, D),
+		WatchdogResets:  resets,
 	}
 	var firstErr error
 	for d := 0; d < D; d++ {
@@ -228,18 +331,64 @@ func (m *Machine) Run(s *pipeline.Schedule, iters int) (*Report, error) {
 	if rep.IterTime > 0 {
 		rep.SamplesPerSec = float64(s.Micros*m.Truth.MicroBatch*dp) / rep.IterTime
 	}
+	if m.Sink != nil {
+		for d := 0; d < D; d++ {
+			for _, ev := range results[d].events {
+				m.Sink.Emit(ev)
+			}
+		}
+	}
 	return rep, nil
 }
 
-// exec runs one instruction on device d at local time clock and returns the
-// new local time.
-func (m *Machine) exec(
-	s *pipeline.Schedule, d int, in pipeline.Instr, clock float64, dp int,
-	devFactor float64, rng *rng, links map[linkKey]chan message,
-	samples map[SampleKey][]float64, abort chan struct{},
-) (float64, error) {
+// devRunner is the per-goroutine execution state of one emulated device.
+type devRunner struct {
+	m         *Machine
+	s         *pipeline.Schedule
+	d         int
+	dp        int
+	devFactor float64
+	rng       *rng
+	samples   map[SampleKey][]float64
+	links     map[linkKey]chan message
+	abort     chan struct{}
+	status    *devStatus
+	progress  *atomic.Uint64
+	iter      int
+	clock     float64
+	// events and mem are nil when the machine has no sink attached; the
+	// recording path then allocates nothing.
+	events []obs.Event
+	mem    *sim.MemSim
+}
+
+// exec runs one instruction, advancing the device's virtual clock and, when
+// a sink is attached, recording the instruction's event.
+func (r *devRunner) exec(in pipeline.Instr) error {
+	var ev *obs.Event
+	if r.events != nil {
+		r.events = append(r.events, obs.Event{
+			Device: r.d, Iter: r.iter, Kind: in.Kind,
+			Micro: in.Micro, Part: in.Part, Stage: in.Stage,
+			Peer: -1, Start: r.clock, Buffered: in.Buffered,
+		})
+		ev = &r.events[len(r.events)-1]
+	}
+	if err := r.execClock(in, ev); err != nil {
+		return err
+	}
+	if ev != nil {
+		ev.End = r.clock
+		ev.Mem = r.mem.Step(in)
+	}
+	return nil
+}
+
+// execClock advances the virtual clock across one instruction.
+func (r *devRunner) execClock(in pipeline.Instr, ev *obs.Event) error {
+	m, s, d := r.m, r.s, r.d
 	e := m.Truth
-	jitter := func() float64 { return devFactor * (1 + m.Noise*rng.symmetric()) }
+	jitter := func() float64 { return r.devFactor * (1 + m.Noise*r.rng.symmetric()) }
 	overhead := e.LaunchOverhead + m.ExtraOverhead
 
 	switch in.Kind {
@@ -259,7 +408,7 @@ func (m *Machine) exec(
 		case pipeline.Recompute:
 			base = e.RcTime[in.Stage]
 		case pipeline.AllReduce:
-			base = e.AllReduceTime(dp, ownedStages(s, d))
+			base = e.AllReduceTime(r.dp, ownedStages(s, d))
 		case pipeline.OptimizerStep:
 			base = e.OptTime
 		}
@@ -268,48 +417,72 @@ func (m *Machine) exec(
 		if in.Micro == pipeline.NoMicro {
 			key.Stage = -1
 		}
-		samples[key] = append(samples[key], dur)
-		return clock + dur, nil
+		r.samples[key] = append(r.samples[key], dur)
+		r.clock += dur
+		return nil
 
 	case pipeline.SendAct, pipeline.SendGrad:
 		bytes := e.ActP2PBytes
 		if in.Kind == pipeline.SendGrad {
 			bytes = e.GradP2PBytes
 		}
-		lk := linkKey{d, s.PeerDevice(d, in), channelOf(in.Kind)}
+		peer := s.PeerDevice(d, in)
+		lk := linkKey{d, peer, channelOf(in.Kind)}
 		transfer := e.CommTime(bytes) * jitter()
-		msg := message{key: s.MatchKey(in), arrive: clock + overhead + transfer}
+		msg := message{key: s.MatchKey(in), arrive: r.clock + overhead + transfer}
+		if ev != nil {
+			ev.Peer, ev.Bytes = peer, bytes
+		}
+		r.status.set(in, r.iter, peer, true)
 		select {
-		case links[lk] <- msg:
+		case r.links[lk] <- msg:
+			r.status.clear()
 			// The measured wire time is visible to profiling (NCCL-style
 			// transfer timing).
-			samples[SampleKey{Kind: in.Kind, Stage: in.Stage}] = append(
-				samples[SampleKey{Kind: in.Kind, Stage: in.Stage}], transfer)
-			return clock + overhead, nil
-		case <-abort:
-			return clock, fmt.Errorf("%w while sending %s from device %d", errAborted, in, d)
+			r.samples[SampleKey{Kind: in.Kind, Stage: in.Stage}] = append(
+				r.samples[SampleKey{Kind: in.Kind, Stage: in.Stage}], transfer)
+			r.clock += overhead
+			return nil
+		case <-r.abort:
+			return fmt.Errorf("%w while sending %s from device %d", errAborted, in, d)
 		}
 
 	case pipeline.RecvAct, pipeline.RecvGrad:
-		lk := linkKey{s.PeerDevice(d, in), d, channelOf(in.Kind)}
-		ch := links[lk]
+		peer := s.PeerDevice(d, in)
+		lk := linkKey{peer, d, channelOf(in.Kind)}
+		ch := r.links[lk]
 		if ch == nil {
-			return clock, fmt.Errorf("cluster: device %d has no link for %s", d, in)
+			return fmt.Errorf("cluster: device %d has no link for %s", d, in)
 		}
+		if ev != nil {
+			ev.Peer = peer
+			if in.Kind == pipeline.RecvGrad {
+				ev.Bytes = e.GradP2PBytes
+			} else {
+				ev.Bytes = e.ActP2PBytes
+			}
+		}
+		r.status.set(in, r.iter, peer, false)
 		select {
 		case msg := <-ch:
+			r.status.clear()
 			if msg.key != in.Key() {
-				return clock, fmt.Errorf("%w: device %d expected %s, link delivered %v", ErrMismatch, d, in, msg.key)
+				return fmt.Errorf("%w: device %d expected %s, link delivered %v", ErrMismatch, d, in, msg.key)
 			}
-			if msg.arrive > clock {
-				clock = msg.arrive
+			if msg.arrive > r.clock {
+				if ev != nil {
+					ev.Wait = msg.arrive - r.clock
+				}
+				r.clock = msg.arrive
 			}
-			return clock + overhead, nil
-		case <-abort:
-			return clock, fmt.Errorf("%w while receiving %s on device %d", errAborted, in, d)
+			r.clock += overhead
+			return nil
+		case <-r.abort:
+			return fmt.Errorf("%w while receiving %s on device %d", errAborted, in, d)
 		}
 	}
-	return clock + overhead, nil
+	r.clock += overhead
+	return nil
 }
 
 // ownedStages lists the stages whose weights device d holds.
@@ -332,6 +505,14 @@ func channelOf(k pipeline.Kind) int {
 		return 1
 	}
 	return 0
+}
+
+// channelName tags a comm kind's link for human-readable diagnostics.
+func channelName(k pipeline.Kind) string {
+	if k == pipeline.SendGrad || k == pipeline.RecvGrad {
+		return "grad"
+	}
+	return "act"
 }
 
 // rng is a splitmix64-based deterministic generator; each device derives an

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"mario/internal/cost"
+	"mario/internal/obs"
+	"mario/internal/pipeline"
+)
+
+// DriftResult is the observability demo: one Mario-optimized GPT3-1.6B
+// schedule estimated by the simulator and measured on the emulated cluster
+// with an event recorder attached, then aligned instruction by instruction.
+type DriftResult struct {
+	Config string
+	Stats  *obs.Stats
+	Drift  *obs.DriftReport
+}
+
+// Drift runs the measured-vs-predicted alignment on a checkpointed 1F1B
+// schedule: it records every executed instruction through an obs.Recorder,
+// derives the per-device stats digest, and reports where the cluster's
+// ground truth (jitter, launch overhead, p2p queueing) departs from the
+// simulator's prediction.
+func Drift(opt Opts) (*DriftResult, error) {
+	devices, iters := 8, 3
+	model := cost.GPT3_1_6B
+	if opt.Fast {
+		devices, iters = 4, 2
+	}
+	prof := newProfiler(model)
+	micros := 4 * devices
+	mbs := 2
+
+	est, err := prof.EstimatorFor(devices, mbs, 1)
+	if err != nil {
+		return nil, err
+	}
+	pred, sched, err := evalConfig(pipeline.Scheme1F1B, devices, micros, est, vOvlp, 0)
+	if err != nil {
+		return nil, err
+	}
+	mach, err := prof.NewMachine(model, devices, mbs, 1)
+	if err != nil {
+		return nil, err
+	}
+	rec := &obs.Recorder{}
+	mach.Sink = rec
+	meas, err := mach.Run(sched, iters)
+	if err != nil {
+		return nil, err
+	}
+	stats := obs.Compute(rec.Events, meas.Total)
+	stats.WatchdogResets = meas.WatchdogResets
+	return &DriftResult{
+		Config: fmt.Sprintf("%s-mbs%d", shapeOf(pipeline.Scheme1F1B, vOvlp), mbs),
+		Stats:  stats,
+		Drift:  obs.ComputeDrift(rec.Events, pred, meas.PeakMem),
+	}, nil
+}
+
+// PrintDrift renders the stats table followed by the drift report.
+func PrintDrift(w io.Writer, r *DriftResult) {
+	fmt.Fprintf(w, "config %s\n", r.Config)
+	io.WriteString(w, r.Stats.Table())
+	io.WriteString(w, "\n")
+	io.WriteString(w, r.Drift.Format())
+}

@@ -1,0 +1,168 @@
+// Package obs is the observability layer of the emulated cluster and the
+// miniature trainer: a pluggable, zero-cost-when-disabled event stream of
+// per-instruction execution records, plus the derived artifacts the paper
+// motivates with its timeline figures — per-device utilization/bubble/stall
+// metrics (Fig. 5's measured counterpart), export sinks (Chrome trace,
+// JSONL), and a predicted-vs-measured drift report that extends the Fig. 10
+// simulator-accuracy machinery down to instruction granularity.
+//
+// Producers (internal/cluster, internal/train) collect events in per-device
+// slices on the hot path — no locks, no clock perturbation — and deliver
+// them to the Sink after the run completes, in deterministic order
+// (device-major, execution order). A nil sink costs nothing: no events are
+// allocated at all.
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+
+	"mario/internal/pipeline"
+)
+
+// Event is one measured instruction execution. Times are in seconds on the
+// producer's clock: virtual time for the cluster emulator, wall-clock time
+// since iteration start for the real-tensor trainer.
+type Event struct {
+	// Device is the executing device id.
+	Device int
+	// Iter is the training-iteration index within the run.
+	Iter int
+	// Kind, Micro, Part and Stage identify the instruction (pipeline.Key).
+	Kind  pipeline.Kind
+	Micro int
+	Part  int
+	Stage int
+	// Peer is the other endpoint for p2p kinds, -1 otherwise.
+	Peer int
+	// Start and End bound the instruction's execution interval, including
+	// any time spent blocked on a link.
+	Start, End float64
+	// Wait is the p2p queue wait folded into [Start, End]: how long the
+	// device sat idle before the message it needed arrived. Zero for
+	// non-receive kinds (eager sends complete into the link buffer).
+	Wait float64
+	// Bytes is the p2p payload size for communication kinds.
+	Bytes float64
+	// Mem is the modeled device memory after the instruction in bytes
+	// (allocator slack excluded); zero when the producer has no memory
+	// model attached.
+	Mem float64
+	// Buffered marks a SendAct draining a §5.1-pass-4 staging buffer.
+	Buffered bool
+}
+
+// Dur returns the event's duration in seconds.
+func (e Event) Dur() float64 { return e.End - e.Start }
+
+// Instr reconstructs the pipeline instruction the event describes.
+func (e Event) Instr() pipeline.Instr {
+	return pipeline.Instr{Kind: e.Kind, Micro: e.Micro, Part: e.Part, Stage: e.Stage, Buffered: e.Buffered}
+}
+
+// Key returns the instruction identity used to align measured events with
+// predicted spans.
+func (e Event) Key() pipeline.Key {
+	return pipeline.Key{Kind: e.Kind, Micro: e.Micro, Part: e.Part, Stage: e.Stage}
+}
+
+// jsonEvent is the JSONL wire form; the kind travels as its mnemonic.
+type jsonEvent struct {
+	Device int     `json:"dev"`
+	Iter   int     `json:"iter"`
+	Kind   string  `json:"kind"`
+	Micro  int     `json:"micro"`
+	Part   int     `json:"part"`
+	Stage  int     `json:"stage"`
+	Peer   int     `json:"peer,omitempty"`
+	Start  float64 `json:"start"`
+	End    float64 `json:"end"`
+	Wait   float64 `json:"wait,omitempty"`
+	Bytes  float64 `json:"bytes,omitempty"`
+	Mem    float64 `json:"mem,omitempty"`
+	Buf    bool    `json:"buffered,omitempty"`
+}
+
+// MarshalJSON renders the event with the kind as its paper mnemonic.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonEvent{
+		Device: e.Device, Iter: e.Iter, Kind: e.Kind.String(),
+		Micro: e.Micro, Part: e.Part, Stage: e.Stage, Peer: e.Peer,
+		Start: e.Start, End: e.End, Wait: e.Wait, Bytes: e.Bytes,
+		Mem: e.Mem, Buf: e.Buffered,
+	})
+}
+
+// Sink consumes measured events. Producers call Emit from a single
+// goroutine, after the run completes, in deterministic order; sinks need no
+// internal locking.
+type Sink interface {
+	Emit(Event)
+}
+
+// Recorder is an in-memory sink that retains every event.
+type Recorder struct {
+	Events []Event
+}
+
+// Emit appends the event.
+func (r *Recorder) Emit(e Event) { r.Events = append(r.Events, e) }
+
+// Reset drops the recorded events, keeping the backing array.
+func (r *Recorder) Reset() { r.Events = r.Events[:0] }
+
+// multiSink fans events out to several sinks.
+type multiSink []Sink
+
+func (m multiSink) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
+// Multi returns a sink that forwards every event to all of the given sinks
+// (nil entries are skipped).
+func Multi(sinks ...Sink) Sink {
+	var out multiSink
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 1 {
+		return out[0]
+	}
+	return out
+}
+
+// JSONL is a sink that writes one JSON object per event, newline-delimited.
+// Call Flush when the run is done; the first write error is sticky and is
+// reported there.
+type JSONL struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL wraps w in a buffered JSONL event sink.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriter(w)
+	return &JSONL{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit writes the event as one JSON line.
+func (j *JSONL) Emit(e Event) {
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(e)
+}
+
+// Flush drains the buffer and returns the first error seen.
+func (j *JSONL) Flush() error {
+	if j.err != nil {
+		return j.err
+	}
+	return j.w.Flush()
+}

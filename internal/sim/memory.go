@@ -26,76 +26,112 @@ func simulateMemory(s *pipeline.Schedule, e *cost.Estimator, res *Result) {
 	copy(res.PeakMem, PeakMemory(s, e))
 }
 
+// MemSim incrementally replays the memory accounting above for one device,
+// one instruction at a time. The cluster emulator drives it alongside
+// execution to attribute memory to instructions in its event stream; each
+// iteration's allocations release by iteration end, so stepping the same
+// list repeatedly is valid.
+type MemSim struct {
+	e          *cost.Estimator
+	stages     int
+	cur, peak  float64
+	bufferedSA []bool
+	ckpted     []bool
+}
+
+// NewMemSim builds the tracker for device d of the schedule, starting at the
+// device's static memory (framework + owned weights).
+func NewMemSim(s *pipeline.Schedule, e *cost.Estimator, d int) *MemSim {
+	m := &MemSim{e: e, stages: s.NumStages()}
+	static := e.FrameworkMem
+	for _, st := range deviceStages(s, d) {
+		static += e.WeightBytes[st]
+	}
+	m.cur, m.peak = static, static
+
+	// bufferedSA marks (micro, stage) pairs whose SendAct is buffered, so
+	// the CkptForward must allocate the staging buffer; ckpted marks pairs
+	// whose forward ran checkpointed, so the Backward also releases the
+	// stash. Both are flat bitmaps indexed micro*S+stage.
+	m.bufferedSA = make([]bool, s.Micros*m.stages)
+	m.ckpted = make([]bool, s.Micros*m.stages)
+	for _, in := range s.Lists[d] {
+		if in.Kind == pipeline.SendAct && in.Buffered {
+			m.bufferedSA[m.cell(in)] = true
+		}
+	}
+	return m
+}
+
+func (m *MemSim) cell(in pipeline.Instr) int { return in.Micro*m.stages + in.Stage }
+
+func (m *MemSim) bump(v float64) {
+	m.cur += v
+	if m.cur > m.peak {
+		m.peak = m.cur
+	}
+}
+
+// transient records a working set live only while the instruction runs.
+func (m *MemSim) transient(v float64) {
+	if m.cur+v > m.peak {
+		m.peak = m.cur + v
+	}
+}
+
+// Step applies one instruction's memory effect and returns the resident
+// bytes after it completes (transient working sets count toward Peak but
+// not toward the returned value).
+func (m *MemSim) Step(in pipeline.Instr) float64 {
+	e := m.e
+	switch in.Kind {
+	case pipeline.Forward:
+		m.bump(e.ActFull[in.Stage])
+	case pipeline.CkptForward:
+		m.transient(e.ActWork[in.Stage])
+		m.bump(e.ActStash[in.Stage])
+		m.ckpted[m.cell(in)] = true
+		if m.bufferedSA[m.cell(in)] {
+			m.bump(e.ActP2PBytes)
+		}
+	case pipeline.Recompute:
+		m.bump(e.ActFull[in.Stage])
+	case pipeline.Backward, pipeline.BackwardWeight:
+		// A whole backward releases the activations when it finishes; a
+		// split backward holds them until the deferred weight-gradient half
+		// runs (ZB-H1's memory trade-off).
+		m.transient(e.ActWork[in.Stage])
+		m.cur -= e.ActFull[in.Stage]
+		if m.ckpted[m.cell(in)] {
+			m.cur -= e.ActStash[in.Stage]
+		}
+	case pipeline.BackwardInput:
+		m.transient(e.ActWork[in.Stage])
+	case pipeline.SendAct:
+		if in.Buffered {
+			m.cur -= e.ActP2PBytes
+		}
+	}
+	return m.cur
+}
+
+// Cur returns the resident bytes after the last Step.
+func (m *MemSim) Cur() float64 { return m.cur }
+
+// Peak returns the high-water mark, transients included.
+func (m *MemSim) Peak() float64 { return m.peak }
+
 // PeakMemory returns the per-device peak memory of the schedule under the
 // estimator's memory model, without running the timing simulation. The
 // cluster emulator reuses it as the allocator ground truth.
 func PeakMemory(s *pipeline.Schedule, e *cost.Estimator) []float64 {
 	peaks := make([]float64, s.NumDevices())
 	for d, list := range s.Lists {
-		static := e.FrameworkMem
-		for _, st := range deviceStages(s, d) {
-			static += e.WeightBytes[st]
-		}
-		cur := static
-		peak := cur
-
-		// bufferedSA marks (micro, stage) pairs whose SendAct is buffered,
-		// so the CkptForward must allocate the staging buffer; ckpted marks
-		// pairs whose forward ran checkpointed, so the Backward also
-		// releases the stash. Both are flat bitmaps indexed micro*S+stage.
-		S := s.NumStages()
-		cell := func(in pipeline.Instr) int { return in.Micro*S + in.Stage }
-		bufferedSA := make([]bool, s.Micros*S)
-		ckpted := make([]bool, s.Micros*S)
+		ms := NewMemSim(s, e, d)
 		for _, in := range list {
-			if in.Kind == pipeline.SendAct && in.Buffered {
-				bufferedSA[cell(in)] = true
-			}
+			ms.Step(in)
 		}
-
-		bump := func(v float64) {
-			cur += v
-			if cur > peak {
-				peak = cur
-			}
-		}
-		transient := func(v float64) {
-			if cur+v > peak {
-				peak = cur + v
-			}
-		}
-
-		for _, in := range list {
-			switch in.Kind {
-			case pipeline.Forward:
-				bump(e.ActFull[in.Stage])
-			case pipeline.CkptForward:
-				transient(e.ActWork[in.Stage])
-				bump(e.ActStash[in.Stage])
-				ckpted[cell(in)] = true
-				if bufferedSA[cell(in)] {
-					bump(e.ActP2PBytes)
-				}
-			case pipeline.Recompute:
-				bump(e.ActFull[in.Stage])
-			case pipeline.Backward, pipeline.BackwardWeight:
-				// A whole backward releases the activations when it
-				// finishes; a split backward holds them until the deferred
-				// weight-gradient half runs (ZB-H1's memory trade-off).
-				transient(e.ActWork[in.Stage])
-				cur -= e.ActFull[in.Stage]
-				if ckpted[cell(in)] {
-					cur -= e.ActStash[in.Stage]
-				}
-			case pipeline.BackwardInput:
-				transient(e.ActWork[in.Stage])
-			case pipeline.SendAct:
-				if in.Buffered {
-					cur -= e.ActP2PBytes
-				}
-			}
-		}
-		peaks[d] = peak
+		peaks[d] = ms.Peak()
 	}
 	return peaks
 }

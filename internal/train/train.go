@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"mario/internal/nn"
+	"mario/internal/obs"
 	"mario/internal/pipeline"
 	"mario/internal/tensor"
 )
@@ -72,6 +73,13 @@ type Trainer struct {
 	heads  map[int]*nn.LMHead
 	// replicas is the weight-replica count of the placement seen.
 	replicas int
+
+	// Sink, when non-nil, receives one obs.Event per executed instruction
+	// after each RunIteration, device-major in execution order. Unlike the
+	// cluster emulator's virtual timestamps these are wall-clock seconds
+	// since iteration start, with live activation bytes as the memory
+	// figure — a trace of a real (miniature) training run.
+	Sink obs.Sink
 }
 
 // New builds the trainer; the model stages materialise on the first
@@ -242,6 +250,11 @@ type devState struct {
 	peak int64
 
 	losses map[int]float64
+
+	// events collects the device's wall-clock trace when the trainer has a
+	// sink attached (nil otherwise); epoch anchors the timestamps.
+	events []obs.Event
+	epoch  time.Time
 }
 
 func newDevState() *devState {
@@ -318,8 +331,13 @@ func (t *Trainer) RunIteration(s *pipeline.Schedule) (*Stats, error) {
 	release := make(chan struct{})
 	go t.allReduceCoordinator(arrive, release, abort, D)
 
+	epoch := time.Now()
 	for d := 0; d < D; d++ {
 		states[d] = newDevState()
+		if t.Sink != nil {
+			states[d].events = make([]obs.Event, 0, len(s.Lists[d]))
+			states[d].epoch = epoch
+		}
 		wg.Add(1)
 		go func(d int) {
 			defer wg.Done()
@@ -365,6 +383,13 @@ func (t *Trainer) RunIteration(s *pipeline.Schedule) (*Stats, error) {
 	}
 	for _, l := range stats.MicroLosses {
 		stats.Loss += l
+	}
+	if t.Sink != nil {
+		for d := 0; d < D; d++ {
+			for _, ev := range states[d].events {
+				t.Sink.Emit(ev)
+			}
+		}
 	}
 	return stats, nil
 }
@@ -430,7 +455,12 @@ func (t *Trainer) runDevice(
 	arrive chan<- int, release <-chan struct{}, abort chan struct{},
 ) error {
 	lastStage := s.NumStages() - 1
+	record := ds.events != nil
 	for _, in := range s.Lists[d] {
+		var start float64
+		if record {
+			start = time.Since(ds.epoch).Seconds()
+		}
 		ck := cellKey{micro: in.Micro, stage: in.Stage}
 		switch in.Kind {
 		case pipeline.RecvAct, pipeline.RecvGrad:
@@ -619,6 +649,23 @@ func (t *Trainer) runDevice(
 					}
 				}
 			}
+		}
+		if record {
+			end := time.Since(ds.epoch).Seconds()
+			ev := obs.Event{
+				Device: d, Kind: in.Kind, Micro: in.Micro, Part: in.Part,
+				Stage: in.Stage, Peer: -1, Start: start, End: end,
+				Mem: float64(ds.live), Buffered: in.Buffered,
+			}
+			if in.Kind.IsComm() {
+				ev.Peer = s.PeerDevice(d, in)
+				// Wall-clock receives are essentially all queue wait; the
+				// copy itself is a pointer handoff.
+				if in.Kind == pipeline.RecvAct || in.Kind == pipeline.RecvGrad {
+					ev.Wait = end - start
+				}
+			}
+			ds.events = append(ds.events, ev)
 		}
 	}
 	return nil

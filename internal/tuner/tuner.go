@@ -101,6 +101,22 @@ func (c Candidate) Label() string {
 	return fmt.Sprintf("%s-%d-%d(%s)", c.Scheme.Shape(), c.PP, c.MicroBatch, tag)
 }
 
+// SearchStats counts what one Search call explored — the tuner's own
+// observability: how much of the grid was simulated, how much the memory
+// penalty rejected, and how much was structurally impossible.
+type SearchStats struct {
+	// Explored counts candidates that reached the simulator (they appear
+	// in the trace).
+	Explored int
+	// OOMRejected counts explored candidates zeroed by the memory penalty.
+	OOMRejected int
+	// Pruned counts grid points skipped before simulation (indivisible
+	// batch, scheme constraints, too few layers).
+	Pruned int
+	// Improved counts how many times the best-so-far advanced.
+	Improved int
+}
+
 // Tuner runs the grid search using a profiler as the estimator source E and
 // the simulator as the performance model F.
 type Tuner struct {
@@ -114,6 +130,13 @@ type Tuner struct {
 	// transformation on each checkpointed candidate, keeping it when the
 	// simulator confirms an improvement within the memory budget.
 	SplitBackward bool
+	// Progress, when non-nil, is invoked after every explored candidate
+	// with that candidate and the best found so far (Fig. 11's curve,
+	// streamed).
+	Progress func(c Candidate, best Candidate)
+
+	// Stats describes the most recent Search call.
+	Stats SearchStats
 }
 
 func (t *Tuner) dpEff(dp int) float64 {
@@ -134,6 +157,7 @@ func (t *Tuner) Search(space Space) (*Candidate, []Candidate, error) {
 	if space.Devices <= 0 || space.GlobalBatch <= 0 {
 		return nil, nil, fmt.Errorf("tuner: devices (%d) and global batch (%d) must be positive", space.Devices, space.GlobalBatch)
 	}
+	t.Stats = SearchStats{}
 	var trace []Candidate
 	var best *Candidate
 	for _, b := range space.Schemes {
@@ -146,12 +170,21 @@ func (t *Tuner) Search(space Space) (*Candidate, []Candidate, error) {
 				for _, mbs := range space.MicroBatches {
 					c := t.evaluate(space, b, a, pp, dp, mbs)
 					if c == nil {
+						t.Stats.Pruned++
 						continue
+					}
+					t.Stats.Explored++
+					if c.OOM {
+						t.Stats.OOMRejected++
 					}
 					trace = append(trace, *c)
 					if best == nil || c.Throughput > best.Throughput {
 						cc := *c
 						best = &cc
+						t.Stats.Improved++
+					}
+					if t.Progress != nil {
+						t.Progress(*c, *best)
 					}
 				}
 			}

@@ -12,6 +12,7 @@ import (
 	"math"
 	"strings"
 
+	"mario/internal/obs"
 	"mario/internal/pipeline"
 	"mario/internal/sim"
 )
@@ -155,18 +156,19 @@ func SVG(w io.Writer, res *sim.Result) error {
 
 // traceEvent is one Chrome-trace "complete" event.
 type traceEvent struct {
-	Name string  `json:"name"`
-	Cat  string  `json:"cat"`
-	Ph   string  `json:"ph"`
-	Ts   float64 `json:"ts"`  // microseconds
-	Dur  float64 `json:"dur"` // microseconds
-	PID  int     `json:"pid"`
-	TID  int     `json:"tid"`
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
 }
 
-// ChromeTrace writes the timeline in the Chrome trace-event JSON format
-// (open with chrome://tracing or Perfetto). Compute instructions land on
-// tid 0, communication on tid 1, of the device's pid.
+// ChromeTrace writes the simulator's predicted timeline in the Chrome
+// trace-event JSON format (open with chrome://tracing or Perfetto). Compute
+// instructions land on tid 0, communication on tid 1, of the device's pid.
 func ChromeTrace(w io.Writer, res *sim.Result) error {
 	var events []traceEvent
 	for d, spans := range res.Timeline {
@@ -188,6 +190,40 @@ func ChromeTrace(w io.Writer, res *sim.Result) error {
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(map[string]any{"traceEvents": events})
+}
+
+// ChromeTraceMeasured writes a measured run's obs event stream in the Chrome
+// trace-event JSON format — the measured counterpart of ChromeTrace, so a
+// predicted and a measured trace of the same schedule can be opened side by
+// side in Perfetto. Each event carries its iteration, queue wait and modeled
+// memory as args.
+func ChromeTraceMeasured(w io.Writer, events []obs.Event) error {
+	out := make([]traceEvent, 0, len(events))
+	for _, e := range events {
+		tid, cat := 0, "compute"
+		if e.Kind.IsComm() {
+			tid, cat = 1, "comm"
+		}
+		args := map[string]any{"iter": e.Iter}
+		if e.Wait > 0 {
+			args["wait_us"] = e.Wait * 1e6
+		}
+		if e.Mem > 0 {
+			args["mem_bytes"] = e.Mem
+		}
+		out = append(out, traceEvent{
+			Name: e.Instr().String(),
+			Cat:  cat,
+			Ph:   "X",
+			Ts:   e.Start * 1e6,
+			Dur:  e.Dur() * 1e6,
+			PID:  e.Device,
+			TID:  tid,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": out})
 }
 
 // MemoryBars renders per-device peak memory as a horizontal ASCII bar chart

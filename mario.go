@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"mario/internal/cost"
+	"mario/internal/obs"
 	"mario/internal/pipeline"
 	"mario/internal/profile"
 	"mario/internal/tuner"
@@ -65,6 +66,10 @@ type Config struct {
 	// Hardware overrides the device description; zero value uses A100-40G
 	// with the memory limit from MemoryPerDevice.
 	Hardware *cost.Hardware
+	// Progress, when non-nil, is invoked after every tuner candidate with
+	// the number of candidates explored so far and the best configuration
+	// found (its Label and estimated throughput).
+	Progress func(explored int, bestLabel string, bestThroughput float64)
 }
 
 // ModelConfig is the model_conf of Listing 1.
@@ -99,6 +104,9 @@ type Plan struct {
 	Trace []tuner.Candidate
 	// Profiler retains the fitted estimators for re-simulation.
 	Profiler *profile.Profiler
+	// SearchStats counts what the tuner explored, rejected for memory and
+	// pruned while producing the plan.
+	SearchStats tuner.SearchStats
 
 	memLimit float64
 	tp       int
@@ -179,6 +187,13 @@ func Optimize(conf Config, model ModelConfig) (*Plan, error) {
 
 	prof := &profile.Profiler{Model: model, HW: hw, Spec: spec, Devices: 4, Iters: 10}
 	tn := &tuner.Tuner{Prof: prof, SplitBackward: conf.SplitBackward}
+	if cb := conf.Progress; cb != nil {
+		explored := 0
+		tn.Progress = func(_ tuner.Candidate, best tuner.Candidate) {
+			explored++
+			cb(explored, best.Label(), best.Throughput)
+		}
+	}
 	best, trace, err := tn.Search(tuner.Space{
 		Devices:      conf.NumDevices,
 		GlobalBatch:  conf.GlobalBatchSize,
@@ -197,13 +212,32 @@ func Optimize(conf Config, model ModelConfig) (*Plan, error) {
 	if tp <= 0 {
 		tp = 1
 	}
-	return &Plan{Best: *best, Trace: trace, Profiler: prof, memLimit: memLimit, tp: tp}, nil
+	return &Plan{Best: *best, Trace: trace, Profiler: prof, SearchStats: tn.Stats, memLimit: memLimit, tp: tp}, nil
 }
+
+// Sink receives one Event per executed instruction of a measured run; see
+// the obs package for the delivery contract and ready-made sinks.
+type Sink = obs.Sink
+
+// Event is one measured instruction execution.
+type Event = obs.Event
+
+// Recorder is a Sink that retains every event in memory.
+type Recorder = obs.Recorder
+
+// MeasuredStats is the per-device metrics digest derived from a measured
+// run's event stream.
+type MeasuredStats = obs.Stats
+
+// DriftReport quantifies predicted-vs-measured disagreement; see Drift.
+type DriftReport = obs.DriftReport
 
 // RunReport summarises an execution of the plan on the emulated cluster.
 type RunReport struct {
 	// IterTime is the measured time per training iteration in seconds.
 	IterTime float64
+	// Total is the measured virtual time for all iterations in seconds.
+	Total float64
 	// SamplesPerSec is the measured training throughput.
 	SamplesPerSec float64
 	// PeakMemMin and PeakMemMax are the per-device peak-memory extremes in
@@ -211,11 +245,37 @@ type RunReport struct {
 	PeakMemMin, PeakMemMax float64
 	// PeakMem is the full per-device peak memory in bytes.
 	PeakMem []float64
+	// WatchdogResets counts how often the deadlock watchdog re-armed
+	// because the cluster was slow but still making progress.
+	WatchdogResets int
+	// Events is the measured per-instruction event stream (nil unless
+	// RunOptions.CollectEvents was set or a Recorder sink was attached).
+	Events []Event
+	// Stats is the per-device metrics digest derived from Events (nil when
+	// no events were collected).
+	Stats *MeasuredStats
+}
+
+// RunOptions configures observability for RunWithOptions. The zero value
+// records nothing and adds no overhead.
+type RunOptions struct {
+	// Sink, when non-nil, receives every measured instruction event after
+	// the run completes (deterministic device-major order).
+	Sink Sink
+	// CollectEvents additionally retains the event stream in
+	// RunReport.Events and derives RunReport.Stats from it.
+	CollectEvents bool
 }
 
 // Run executes the plan's schedule for iters training iterations on the
 // emulated cluster and reports measured throughput and memory.
 func Run(p *Plan, iters int) (*RunReport, error) {
+	return RunWithOptions(p, iters, RunOptions{})
+}
+
+// RunWithOptions is Run with observability attached: an optional event sink
+// and optional in-report event collection with derived per-device stats.
+func RunWithOptions(p *Plan, iters int, opts RunOptions) (*RunReport, error) {
 	if p == nil || p.Best.Schedule == nil {
 		return nil, fmt.Errorf("mario: plan has no schedule")
 	}
@@ -229,14 +289,23 @@ func Run(p *Plan, iters int) (*RunReport, error) {
 		return nil, err
 	}
 	mach.DP = p.Best.DP
+	var rec *Recorder
+	if opts.CollectEvents {
+		rec = &Recorder{}
+		mach.Sink = obs.Multi(rec, opts.Sink)
+	} else {
+		mach.Sink = opts.Sink
+	}
 	rep, err := mach.Run(p.Best.Schedule, iters)
 	if err != nil {
 		return nil, err
 	}
 	out := &RunReport{
-		IterTime:      rep.IterTime,
-		SamplesPerSec: rep.SamplesPerSec,
-		PeakMem:       rep.PeakMem,
+		IterTime:       rep.IterTime,
+		Total:          rep.Total,
+		SamplesPerSec:  rep.SamplesPerSec,
+		PeakMem:        rep.PeakMem,
+		WatchdogResets: rep.WatchdogResets,
 	}
 	out.PeakMemMin, out.PeakMemMax = rep.PeakMem[0], rep.PeakMem[0]
 	for _, v := range rep.PeakMem[1:] {
@@ -247,7 +316,26 @@ func Run(p *Plan, iters int) (*RunReport, error) {
 			out.PeakMemMax = v
 		}
 	}
+	if rec != nil {
+		out.Events = rec.Events
+		out.Stats = obs.Compute(rec.Events, rep.Total)
+		out.Stats.WatchdogResets = rep.WatchdogResets
+	}
 	return out, nil
+}
+
+// Drift aligns a measured run's event stream with the plan's predicted
+// timeline and quantifies the disagreement (per-kind latency MAPE, memory
+// MAPE, worst-offending instructions). The report requires rep.Events, i.e.
+// a run made with RunOptions.CollectEvents.
+func Drift(p *Plan, rep *RunReport) (*DriftReport, error) {
+	if p == nil || p.Best.Result == nil {
+		return nil, fmt.Errorf("mario: plan has no simulation result")
+	}
+	if rep == nil || len(rep.Events) == 0 {
+		return nil, fmt.Errorf("mario: run report has no events (use RunOptions.CollectEvents)")
+	}
+	return obs.ComputeDrift(rep.Events, p.Best.Result, rep.PeakMem), nil
 }
 
 // Visualize writes the plan's simulated timeline as an ASCII Gantt chart —

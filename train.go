@@ -34,6 +34,26 @@ type Trainer = train.Trainer
 // NewTrainer builds and partitions the miniature model.
 func NewTrainer(cfg TrainConfig) (*Trainer, error) { return train.New(cfg) }
 
+// TraceIteration runs one real-tensor training iteration with an event
+// recorder attached and returns the stats together with the measured
+// per-instruction event stream (wall-clock seconds since iteration start,
+// live activation bytes as memory). The trainer's own Sink, if any, is
+// restored afterwards.
+func TraceIteration(tr *Trainer, s *Schedule) (*TrainStats, []Event, error) {
+	if tr == nil {
+		return nil, nil, fmt.Errorf("mario: nil trainer")
+	}
+	rec := &Recorder{}
+	prev := tr.Sink
+	tr.Sink = rec
+	defer func() { tr.Sink = prev }()
+	st, err := tr.RunIteration(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, rec.Events, nil
+}
+
 // BuildSchedule expands a named pipeline scheme ("V"/"1F1B", "X"/"Chimera",
 // "W"/"Interleave", "GPipe") into a validated instruction-list schedule.
 func BuildSchedule(schemeName string, devices, micros int) (*Schedule, error) {
