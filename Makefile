@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench check fmt
+.PHONY: all build vet test race bench check fmt fuzz
 
 all: check
 
@@ -21,7 +21,14 @@ race:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem .
 
-check: vet build race
+# Short fuzz smoke: each target gets FUZZTIME of coverage-guided input
+# generation on top of its checked-in seeds.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzSchemeBuild -fuzztime $(FUZZTIME) ./internal/scheme
+	$(GO) test -run '^$$' -fuzz FuzzGraphPassInvariants -fuzztime $(FUZZTIME) ./internal/graph
+
+check: vet build race fuzz
 
 fmt:
 	gofmt -l -w .

@@ -6,7 +6,9 @@
 package mario_test
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"mario"
@@ -416,6 +418,61 @@ func BenchmarkTuning1024GPU(b *testing.B) {
 		candidates = len(trace)
 	}
 	b.ReportMetric(float64(candidates), "configs")
+}
+
+// BenchmarkTunerSearch compares sequential and parallel grid search on a
+// large space (a 64-device GPT3-13B grid with four schemes and six
+// micro-batch sizes, well over 200 evaluated configurations). NoPrune keeps
+// the amount of simulation work identical across worker counts, and each
+// iteration uses a fresh Tuner so the memoization cache cannot carry results
+// between iterations; the profiler is shared since its output is immutable.
+// The results are byte-identical across sub-benchmarks — only the wall time
+// differs. The pruned variant runs the same grid with the upper-bound prune
+// enabled, showing how many simulations it avoids ("explored" vs "bound-pruned").
+func BenchmarkTunerSearch(b *testing.B) {
+	prof := &profile.Profiler{
+		Model: cost.GPT3_13B, HW: cost.A100_40G,
+		Spec: profile.DefaultMachine, Devices: 4, Iters: 4,
+	}
+	space := tuner.Space{
+		Devices:      64,
+		GlobalBatch:  512,
+		Schemes:      []pipeline.Scheme{pipeline.Scheme1F1B, pipeline.SchemeChimera, pipeline.SchemeInterleave, pipeline.SchemeGPipe},
+		MicroBatches: []int{1, 2, 4, 8, 16, 32},
+		DeviceMem:    cost.A100_40G.MemBytes,
+		NoPrune:      true,
+	}
+	run := func(b *testing.B, space tuner.Space) {
+		var explored, pruned int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tn := &tuner.Tuner{Prof: prof, MaxRounds: 1}
+			if _, _, err := tn.Search(space); err != nil {
+				b.Fatal(err)
+			}
+			st := tn.StatsSnapshot()
+			explored, pruned = st.Explored, st.BoundPruned
+		}
+		b.ReportMetric(float64(explored), "explored")
+		b.ReportMetric(float64(pruned), "bound-pruned")
+	}
+	par := runtime.GOMAXPROCS(0)
+	b.Run("workers=1", func(b *testing.B) {
+		s := space
+		s.Workers = 1
+		run(b, s)
+	})
+	b.Run(fmt.Sprintf("workers=%d", par), func(b *testing.B) {
+		s := space
+		s.Workers = par
+		run(b, s)
+	})
+	b.Run(fmt.Sprintf("workers=%d/pruned", par), func(b *testing.B) {
+		s := space
+		s.Workers = par
+		s.NoPrune = false
+		run(b, s)
+	})
 }
 
 // BenchmarkOptimizeAPI measures the end-to-end public Optimize call

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-fast] [-run name]
+//	experiments [-fast] [-run name] [-workers n]
 //
 // where name is one of: table1, figure2, figure5, figure6, table5, figure7,
 // figure8, figure9, figure10, figure11, summary, all (default).
@@ -22,9 +22,10 @@ import (
 func main() {
 	fast := flag.Bool("fast", false, "run reduced-size experiments")
 	run := flag.String("run", "all", "experiment to run (table1, figure2, figure5, figure6, table5, figure7, figure8, figure9, figure10, figure11, drift, extension, summary, all)")
+	workers := flag.Int("workers", 0, "concurrent tuner evaluations in figure11 (0 = GOMAXPROCS; output is identical)")
 	flag.Parse()
 
-	opt := experiments.Opts{Fast: *fast}
+	opt := experiments.Opts{Fast: *fast, Workers: *workers}
 	w := os.Stdout
 	want := func(name string) bool {
 		return *run == "all" || strings.EqualFold(*run, name)

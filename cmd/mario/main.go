@@ -7,9 +7,9 @@
 // Usage:
 //
 //	mario -model GPT3-13B -devices 32 -gbs 128 -mem 40G [-scheme Auto]
-//	      [-tp 1] [-run 3] [-viz] [-svg out.svg] [-trace out.json]
-//	      [-trace-measured out.json] [-events out.jsonl] [-stats] [-drift]
-//	      [-pprof cpu.out]
+//	      [-tp 1] [-workers 0] [-no-prune] [-run 3] [-viz] [-svg out.svg]
+//	      [-trace out.json] [-trace-measured out.json] [-events out.jsonl]
+//	      [-stats] [-drift] [-pprof cpu.out]
 package main
 
 import (
@@ -32,6 +32,8 @@ func main() {
 		mem       = flag.String("mem", "40G", "memory per device")
 		schemeStr = flag.String("scheme", "Auto", "pipeline scheme: Auto, V/1F1B, X/Chimera, W/Interleave, GPipe")
 		tp        = flag.Int("tp", 1, "tensor-parallel degree (held constant)")
+		workers   = flag.Int("workers", 0, "concurrent tuner evaluations (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+		noPrune   = flag.Bool("no-prune", false, "disable the tuner's upper-bound prune (simulate every feasible configuration)")
 		split     = flag.Bool("split", false, "also try ZB-H1 split-backward on checkpointed candidates")
 		runIters  = flag.Int("run", 0, "execute the winning schedule for N iterations on the emulated cluster")
 		showViz   = flag.Bool("viz", false, "print the winning schedule's timeline as ASCII")
@@ -88,6 +90,8 @@ func main() {
 		MemoryPerDevice: *mem,
 		TP:              *tp,
 		SplitBackward:   *split,
+		Workers:         *workers,
+		NoPrune:         *noPrune,
 	}
 	if *showStats {
 		conf.Progress = func(explored int, bestLabel string, bestThroughput float64) {
@@ -114,8 +118,8 @@ func main() {
 	}
 	if *showStats {
 		st := plan.SearchStats
-		fmt.Printf("tuner search: explored %d, OOM-rejected %d, pruned %d, best improved %d times\n",
-			st.Explored, st.OOMRejected, st.Pruned, st.Improved)
+		fmt.Printf("tuner search: explored %d, OOM-rejected %d, pruned %d structural + %d by bound, best improved %d times\n",
+			st.Explored, st.OOMRejected, st.Pruned, st.BoundPruned, st.Improved)
 	}
 
 	if *traceAll {

@@ -22,6 +22,10 @@ type Opts struct {
 	// Fast shrinks device counts, batch sizes and sweeps so the experiment
 	// finishes in well under a second.
 	Fast bool
+	// Workers bounds the concurrent tuner evaluations in experiments that
+	// run the schedule tuner (Figure 11); 0 means GOMAXPROCS. The produced
+	// tables and figures are identical for every value.
+	Workers int
 }
 
 // GB converts bytes to binary gigabytes.

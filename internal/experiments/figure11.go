@@ -41,12 +41,16 @@ func Figure11(opt Opts) (*Fig11Result, error) {
 	}
 	tn := &tuner.Tuner{Prof: newProfiler(cost.GPT3_13B), MaxRounds: 2}
 	start := time.Now()
+	// NoPrune keeps every feasible point in the trace: the figure plots the
+	// whole tuning curve, not just the points that could still win.
 	best, trace, err := tn.Search(tuner.Space{
 		Devices:      devices,
 		GlobalBatch:  gbs,
 		MicroBatches: mbs,
 		TP:           1,
 		DeviceMem:    cost.A100_40G.MemBytes,
+		Workers:      opt.Workers,
+		NoPrune:      true,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"testing"
+
+	"mario/internal/pipeline"
+	"mario/internal/scheme"
+)
+
+// countKinds tallies the per-kind instruction counts of a schedule.
+func countKinds(s *pipeline.Schedule) map[pipeline.Kind]int {
+	out := make(map[pipeline.Kind]int)
+	for _, list := range s.Lists {
+		for _, in := range list {
+			out[in.Kind]++
+		}
+	}
+	return out
+}
+
+// FuzzGraphPassInvariants runs the local rewrite passes (apply-checkpoint,
+// overlap-recompute, remove-redundancy) over fuzz-chosen schedules and checks
+// the structural invariants the simulator and executor rely on:
+//
+//   - instruction-count conservation: forward-like work (Forward +
+//     CkptForward) and Backward counts are unchanged, every CkptForward has
+//     exactly one Recompute, and communication instructions are neither
+//     created nor destroyed;
+//   - no duplicate (device, micro, part) FW/BW pairs: each compute identity
+//     (kind, micro, part, stage) appears at most once;
+//   - the rewritten schedule still passes pipeline.Validate.
+func FuzzGraphPassInvariants(f *testing.F) {
+	f.Add(uint8(0), uint8(4), uint8(8), uint8(2))
+	f.Add(uint8(1), uint8(4), uint8(6), uint8(2))
+	f.Add(uint8(2), uint8(6), uint8(12), uint8(2))
+	f.Add(uint8(3), uint8(4), uint8(8), uint8(2))
+	f.Add(uint8(1), uint8(8), uint8(3), uint8(1))
+	f.Fuzz(func(t *testing.T, sel, devices, micros, chunks uint8) {
+		schemes := []pipeline.Scheme{
+			pipeline.SchemeGPipe,
+			pipeline.Scheme1F1B,
+			pipeline.SchemeChimera,
+			pipeline.SchemeInterleave,
+		}
+		s := schemes[int(sel)%len(schemes)]
+		d := int(devices)%10 + 1
+		n := int(micros)%16 + 1
+		v := int(chunks)%3 + 1
+		sched, err := scheme.Build(s, scheme.Config{Devices: d, Micros: n, Chunks: v})
+		if err != nil {
+			return
+		}
+		before := countKinds(sched)
+
+		c := sched.Clone()
+		ApplyCheckpoint(c)
+		OverlapRecompute(c)
+		RemoveRedundancy(c)
+		OverlapRecompute(c)
+
+		after := countKinds(c)
+		if got, want := after[pipeline.Forward]+after[pipeline.CkptForward],
+			before[pipeline.Forward]; got != want {
+			t.Fatalf("%s d=%d n=%d v=%d: forward-like count %d, want %d", s, d, n, v, got, want)
+		}
+		if got, want := after[pipeline.Backward], before[pipeline.Backward]; got != want {
+			t.Fatalf("%s d=%d n=%d v=%d: backward count %d, want %d", s, d, n, v, got, want)
+		}
+		if got, want := after[pipeline.Recompute], after[pipeline.CkptForward]; got != want {
+			t.Fatalf("%s d=%d n=%d v=%d: %d recomputes for %d checkpointed forwards", s, d, n, v, got, want)
+		}
+		for _, k := range []pipeline.Kind{
+			pipeline.SendAct, pipeline.RecvAct, pipeline.SendGrad, pipeline.RecvGrad,
+			pipeline.AllReduce, pipeline.OptimizerStep,
+		} {
+			if after[k] != before[k] {
+				t.Fatalf("%s d=%d n=%d v=%d: %v count changed %d -> %d", s, d, n, v, k, before[k], after[k])
+			}
+		}
+
+		// No duplicate compute identities: at most one forward-like, one
+		// backward, one recompute per (device, micro, part, stage).
+		seen := make(map[pipeline.Key]int)
+		for dev, list := range c.Lists {
+			for _, in := range list {
+				if !in.Kind.IsCompute() || in.Kind == pipeline.AllReduce || in.Kind == pipeline.OptimizerStep {
+					continue
+				}
+				k := in.Key()
+				// Fold Forward and CkptForward into one identity: a micro's
+				// forward must run exactly once either way.
+				if k.Kind == pipeline.CkptForward {
+					k.Kind = pipeline.Forward
+				}
+				if prev, dup := seen[k]; dup {
+					t.Fatalf("%s d=%d n=%d v=%d: duplicate %v on device %d (first on %d)", s, d, n, v, in, dev, prev)
+				}
+				seen[k] = dev
+			}
+		}
+
+		if err := pipeline.Validate(c); err != nil {
+			t.Fatalf("%s d=%d n=%d v=%d: rewritten schedule invalid: %v", s, d, n, v, err)
+		}
+	})
+}

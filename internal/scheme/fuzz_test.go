@@ -1,0 +1,74 @@
+package scheme
+
+import (
+	"testing"
+
+	"mario/internal/pipeline"
+)
+
+// fuzzScheme maps a fuzz byte to a scheme under test.
+func fuzzScheme(sel uint8) pipeline.Scheme {
+	schemes := []pipeline.Scheme{
+		pipeline.SchemeGPipe,
+		pipeline.Scheme1F1B,
+		pipeline.SchemeChimera,
+		pipeline.SchemeInterleave,
+	}
+	return schemes[int(sel)%len(schemes)]
+}
+
+// FuzzSchemeBuild drives Build across the whole (scheme, devices, micros,
+// chunks) input space. Constraint rejections are fine; any successfully
+// built schedule must uphold the generator's invariants:
+//
+//   - it passes pipeline.Validate (Build checks this itself; re-checked so
+//     the fuzz target stays meaningful if Build ever skips it),
+//   - instruction identities are unique — no duplicate (kind, micro, part,
+//     stage) on any device,
+//   - compute work is conserved: exactly Micros forwards and Micros
+//     backwards per global stage, and zero checkpoint kinds.
+func FuzzSchemeBuild(f *testing.F) {
+	f.Add(uint8(0), uint8(4), uint8(8), uint8(2))
+	f.Add(uint8(1), uint8(4), uint8(4), uint8(2))
+	f.Add(uint8(2), uint8(6), uint8(12), uint8(1))
+	f.Add(uint8(3), uint8(4), uint8(8), uint8(3))
+	f.Add(uint8(3), uint8(1), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, sel, devices, micros, chunks uint8) {
+		d := int(devices)%12 + 1
+		n := int(micros)%24 + 1
+		v := int(chunks) % 5 // 0 exercises the Chunks default
+		s := fuzzScheme(sel)
+		sched, err := Build(s, Config{Devices: d, Micros: n, Chunks: v})
+		if err != nil {
+			return // constraint rejection is a valid outcome
+		}
+		if err := pipeline.Validate(sched); err != nil {
+			t.Fatalf("%s d=%d n=%d v=%d: built schedule invalid: %v", s, d, n, v, err)
+		}
+		seen := make(map[pipeline.Key]bool, sched.TotalInstrs())
+		for dev, list := range sched.Lists {
+			for _, in := range list {
+				k := in.Key()
+				if in.Kind == pipeline.AllReduce || in.Kind == pipeline.OptimizerStep {
+					continue // per-device collectives share (micro, stage)
+				}
+				if seen[k] {
+					t.Fatalf("%s d=%d n=%d v=%d: duplicate instruction %v on device %d", s, d, n, v, in, dev)
+				}
+				seen[k] = true
+			}
+		}
+		stages := sched.NumStages()
+		if fw := sched.CountKind(-1, pipeline.Forward); fw != n*stages {
+			t.Fatalf("%s d=%d n=%d v=%d: %d forwards, want micros×stages = %d", s, d, n, v, fw, n*stages)
+		}
+		if bw := sched.CountKind(-1, pipeline.Backward); bw != n*stages {
+			t.Fatalf("%s d=%d n=%d v=%d: %d backwards, want micros×stages = %d", s, d, n, v, bw, n*stages)
+		}
+		for _, k := range []pipeline.Kind{pipeline.CkptForward, pipeline.Recompute} {
+			if c := sched.CountKind(-1, k); c != 0 {
+				t.Fatalf("%s d=%d n=%d v=%d: freshly built schedule contains %d %v", s, d, n, v, c, k)
+			}
+		}
+	})
+}

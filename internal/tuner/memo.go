@@ -1,0 +1,108 @@
+package tuner
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mario/internal/pipeline"
+	"mario/internal/sim"
+)
+
+// memo is a concurrency-safe, compute-once cache: the first caller of a key
+// runs the compute function while later callers (including concurrent ones)
+// block on the entry's sync.Once and share the result. Values must be treated
+// as immutable by all callers — the tuner clones schedules before handing
+// them out in Candidates.
+type memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*memoEntry[V]
+
+	hits, misses atomic.Int64
+}
+
+type memoEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// do returns the cached value for k, computing it with f exactly once per
+// key. Errors are cached too: a key that failed once fails the same way for
+// every later caller, which keeps parallel and sequential searches identical.
+func (c *memo[K, V]) do(k K, f func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*memoEntry[V])
+	}
+	e, ok := c.m[k]
+	if !ok {
+		e = new(memoEntry[V])
+		c.m[k] = e
+	}
+	c.mu.Unlock()
+	computed := false
+	e.once.Do(func() {
+		e.val, e.err = f()
+		computed = true
+	})
+	if computed {
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	return e.val, e.err
+}
+
+// len returns the number of cached keys.
+func (c *memo[K, V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// buildKey identifies one scheme.Build output. mbs is deliberately absent:
+// schedule expansion depends only on the scheme, the pipeline depth, the
+// micro-batch count and the Interleave chunk count, so checkpointed and
+// non-checkpointed grid points (and repeated Search calls on the same tuner)
+// share one build.
+type buildKey struct {
+	scheme  pipeline.Scheme
+	devices int
+	micros  int
+	chunks  int
+}
+
+// graphKey identifies one graph-tuner run. The ISSUE-level identity is
+// (scheme, pp, micros, chunks, ckpt); the remaining fields are guards for
+// everything else that can steer the simulator-guided passes — the estimator
+// inputs (mbs, tp), the acceptance-simulation options (dp, memLimit) and the
+// tuner knobs (maxRounds, split) — so a cache hit is provably equivalent to
+// recomputing.
+type graphKey struct {
+	bk        buildKey
+	mbs       int
+	dp        int
+	tp        int
+	memLimit  float64
+	maxRounds int
+	split     bool
+}
+
+// graphVal is the cached outcome of graph.Optimize (plus the optional
+// split-backward refinement): the optimized schedule and its simulation.
+type graphVal struct {
+	sched *pipeline.Schedule
+	res   *sim.Result
+}
+
+// CacheStats reports the cumulative memoization hit/miss counters across the
+// tuner's schedule-build and graph-pass caches. The counters are race-safe
+// but — unlike SearchStats — not deterministic under Workers > 1: which of
+// two concurrent grid points computes a shared key and which one hits is a
+// scheduling accident. They are therefore reported separately and never
+// compared in determinism tests.
+func (t *Tuner) CacheStats() (hits, misses int64) {
+	hits = t.builds.hits.Load() + t.graphs.hits.Load()
+	misses = t.builds.misses.Load() + t.graphs.misses.Load()
+	return hits, misses
+}

@@ -5,13 +5,26 @@
 // constraint. Configurations that the simulator predicts to exceed device
 // memory score zero (the paper's OOM penalty), and a data-parallel
 // efficiency coefficient models DP scaling.
+//
+// The search fans grid points out to a bounded worker pool (Space.Workers)
+// and merges the results back in canonical iteration order, so the best
+// candidate, the trace and the SearchStats are identical for every worker
+// count. Two layers keep the grid cheap: a memoization layer shares built
+// schedules and graph-pass output across grid points (and across Search
+// calls on the same Tuner), and an admissible upper-bound prune skips the
+// simulation of points whose best-case throughput cannot beat the best
+// already merged.
 package tuner
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
+	"mario/internal/cost"
 	"mario/internal/graph"
 	"mario/internal/pipeline"
 	"mario/internal/profile"
@@ -43,6 +56,15 @@ type Space struct {
 	DeviceMem float64
 	// Chunks is the Interleave model-chunk count; 0 means 2.
 	Chunks int
+	// Workers bounds the number of concurrent grid-point evaluations;
+	// 0 means GOMAXPROCS, 1 evaluates inline with no goroutines. Results
+	// are identical for every worker count.
+	Workers int
+	// NoPrune disables the admissible upper-bound prune so every
+	// structurally feasible point is simulated — the trace then contains
+	// the full Fig. 11 curve. Benchmarks also use it to compare equal
+	// amounts of work across worker counts.
+	NoPrune bool
 }
 
 func (s Space) withDefaults() Space {
@@ -69,6 +91,9 @@ func (s Space) withDefaults() Space {
 	}
 	if s.Chunks <= 0 {
 		s.Chunks = 2
+	}
+	if s.Workers <= 0 {
+		s.Workers = runtime.GOMAXPROCS(0)
 	}
 	return s
 }
@@ -103,16 +128,23 @@ func (c Candidate) Label() string {
 
 // SearchStats counts what one Search call explored — the tuner's own
 // observability: how much of the grid was simulated, how much the memory
-// penalty rejected, and how much was structurally impossible.
+// penalty rejected, and how much was skipped before simulation. All counters
+// are accumulated in canonical grid order, so they are identical for every
+// Space.Workers value.
 type SearchStats struct {
 	// Explored counts candidates that reached the simulator (they appear
 	// in the trace).
 	Explored int
 	// OOMRejected counts explored candidates zeroed by the memory penalty.
 	OOMRejected int
-	// Pruned counts grid points skipped before simulation (indivisible
-	// batch, scheme constraints, too few layers).
+	// Pruned counts grid points skipped as structurally impossible before
+	// any simulation (indivisible batch, scheme constraints, too few
+	// layers).
 	Pruned int
+	// BoundPruned counts feasible grid points whose admissible throughput
+	// upper bound could not beat the best already found, so their
+	// simulation was skipped. Zero when Space.NoPrune is set.
+	BoundPruned int
 	// Improved counts how many times the best-so-far advanced.
 	Improved int
 }
@@ -122,7 +154,8 @@ type SearchStats struct {
 type Tuner struct {
 	Prof *profile.Profiler
 	// DPEfficiency is the per-doubling data-parallel scaling coefficient
-	// (0 < eff ≤ 1); 0 means 0.97.
+	// (0 < eff ≤ 1); values outside that range are clamped: ≤ 0 means the
+	// default 0.97, > 1 is capped at perfect scaling.
 	DPEfficiency float64
 	// MaxRounds bounds the prepose search inside graph.Optimize; 0 means 8.
 	MaxRounds int
@@ -132,11 +165,33 @@ type Tuner struct {
 	SplitBackward bool
 	// Progress, when non-nil, is invoked after every explored candidate
 	// with that candidate and the best found so far (Fig. 11's curve,
-	// streamed).
+	// streamed). It runs on the merging goroutine in canonical grid order,
+	// regardless of Space.Workers.
 	Progress func(c Candidate, best Candidate)
 
-	// Stats describes the most recent Search call.
+	// Stats describes the most recent Search call. It is updated as
+	// candidates merge; reading it from another goroutine while Search is
+	// running must go through StatsSnapshot.
 	Stats SearchStats
+
+	statsMu sync.Mutex
+	builds  memo[buildKey, *pipeline.Schedule]
+	graphs  memo[graphKey, graphVal]
+}
+
+// StatsSnapshot returns a consistent copy of Stats. It is the race-safe way
+// for Progress callbacks (or anything else observing a running Search from
+// another goroutine) to read the counters.
+func (t *Tuner) StatsSnapshot() SearchStats {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	return t.Stats
+}
+
+func (t *Tuner) publishStats(s SearchStats) {
+	t.statsMu.Lock()
+	t.Stats = s
+	t.statsMu.Unlock()
 }
 
 func (t *Tuner) dpEff(dp int) float64 {
@@ -144,22 +199,64 @@ func (t *Tuner) dpEff(dp int) float64 {
 	if eff <= 0 {
 		eff = 0.97
 	}
+	if eff > 1 {
+		eff = 1 // perfect scaling is the physical ceiling
+	}
 	if dp <= 1 {
 		return 1
 	}
 	return math.Pow(eff, math.Log2(float64(dp)))
 }
 
-// Search enumerates the space and returns the best candidate plus the full
-// evaluation trace in iteration order (the throughput curve of Fig. 11).
-func (t *Tuner) Search(space Space) (*Candidate, []Candidate, error) {
-	space = space.withDefaults()
-	if space.Devices <= 0 || space.GlobalBatch <= 0 {
-		return nil, nil, fmt.Errorf("tuner: devices (%d) and global batch (%d) must be positive", space.Devices, space.GlobalBatch)
+// gridPoint is one canonical grid coordinate of Equation 1.
+type gridPoint struct {
+	scheme pipeline.Scheme
+	ckpt   bool
+	pp, dp int
+	mbs    int
+}
+
+// pointResult is a worker's (possibly speculative) evaluation of one grid
+// point.
+type pointResult struct {
+	// cand is nil when the point is structurally infeasible or when the
+	// worker skipped the simulation.
+	cand *Candidate
+	// ub is the admissible throughput upper bound; +Inf when unknown.
+	ub float64
+	// feasible marks points that passed the structural checks.
+	feasible bool
+	// skipped marks feasible points whose simulation the worker skipped
+	// because ub could not beat the merged best at the time.
+	skipped bool
+}
+
+// mergedBest publishes the throughput of the best candidate merged so far to
+// the workers. It only ever grows, and it always reflects a canonical prefix
+// of the grid — the two properties that make worker-side skipping exact (see
+// evalPoint).
+type mergedBest struct {
+	bits atomic.Uint64
+	set  atomic.Bool
+}
+
+func (m *mergedBest) store(v float64) {
+	m.bits.Store(math.Float64bits(v))
+	m.set.Store(true)
+}
+
+func (m *mergedBest) load() (float64, bool) {
+	if !m.set.Load() {
+		return 0, false
 	}
-	t.Stats = SearchStats{}
-	var trace []Candidate
-	var best *Candidate
+	return math.Float64frombits(m.bits.Load()), true
+}
+
+// enumerate lists the grid in canonical iteration order: scheme-major, then
+// checkpointing, then PP (ascending, divisors of D only), then micro-batch
+// size — the order the sequential search of the paper walks.
+func enumerate(space Space) []gridPoint {
+	var points []gridPoint
 	for _, b := range space.Schemes {
 		for _, a := range space.Checkpoint {
 			for pp := space.MinPP; pp <= space.MaxPP; pp++ {
@@ -168,97 +265,249 @@ func (t *Tuner) Search(space Space) (*Candidate, []Candidate, error) {
 				}
 				dp := space.Devices / pp
 				for _, mbs := range space.MicroBatches {
-					c := t.evaluate(space, b, a, pp, dp, mbs)
-					if c == nil {
-						t.Stats.Pruned++
-						continue
-					}
-					t.Stats.Explored++
-					if c.OOM {
-						t.Stats.OOMRejected++
-					}
-					trace = append(trace, *c)
-					if best == nil || c.Throughput > best.Throughput {
-						cc := *c
-						best = &cc
-						t.Stats.Improved++
-					}
-					if t.Progress != nil {
-						t.Progress(*c, *best)
-					}
+					points = append(points, gridPoint{scheme: b, ckpt: a, pp: pp, dp: dp, mbs: mbs})
 				}
 			}
 		}
 	}
+	return points
+}
+
+// Search enumerates the space and returns the best candidate plus the full
+// evaluation trace in canonical iteration order (the throughput curve of
+// Fig. 11). Grid points are evaluated by Space.Workers goroutines, but the
+// merge — best tracking, trace order, stats, Progress callbacks — happens in
+// canonical order, so the output is identical for every worker count.
+func (t *Tuner) Search(space Space) (*Candidate, []Candidate, error) {
+	space = space.withDefaults()
+	if space.Devices <= 0 || space.GlobalBatch <= 0 {
+		return nil, nil, fmt.Errorf("tuner: devices (%d) and global batch (%d) must be positive", space.Devices, space.GlobalBatch)
+	}
+	points := enumerate(space)
+	var stats SearchStats
+	t.publishStats(stats)
+	var trace []Candidate
+	var best *Candidate
+	mb := &mergedBest{}
+
+	// merge folds one point's result into the search state, in canonical
+	// order. The prune decision is made here, against the canonical
+	// best-so-far, never against worker-time state: a worker that skipped
+	// its simulation did so against an older (smaller or equal) best, so
+	// every worker skip is confirmed by this check.
+	merge := func(p gridPoint, pr pointResult) {
+		if !pr.feasible {
+			stats.Pruned++
+			t.publishStats(stats)
+			return
+		}
+		if best != nil && pr.ub <= best.Throughput {
+			stats.BoundPruned++
+			t.publishStats(stats)
+			return
+		}
+		c := pr.cand
+		if c == nil {
+			// A worker skip that the canonical best cannot justify is
+			// impossible (mergedBest never exceeds the canonical
+			// best-so-far); evaluate inline as insurance so the result
+			// stays exact even if that invariant is ever broken.
+			forced := t.evalPoint(space, p, nil)
+			c = forced.cand
+			if c == nil {
+				stats.Pruned++
+				t.publishStats(stats)
+				return
+			}
+		}
+		stats.Explored++
+		if c.OOM {
+			stats.OOMRejected++
+		}
+		trace = append(trace, *c)
+		if best == nil || c.Throughput > best.Throughput {
+			cc := *c
+			best = &cc
+			stats.Improved++
+			mb.store(best.Throughput)
+		}
+		t.publishStats(stats)
+		if t.Progress != nil {
+			t.Progress(*c, *best)
+		}
+	}
+
+	if space.Workers <= 1 || len(points) <= 1 {
+		for _, p := range points {
+			merge(p, t.evalPoint(space, p, mb))
+		}
+	} else {
+		workers := space.Workers
+		if workers > len(points) {
+			workers = len(points)
+		}
+		results := make([]pointResult, len(points))
+		ready := make([]chan struct{}, len(points))
+		for i := range ready {
+			ready[i] = make(chan struct{})
+		}
+		jobs := make(chan int, len(points))
+		for i := range points {
+			jobs <- i
+		}
+		close(jobs)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					results[i] = t.evalPoint(space, points[i], mb)
+					close(ready[i])
+				}
+			}()
+		}
+		for i := range points {
+			<-ready[i]
+			merge(points[i], results[i])
+		}
+		wg.Wait()
+	}
+
+	t.publishStats(stats)
 	if best == nil {
 		return nil, nil, fmt.Errorf("tuner: no feasible configuration in the search space")
 	}
 	return best, trace, nil
 }
 
-// evaluate scores a single grid point; it returns nil for structurally
-// impossible points (indivisible batch, scheme constraints, too few layers)
-// and a zero-throughput candidate for OOM points.
-func (t *Tuner) evaluate(space Space, b pipeline.Scheme, ckpt bool, pp, dp, mbs int) *Candidate {
-	if space.GlobalBatch%(mbs*dp) != 0 {
-		return nil
+// evalPoint scores a single grid point. Structurally impossible points
+// (indivisible batch, scheme constraints, too few layers) come back
+// infeasible; feasible points carry an admissible throughput upper bound and
+// — unless the bound already loses against the merged best — a fully
+// simulated candidate (zero-throughput for OOM points).
+//
+// mb may be nil to force a full evaluation. When set, the worker skips the
+// simulation if ub ≤ the merged best: the merged best only grows and is
+// always the best over a canonical prefix that the merger has not yet
+// extended past this point, so the merger's own prune check is then
+// guaranteed to discard the point too.
+func (t *Tuner) evalPoint(space Space, p gridPoint, mb *mergedBest) pointResult {
+	infeasible := pointResult{ub: math.Inf(1)}
+	if space.GlobalBatch%(p.mbs*p.dp) != 0 {
+		return infeasible
 	}
-	micros := space.GlobalBatch / (mbs * dp)
+	micros := space.GlobalBatch / (p.mbs * p.dp)
 	if micros < 1 {
-		return nil
+		return infeasible
 	}
-	cfg := scheme.Config{Devices: pp, Micros: micros, Chunks: space.Chunks}
-	stages := pp
-	if b == pipeline.SchemeInterleave {
-		stages = pp * space.Chunks
+	stages := p.pp
+	if p.scheme == pipeline.SchemeInterleave {
+		stages = p.pp * space.Chunks
 	}
 	if t.Prof.Model.Layers < stages {
-		return nil
+		return infeasible
 	}
-	sched, err := scheme.Build(b, cfg)
+	bk := buildKey{scheme: p.scheme, devices: p.pp, micros: micros, chunks: space.Chunks}
+	sched, err := t.builds.do(bk, func() (*pipeline.Schedule, error) {
+		return scheme.Build(p.scheme, scheme.Config{Devices: p.pp, Micros: micros, Chunks: space.Chunks})
+	})
 	if err != nil {
-		return nil // scheme constraint (odd Chimera, indivisible Interleave, …)
+		return infeasible // scheme constraint (odd Chimera, indivisible Interleave, …)
 	}
-	est, err := t.Prof.EstimatorFor(stages, mbs, space.TP)
+	est, err := t.Prof.EstimatorFor(stages, p.mbs, space.TP)
 	if err != nil {
-		return nil
+		return infeasible
 	}
-	simOpts := sim.Options{DP: dp, MemLimit: space.DeviceMem}
-	cand := &Candidate{Scheme: b, Ckpt: ckpt, PP: pp, DP: dp, MicroBatch: mbs, Micros: micros}
+
+	out := pointResult{feasible: true, ub: math.Inf(1)}
+	if !space.NoPrune {
+		out.ub = t.upperBound(sched, est, p)
+		if mb != nil {
+			if bb, ok := mb.load(); ok && out.ub <= bb {
+				out.skipped = true
+				return out
+			}
+		}
+	}
+
+	simOpts := sim.Options{DP: p.dp, MemLimit: space.DeviceMem}
+	cand := &Candidate{Scheme: p.scheme, Ckpt: p.ckpt, PP: p.pp, DP: p.dp, MicroBatch: p.mbs, Micros: micros}
 	var res *sim.Result
-	if ckpt {
+	if p.ckpt {
 		maxRounds := t.MaxRounds
 		if maxRounds <= 0 {
 			maxRounds = 8
 		}
-		gopts := graph.Options{Estimator: est, Sim: simOpts, MaxRounds: maxRounds}
-		opt, r, err := graph.Optimize(sched, gopts)
-		if err != nil {
-			return nil
-		}
-		sched, res = opt, r
-		if t.SplitBackward {
-			if split, sr, err := graph.SplitBackward(sched, gopts); err == nil &&
-				sr.Total < res.Total && !(simOpts.MemLimit > 0 && sr.OOM) {
-				sched, res = split, sr
+		gk := graphKey{bk: bk, mbs: p.mbs, dp: p.dp, tp: space.TP,
+			memLimit: space.DeviceMem, maxRounds: maxRounds, split: t.SplitBackward}
+		gv, err := t.graphs.do(gk, func() (graphVal, error) {
+			gopts := graph.Options{Estimator: est, Sim: simOpts, MaxRounds: maxRounds}
+			opt, r, err := graph.Optimize(sched, gopts)
+			if err != nil {
+				return graphVal{}, err
 			}
+			if t.SplitBackward {
+				if split, sr, err := graph.SplitBackward(opt, gopts); err == nil &&
+					sr.Total < r.Total && !(simOpts.MemLimit > 0 && sr.OOM) {
+					opt, r = split, sr
+				}
+			}
+			return graphVal{sched: opt, res: r}, nil
+		})
+		if err != nil {
+			return infeasible
 		}
+		cand.Schedule, res = gv.sched.Clone(), gv.res
 	} else {
 		r, err := sim.Simulate(sched, est, simOpts)
 		if err != nil {
-			return nil
+			return infeasible
 		}
-		res = r
+		cand.Schedule, res = sched.Clone(), r
 	}
 	cand.Result = res
-	cand.Schedule = sched
 	if res.OOM {
 		cand.OOM = true
 		cand.Throughput = 0 // Equation 1's memory penalty
-		return cand
+	} else {
+		cand.Throughput = res.SamplesPerSec * t.dpEff(p.dp)
 	}
-	cand.Throughput = res.SamplesPerSec * t.dpEff(dp)
-	return cand
+	out.cand = cand
+	return out
+}
+
+// upperBound returns an admissible estimate of the point's throughput: the
+// samples per iteration divided by a lower bound on the makespan, times the
+// DP efficiency. The makespan bound is the busiest device's serial
+// forward+backward compute time in the freshly built schedule. Every
+// transformation the tuner may later apply — checkpoint passes (which add
+// recomputes), prepose (which reorders), split backward (which splits one
+// backward into two whose durations sum to at least the original) — only
+// adds or reorders device work, and the simulator never finishes a device
+// before its serial compute sum, so the true simulated throughput of this
+// point can never exceed the bound.
+func (t *Tuner) upperBound(sched *pipeline.Schedule, est *cost.Estimator, p gridPoint) float64 {
+	var lb float64
+	for _, list := range sched.Lists {
+		var busy float64
+		for _, in := range list {
+			switch in.Kind {
+			case pipeline.Forward, pipeline.CkptForward:
+				busy += est.LaunchOverhead + est.FwTime[in.Stage]
+			case pipeline.Backward:
+				busy += est.LaunchOverhead + est.BwTime[in.Stage]
+			}
+		}
+		if busy > lb {
+			lb = busy
+		}
+	}
+	if lb <= 0 {
+		return math.Inf(1)
+	}
+	samples := float64(sched.Micros * p.mbs * p.dp)
+	return samples / lb * t.dpEff(p.dp)
 }
 
 // Rank returns the trace sorted by descending throughput (stable on labels

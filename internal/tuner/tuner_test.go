@@ -1,6 +1,8 @@
 package tuner
 
 import (
+	"math"
+	"runtime"
 	"testing"
 
 	"mario/internal/cost"
@@ -101,6 +103,145 @@ func TestDPEfficiency(t *testing.T) {
 	}
 	if got, want := tn.dpEff(4), 0.81; got < want-1e-9 || got > want+1e-9 {
 		t.Errorf("dpEff(4) = %v, want %v", got, want)
+	}
+}
+
+// TestSpaceWithDefaults pins the defaulting rules of the search space,
+// including the clamps around small clusters and the Workers fallback.
+func TestSpaceWithDefaults(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Space
+		want func(t *testing.T, s Space)
+	}{
+		{
+			name: "zero value fills the paper grid",
+			in:   Space{Devices: 8},
+			want: func(t *testing.T, s Space) {
+				if len(s.Schemes) != 3 || s.Schemes[0] != pipeline.Scheme1F1B {
+					t.Errorf("Schemes = %v", s.Schemes)
+				}
+				if len(s.Checkpoint) != 2 || s.Checkpoint[0] != false || s.Checkpoint[1] != true {
+					t.Errorf("Checkpoint = %v", s.Checkpoint)
+				}
+				if s.MinPP != 4 || s.MaxPP != 8 {
+					t.Errorf("PP bounds = [%d, %d], want [4, 8]", s.MinPP, s.MaxPP)
+				}
+				if len(s.MicroBatches) != 6 || s.MicroBatches[5] != 32 {
+					t.Errorf("MicroBatches = %v", s.MicroBatches)
+				}
+				if s.TP != 1 || s.Chunks != 2 {
+					t.Errorf("TP = %d, Chunks = %d", s.TP, s.Chunks)
+				}
+				if s.Workers != runtime.GOMAXPROCS(0) {
+					t.Errorf("Workers = %d, want GOMAXPROCS = %d", s.Workers, runtime.GOMAXPROCS(0))
+				}
+			},
+		},
+		{
+			name: "MinPP clamps to small clusters",
+			in:   Space{Devices: 2},
+			want: func(t *testing.T, s Space) {
+				if s.MinPP != 2 || s.MaxPP != 2 {
+					t.Errorf("PP bounds = [%d, %d], want [2, 2]", s.MinPP, s.MaxPP)
+				}
+			},
+		},
+		{
+			name: "MaxPP above the cluster is clamped",
+			in:   Space{Devices: 8, MaxPP: 64},
+			want: func(t *testing.T, s Space) {
+				if s.MaxPP != 8 {
+					t.Errorf("MaxPP = %d, want 8", s.MaxPP)
+				}
+			},
+		},
+		{
+			name: "explicit values survive",
+			in: Space{Devices: 16, Schemes: []pipeline.Scheme{pipeline.SchemeGPipe},
+				Checkpoint: []bool{true}, MinPP: 2, MaxPP: 4,
+				MicroBatches: []int{3}, TP: 2, Chunks: 4, Workers: 7},
+			want: func(t *testing.T, s Space) {
+				if len(s.Schemes) != 1 || s.Schemes[0] != pipeline.SchemeGPipe ||
+					len(s.Checkpoint) != 1 || !s.Checkpoint[0] ||
+					s.MinPP != 2 || s.MaxPP != 4 ||
+					len(s.MicroBatches) != 1 || s.MicroBatches[0] != 3 ||
+					s.TP != 2 || s.Chunks != 4 || s.Workers != 7 {
+					t.Errorf("explicit fields rewritten: %+v", s)
+				}
+			},
+		},
+		{
+			name: "empty non-nil slices are kept empty",
+			in:   Space{Devices: 8, MicroBatches: []int{}, Schemes: []pipeline.Scheme{}},
+			want: func(t *testing.T, s Space) {
+				if len(s.MicroBatches) != 0 || s.MicroBatches == nil {
+					t.Errorf("MicroBatches = %v", s.MicroBatches)
+				}
+				if len(s.Schemes) != 0 || s.Schemes == nil {
+					t.Errorf("Schemes = %v", s.Schemes)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.want(t, tc.in.withDefaults())
+		})
+	}
+}
+
+// TestSearchInfeasibleSpaces walks the "no feasible configuration" error
+// path for every structural dead end the space can encode.
+func TestSearchInfeasibleSpaces(t *testing.T) {
+	cases := []struct {
+		name  string
+		space Space
+	}{
+		{"empty MicroBatches slice", Space{Devices: 8, GlobalBatch: 32, MicroBatches: []int{}}},
+		{"MinPP above MaxPP", Space{Devices: 8, GlobalBatch: 32, MinPP: 8, MaxPP: 4, MicroBatches: []int{1}}},
+		{"no PP divides the cluster", Space{Devices: 8, GlobalBatch: 32, MinPP: 5, MaxPP: 7, MicroBatches: []int{1}}},
+		{"micro-batch never divides the batch", Space{Devices: 8, GlobalBatch: 7, MinPP: 8, MicroBatches: []int{16}}},
+		{"empty scheme list", Space{Devices: 8, GlobalBatch: 32, Schemes: []pipeline.Scheme{}, MicroBatches: []int{1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tn := newTuner()
+			_, _, err := tn.Search(tc.space)
+			if err == nil {
+				t.Fatal("expected no-feasible-configuration error")
+			}
+			if tn.Stats.Explored != 0 || tn.Stats.Improved != 0 {
+				t.Errorf("infeasible space explored candidates: %+v", tn.Stats)
+			}
+		})
+	}
+}
+
+// TestDPEffEdgeCases pins the clamping of out-of-range efficiency
+// coefficients: non-positive values fall back to the paper's 0.97 and values
+// above 1 cap at perfect scaling.
+func TestDPEffEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		eff  float64
+		dp   int
+		want float64
+	}{
+		{"zero defaults to 0.97", 0, 2, 0.97},
+		{"negative defaults to 0.97", -0.5, 2, 0.97},
+		{"above one clamps to perfect scaling", 1.5, 8, 1},
+		{"exactly one stays perfect", 1, 16, 1},
+		{"dp=1 is always perfect", 0.5, 1, 1},
+		{"in-range value applies per doubling", 0.9, 4, 0.81},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tn := &Tuner{DPEfficiency: tc.eff}
+			if got := tn.dpEff(tc.dp); math.Abs(got-tc.want) > 1e-9 {
+				t.Errorf("dpEff(%d) with eff=%v = %v, want %v", tc.dp, tc.eff, got, tc.want)
+			}
+		})
 	}
 }
 

@@ -68,8 +68,16 @@ type Config struct {
 	Hardware *cost.Hardware
 	// Progress, when non-nil, is invoked after every tuner candidate with
 	// the number of candidates explored so far and the best configuration
-	// found (its Label and estimated throughput).
+	// found (its Label and estimated throughput). Callbacks arrive in
+	// canonical grid order regardless of Workers.
 	Progress func(explored int, bestLabel string, bestThroughput float64)
+	// Workers bounds the number of concurrent tuner evaluations; 0 means
+	// GOMAXPROCS, 1 searches sequentially. The chosen plan, trace and
+	// search stats are identical for every value.
+	Workers int
+	// NoPrune disables the tuner's admissible upper-bound prune so every
+	// feasible configuration is simulated and appears in the trace.
+	NoPrune bool
 }
 
 // ModelConfig is the model_conf of Listing 1.
@@ -204,6 +212,8 @@ func Optimize(conf Config, model ModelConfig) (*Plan, error) {
 		MaxPP:        conf.MaxPP,
 		TP:           conf.TP,
 		DeviceMem:    memLimit,
+		Workers:      conf.Workers,
+		NoPrune:      conf.NoPrune,
 	})
 	if err != nil {
 		return nil, err
