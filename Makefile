@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench check fmt fuzz
+.PHONY: all build vet test race bench bench-json check fmt fuzz
 
 all: check
 
@@ -20,6 +20,17 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x -benchmem .
+
+# Machine-readable benchmark artifact for the simulator/tuner hot paths; CI
+# runs this non-gatingly and uploads BENCH_sim.json. The microbenchmarks get
+# BENCHTIME iterations to average out noise; the full grid search is seconds
+# per op, so it runs once.
+BENCHTIME ?= 100x
+bench-json:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkGraphOptimize$$|BenchmarkSimulateReuse|BenchmarkSimulate1F1B|BenchmarkSimulateChimera' \
+		-benchtime $(BENCHTIME) -benchmem . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkTunerSearch' -benchtime 1x -benchmem . ; } \
+		| $(GO) run ./cmd/benchjson > BENCH_sim.json
 
 # Short fuzz smoke: each target gets FUZZTIME of coverage-guided input
 # generation on top of its checked-in seeds.

@@ -176,11 +176,58 @@ func BenchmarkGraphOptimize(b *testing.B) {
 		b.Fatal(err)
 	}
 	est := cost.Uniform(8, 1, 2, 0.25)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := graph.Optimize(s, graph.Options{Estimator: est}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSimulateReuse contrasts a fresh package-level Simulate (rebuilds
+// every lookup table per call) against a reused Simulator engine (warm caches,
+// O(1) steady-state allocations) on the paper's three scheme shapes at
+// Figure-6-like sizes. The "reused" numbers are the graph tuner's actual
+// inner-loop cost.
+func BenchmarkSimulateReuse(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		scheme pipeline.Scheme
+		cfg    scheme.Config
+		stages int
+	}{
+		{"V-1f1b-8x32", pipeline.Scheme1F1B, scheme.Config{Devices: 8, Micros: 32}, 8},
+		{"X-chimera-8x16", pipeline.SchemeChimera, scheme.Config{Devices: 8, Micros: 16}, 8},
+		{"W-interleave-8x32", pipeline.SchemeInterleave, scheme.Config{Devices: 8, Micros: 32, Chunks: 2}, 16},
+	} {
+		s, err := scheme.Build(tc.scheme, tc.cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		est := cost.Uniform(tc.stages, 1, 2, 0.25)
+		opt := sim.Options{NoTimeline: true}
+		b.Run(tc.name+"/fresh", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Simulate(s, est, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(tc.name+"/reused", func(b *testing.B) {
+			eng := &sim.Simulator{}
+			if _, err := eng.Simulate(s, est, opt); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Simulate(s, est, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

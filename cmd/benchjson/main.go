@@ -1,0 +1,104 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// JSON array on stdout, one object per benchmark result line. It exists so CI
+// can archive benchmark runs as a machine-readable artifact (BENCH_sim.json)
+// that regression tooling can diff without re-parsing Go's bench format.
+//
+// Only the standard library is used. Result lines look like
+//
+//	BenchmarkGraphOptimize-8   4070   559046 ns/op   634984 B/op   427 allocs/op
+//
+// i.e. a name (with an optional -GOMAXPROCS suffix), an iteration count, and
+// then value/unit pairs. Unrecognised units (custom b.ReportMetric metrics,
+// MB/s, ...) are preserved under "extra". Non-benchmark lines are ignored, so
+// the full `go test` output can be piped through unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     *float64           `json:"ns_per_op,omitempty"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+func main() {
+	results := []result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	out, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(out))
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark results\n", len(results))
+}
+
+func parseLine(line string) (result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 2 || !strings.HasPrefix(f[0], "Benchmark") {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Iterations: iters}
+	r.Name, r.Procs = splitProcs(f[0])
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp = &v
+		case "B/op":
+			r.BytesPerOp = &v
+		case "allocs/op":
+			r.AllocsPerOp = &v
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[f[i+1]] = v
+		}
+	}
+	return r, true
+}
+
+// splitProcs strips the trailing -GOMAXPROCS suffix Go appends to benchmark
+// names (absent when GOMAXPROCS is 1), keeping artifact names comparable
+// across machines.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name, 0
+	}
+	p, err := strconv.Atoi(name[i+1:])
+	if err != nil || p <= 0 {
+		return name, 0
+	}
+	return name[:i], p
+}

@@ -42,7 +42,7 @@ func ApplyCheckpointStages(s *pipeline.Schedule, keep func(stage int) bool) {
 				out = append(out, in)
 			}
 		}
-		s.Lists[d] = out
+		s.SetList(d, out)
 	}
 	s.Checkpointed = true
 }
@@ -53,13 +53,19 @@ func ApplyCheckpointStages(s *pipeline.Schedule, keep func(stage int) bool) {
 // receive. (If RC_i were left after RG_i it would transitively wait for
 // BW_i on the next device, losing the overlap — §5.1.)
 func OverlapRecompute(s *pipeline.Schedule) {
-	for _, list := range s.Lists {
-		for i, in := range list {
-			if in.Kind != pipeline.Recompute {
+	for d := range s.Lists {
+		list := s.Lists[d]
+		mutable := false
+		for i := 0; i < len(list); i++ {
+			if list[i].Kind != pipeline.Recompute {
 				continue
 			}
 			j := i
 			for j > 0 && list[j-1].Kind == pipeline.RecvGrad {
+				if !mutable {
+					list = s.MutableList(d)
+					mutable = true
+				}
 				list[j-1], list[j] = list[j], list[j-1]
 				j--
 			}
@@ -72,23 +78,56 @@ func OverlapRecompute(s *pipeline.Schedule) {
 // activation would be dropped and instantly restored; revert the pair to a
 // plain Forward and delete the Recompute.
 func RemoveRedundancy(s *pipeline.Schedule) {
-	for d, list := range s.Lists {
-		// Locate each instruction once.
-		pos := make(map[pipeline.Key]int, len(list))
-		for i, in := range list {
-			pos[in.Key()] = i
+	S := s.NumStages()
+	cells := s.Micros * S
+	// Flat position indices per (micro, stage) cell, shared across devices,
+	// replace the old per-device key→index maps. Parts are verified on use;
+	// no supported placement puts two parts of the same (micro, stage) on one
+	// device, and a part mismatch only skips the (inapplicable) rewrite.
+	bwPos := make([]int32, cells)
+	rcPos := make([]int32, cells)
+	saPos := make([]int32, cells)
+	var dropped []bool
+	for d := range s.Lists {
+		list := s.Lists[d]
+		for c := 0; c < cells; c++ {
+			bwPos[c], rcPos[c], saPos[c] = -1, -1, -1
 		}
-		drop := make(map[int]bool) // indices of Recomputes to delete
 		for i, in := range list {
+			if in.Micro < 0 {
+				continue
+			}
+			switch in.Kind {
+			case pipeline.Backward:
+				bwPos[in.Micro*S+in.Stage] = int32(i)
+			case pipeline.Recompute:
+				rcPos[in.Micro*S+in.Stage] = int32(i)
+			case pipeline.SendAct:
+				saPos[in.Micro*S+in.Stage] = int32(i)
+			}
+		}
+		if cap(dropped) >= len(list) {
+			dropped = dropped[:len(list)]
+			for i := range dropped {
+				dropped[i] = false
+			}
+		} else {
+			dropped = make([]bool, len(list))
+		}
+		nDropped := 0
+		mutable := false
+		for i := 0; i < len(list); i++ {
+			in := list[i]
 			if in.Kind != pipeline.CkptForward {
 				continue
 			}
-			bwIdx, ok := pos[pipeline.Key{Kind: pipeline.Backward, Micro: in.Micro, Part: in.Part, Stage: in.Stage}]
-			if !ok || bwIdx < i {
+			c := in.Micro*S + in.Stage
+			bwIdx := int(bwPos[c])
+			if bwIdx < i || list[bwIdx].Part != in.Part { // bwIdx < i covers the -1 "absent" case
 				continue
 			}
-			rcKey := pipeline.Key{Kind: pipeline.Recompute, Micro: in.Micro, Part: in.Part, Stage: in.Stage}
-			rcIdx, hasRC := pos[rcKey]
+			rcIdx := int(rcPos[c])
+			hasRC := rcIdx >= 0 && list[rcIdx].Part == in.Part
 			redundant := true
 			for k := i + 1; k < bwIdx; k++ {
 				if list[k].Kind.IsCompute() && !(hasRC && k == rcIdx) {
@@ -99,23 +138,28 @@ func RemoveRedundancy(s *pipeline.Schedule) {
 			if !redundant {
 				continue
 			}
+			if !mutable {
+				list = s.MutableList(d)
+				mutable = true
+			}
 			list[i].Kind = pipeline.Forward
 			if hasRC {
-				drop[rcIdx] = true
+				dropped[rcIdx] = true
+				nDropped++
 			}
 			// The send no longer reads a checkpoint staging buffer.
-			if saIdx, ok := pos[pipeline.Key{Kind: pipeline.SendAct, Micro: in.Micro, Part: in.Part, Stage: in.Stage}]; ok {
+			if saIdx := int(saPos[c]); saIdx >= 0 && list[saIdx].Part == in.Part {
 				list[saIdx].Buffered = false
 			}
 		}
-		if len(drop) > 0 {
+		if nDropped > 0 {
 			out := list[:0]
 			for i, in := range list {
-				if !drop[i] {
+				if !dropped[i] {
 					out = append(out, in)
 				}
 			}
-			s.Lists[d] = out
+			s.SetList(d, out)
 		}
 	}
 }
@@ -134,6 +178,11 @@ type Options struct {
 	MaxPrepose int
 	// MaxRounds bounds the iterative pass applications; zero means 16.
 	MaxRounds int
+	// Workers bounds the goroutines simulating prepose candidates
+	// concurrently; 0 or 1 evaluates inline. The winner is selected in
+	// canonical device order, so the optimized schedule is byte-identical
+	// for every worker count.
+	Workers int
 }
 
 // Optimize applies the full pass pipeline — apply-checkpoint once, then
@@ -152,7 +201,13 @@ func Optimize(s *pipeline.Schedule, opt Options) (*pipeline.Schedule, *sim.Resul
 	// versa; they are cheap, so run them to a (two-round) fixpoint before
 	// the guided pass.
 	OverlapRecompute(cur)
-	best, err := sim.Simulate(cur, opt.Estimator, opt.Sim)
+	eng := newEngines(opt.Workers)
+	// Candidate acceptance only compares makespans and peaks, so the inner
+	// loop always runs without timeline recording; the caller-visible result
+	// is re-derived with the requested options at the end.
+	inner := opt
+	inner.Sim.NoTimeline = true
+	best, err := eng.main.Simulate(cur, opt.Estimator, inner.Sim)
 	if err != nil {
 		return nil, nil, fmt.Errorf("graph: simulating checkpointed schedule: %w", err)
 	}
@@ -170,7 +225,7 @@ func Optimize(s *pipeline.Schedule, opt Options) (*pipeline.Schedule, *sim.Resul
 		if budget == 0 {
 			break
 		}
-		next, nextRes, moves, err := preposeRound(cur, best, opt, budget)
+		next, nextRes, moves, err := preposeRound(cur, best, inner, budget, eng)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -187,9 +242,19 @@ func Optimize(s *pipeline.Schedule, opt Options) (*pipeline.Schedule, *sim.Resul
 			break
 		}
 		cur, best = next, nextRes
+		// Recycle list buffers of candidates this round retired; lists an
+		// engine still keys on stay out of the pool until pushed out of its
+		// depth-2 cache by later rebuilds.
+		eng.endRound(cur)
 	}
 	if err := pipeline.Validate(cur); err != nil {
 		return nil, nil, fmt.Errorf("graph: optimized schedule invalid: %w", err)
+	}
+	if !opt.Sim.NoTimeline {
+		best, err = eng.main.Simulate(cur, opt.Estimator, opt.Sim)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: simulating optimized schedule: %w", err)
+		}
 	}
 	return cur, best, nil
 }

@@ -2,10 +2,105 @@ package graph
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
 
 	"mario/internal/pipeline"
 	"mario/internal/sim"
 )
+
+// engines bundles the reusable Simulators an Optimize run evaluates its
+// candidates on: main is used by the sequential driver, pool by the
+// prepose-round worker goroutines. Reusing the engines across rounds is what
+// makes candidate evaluation allocation-free — each candidate shares all but
+// one list with the current schedule, so only that device's metadata is
+// rebuilt.
+type engines struct {
+	main *sim.Simulator
+	pool []*sim.Simulator
+
+	// Candidate-list buffer pool. Lists built for losing candidates are
+	// recycled once no engine still caches their identity (Simulator.Holds)
+	// and they are not part of the current schedule; tracked remembers which
+	// device each created list was set on, since an engine only ever caches a
+	// list under that device's slot.
+	free    [][]pipeline.Instr
+	tracked []trackedList
+}
+
+type trackedList struct {
+	dev  int
+	list []pipeline.Instr
+}
+
+func newEngines(workers int) *engines {
+	e := &engines{main: &sim.Simulator{}}
+	for i := 1; i < workers; i++ {
+		e.pool = append(e.pool, &sim.Simulator{})
+	}
+	return e
+}
+
+// getList returns an empty instruction list with capacity for at least n
+// entries, reusing a recycled candidate buffer when one fits.
+func (e *engines) getList(n int) []pipeline.Instr {
+	for i := len(e.free) - 1; i >= 0; i-- {
+		if cap(e.free[i]) >= n {
+			l := e.free[i][:0]
+			e.free[i] = e.free[len(e.free)-1]
+			e.free[len(e.free)-1] = nil
+			e.free = e.free[:len(e.free)-1]
+			return l
+		}
+	}
+	return make([]pipeline.Instr, 0, n)
+}
+
+func (e *engines) track(dev int, list []pipeline.Instr) {
+	e.tracked = append(e.tracked, trackedList{dev: dev, list: list})
+}
+
+// endRound recycles candidate-list buffers the finished round retired: every
+// tracked list that is not part of cur returns to the free pool, after
+// evicting any engine cache entry still keyed on it (such entries are stale —
+// future candidates derive from cur, so a retired identity can never match
+// again). Lists in cur stay tracked and are re-checked after later rounds.
+func (e *engines) endRound(cur *pipeline.Schedule) {
+	kept := e.tracked[:0]
+	for _, t := range e.tracked {
+		if sameList(cur.Lists[t.dev], t.list) {
+			kept = append(kept, t)
+			continue
+		}
+		if e.cached(t.dev, t.list) {
+			e.main.Forget(t.dev, t.list)
+			for _, m := range e.pool {
+				m.Forget(t.dev, t.list)
+			}
+		}
+		e.free = append(e.free, t.list)
+	}
+	for i := len(kept); i < len(e.tracked); i++ {
+		e.tracked[i] = trackedList{}
+	}
+	e.tracked = kept
+}
+
+func (e *engines) cached(dev int, list []pipeline.Instr) bool {
+	if e.main.Holds(dev, list) {
+		return true
+	}
+	for _, m := range e.pool {
+		if m.Holds(dev, list) {
+			return true
+		}
+	}
+	return false
+}
+
+func sameList(a, b []pipeline.Instr) bool {
+	return len(a) == len(b) && len(a) > 0 && &a[0] == &b[0]
+}
 
 // A forward group is the contiguous [RecvAct?, CkptForward, SendAct?] run of
 // one micro-batch on one device. Pass 4 moves such groups from the steady
@@ -77,25 +172,56 @@ func consumerPreposed(s *pipeline.Schedule, micro, part, stage int) bool {
 	return false
 }
 
+// canPrepose reports whether a device list has a steady-phase forward group
+// left to move — the cheap pre-check that avoids cloning a schedule for a
+// device that cannot produce a candidate.
+func canPrepose(list []pipeline.Instr) bool {
+	b := findBoundary(list)
+	if b < 0 {
+		return false
+	}
+	_, ok := nextGroupAfter(list, b)
+	return ok
+}
+
 // preposeDevice builds a candidate schedule with the next steady-phase
 // forward group of device d moved to the leading bubble region. It returns
 // false when the device has no group to prepose.
 func preposeDevice(s *pipeline.Schedule, d int) (*pipeline.Schedule, bool) {
-	list := s.Lists[d]
+	if !canPrepose(s.Lists[d]) {
+		return nil, false
+	}
+	c := s.Clone()
+	preposeList(nil, c, d)
+	return c, true
+}
+
+// preposeList rewrites device d of c in place, moving its next steady-phase
+// forward group to the leading bubble region. The caller owns c (a private
+// clone of the candidate base); when eng is non-nil the rewritten list is
+// drawn from and tracked by the engines' buffer pool. Returns false when the
+// device has no group to move.
+func preposeList(eng *engines, c *pipeline.Schedule, d int) bool {
+	list := c.Lists[d]
 	b := findBoundary(list)
 	if b < 0 {
-		return nil, false
+		return false
 	}
 	g, ok := nextGroupAfter(list, b)
 	if !ok {
-		return nil, false
+		return false
 	}
 	cfw := list[g.cfwIdx]
-	moveSA := g.saIdx >= 0 && consumerPreposed(s, cfw.Micro, cfw.Part, cfw.Stage)
+	moveSA := g.saIdx >= 0 && consumerPreposed(c, cfw.Micro, cfw.Part, cfw.Stage)
 
-	c := s.Clone()
-	nl := make([]pipeline.Instr, 0, len(list))
-	var moved []pipeline.Instr
+	var nl []pipeline.Instr
+	if eng != nil {
+		nl = eng.getList(len(list))
+	} else {
+		nl = make([]pipeline.Instr, 0, len(list))
+	}
+	var movedArr [3]pipeline.Instr
+	moved := movedArr[:0]
 	for i := g.start; i < g.end; i++ {
 		if i == g.saIdx && !moveSA {
 			continue
@@ -118,8 +244,11 @@ func preposeDevice(s *pipeline.Schedule, d int) (*pipeline.Schedule, bool) {
 		}
 		nl = append(nl, list[i])
 	}
-	c.Lists[d] = nl
-	return c, true
+	c.SetList(d, nl)
+	if eng != nil {
+		eng.track(d, nl)
+	}
+	return true
 }
 
 // promoteBufferedSends builds a candidate where every Buffered SendAct whose
@@ -128,7 +257,9 @@ func preposeDevice(s *pipeline.Schedule, d int) (*pipeline.Schedule, bool) {
 func promoteBufferedSends(s *pipeline.Schedule) (*pipeline.Schedule, bool) {
 	c := s.Clone()
 	changed := false
-	for _, list := range c.Lists {
+	for d := range c.Lists {
+		list := c.Lists[d]
+		mutable := false
 		for i := 0; i < len(list); i++ {
 			in := list[i]
 			if in.Kind != pipeline.SendAct || !in.Buffered {
@@ -141,6 +272,10 @@ func promoteBufferedSends(s *pipeline.Schedule) (*pipeline.Schedule, bool) {
 			for j := 0; j < i; j++ {
 				p := list[j]
 				if p.Kind == pipeline.CkptForward && p.Micro == in.Micro && p.Stage == in.Stage {
+					if !mutable {
+						list = c.MutableList(d)
+						mutable = true
+					}
 					in.Buffered = false
 					copy(list[j+2:i+1], list[j+1:i])
 					list[j+1] = in
@@ -153,13 +288,36 @@ func promoteBufferedSends(s *pipeline.Schedule) (*pipeline.Schedule, bool) {
 	return c, changed
 }
 
+// simCandidate evaluates one candidate on the given engine. It returns a nil
+// result (and nil error) when the candidate is illegal — deadlocked,
+// comm-mismatched, or over the memory limit — and must simply be skipped.
+func simCandidate(eng *sim.Simulator, c *pipeline.Schedule, opt Options) (*sim.Result, error) {
+	r, err := eng.Simulate(c, opt.Estimator, opt.Sim)
+	if err != nil {
+		if errors.Is(err, sim.ErrCommMismatch) || errors.Is(err, sim.ErrDeadlock) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	if opt.Sim.MemLimit > 0 && r.OOM {
+		return nil, nil
+	}
+	return r, nil
+}
+
 // preposeRound evaluates one greedy round of pass 4: preposing one group on
 // each single device, preposing one group on all devices at once (to enable
 // cascaded moves none of which helps alone), and promoting buffered sends.
 // The best strictly-improving, non-OOM candidate wins. budget bounds the
 // number of group moves this round may perform (negative = unlimited); the
 // round reports how many it used.
-func preposeRound(cur *pipeline.Schedule, best *sim.Result, opt Options, budget int) (*pipeline.Schedule, *sim.Result, int, error) {
+//
+// The per-device candidates are simulated concurrently when the engines carry
+// a worker pool. The winner is still chosen by scanning the results in
+// ascending device order with a strict-improvement comparison — exactly the
+// sequential selection — so the outcome is byte-identical for every worker
+// count (the determinism-first contract the outer tuner grid established).
+func preposeRound(cur *pipeline.Schedule, best *sim.Result, opt Options, budget int, eng *engines) (*pipeline.Schedule, *sim.Result, int, error) {
 	type cand struct {
 		s     *pipeline.Schedule
 		r     *sim.Result
@@ -167,55 +325,98 @@ func preposeRound(cur *pipeline.Schedule, best *sim.Result, opt Options, budget 
 	}
 	var winner *cand
 
-	try := func(c *pipeline.Schedule, moves int) error {
-		r, err := sim.Simulate(c, opt.Estimator, opt.Sim)
-		if err != nil {
-			if errors.Is(err, sim.ErrCommMismatch) || errors.Is(err, sim.ErrDeadlock) {
-				return nil // illegal move; skip silently
-			}
-			return err
-		}
-		if opt.Sim.MemLimit > 0 && r.OOM {
-			return nil
-		}
-		const eps = 1e-12
-		if r.Total < best.Total-eps && (winner == nil || r.Total < winner.r.Total) {
+	const eps = 1e-12
+	consider := func(c *pipeline.Schedule, r *sim.Result, moves int) {
+		if r != nil && r.Total < best.Total-eps && (winner == nil || r.Total < winner.r.Total) {
 			winner = &cand{s: c, r: r, moves: moves}
 		}
-		return nil
 	}
 
 	// Composite candidate first — one prepose on every device — because the
 	// cascaded move is both the usual winner and a single simulation. Only
-	// when it fails to improve do we pay for the per-device scan.
-	comp := cur
+	// when it fails to improve do we pay for the per-device scan. One clone
+	// serves all the device rewrites; it is created lazily so a round with no
+	// movable groups allocates nothing.
+	var comp *pipeline.Schedule
 	moves := 0
 	for d := 0; d < cur.NumDevices(); d++ {
 		if budget >= 0 && moves >= budget {
 			break
 		}
-		if c, ok := preposeDevice(comp, d); ok {
-			comp = c
+		if comp == nil {
+			if !canPrepose(cur.Lists[d]) {
+				continue
+			}
+			comp = cur.Clone()
+		}
+		if preposeList(eng, comp, d) {
 			moves++
 		}
 	}
 	if moves > 0 {
-		if err := try(comp, moves); err != nil {
+		r, err := simCandidate(eng.main, comp, opt)
+		if err != nil {
 			return nil, nil, 0, err
 		}
+		consider(comp, r, moves)
 	}
 	if c, ok := promoteBufferedSends(cur); ok {
-		if err := try(c, 0); err != nil {
+		r, err := simCandidate(eng.main, c, opt)
+		if err != nil {
 			return nil, nil, 0, err
 		}
+		consider(c, r, 0)
 	}
 	if winner == nil && (budget < 0 || budget >= 1) {
-		for d := 0; d < cur.NumDevices(); d++ {
-			if c, ok := preposeDevice(cur, d); ok {
-				if err := try(c, 1); err != nil {
-					return nil, nil, 0, err
+		D := cur.NumDevices()
+		// Build every candidate on this goroutine — candidate construction
+		// Clones cur, and concurrent first Clones of the same schedule would
+		// race on its share marks — then fan the simulations out.
+		cands := make([]*pipeline.Schedule, D)
+		jobs := make([]int, 0, D)
+		for d := 0; d < D; d++ {
+			if !canPrepose(cur.Lists[d]) {
+				continue
+			}
+			c := cur.Clone()
+			preposeList(eng, c, d)
+			cands[d] = c
+			jobs = append(jobs, d)
+		}
+		results := make([]*sim.Result, D)
+		errs := make([]error, D)
+		if w := min(len(eng.pool), len(jobs)-1); w > 0 {
+			var next atomic.Int64
+			run := func(e *sim.Simulator) {
+				for {
+					j := int(next.Add(1)) - 1
+					if j >= len(jobs) {
+						return
+					}
+					d := jobs[j]
+					results[d], errs[d] = simCandidate(e, cands[d], opt)
 				}
 			}
+			var wg sync.WaitGroup
+			for i := 0; i < w; i++ {
+				wg.Add(1)
+				go func(e *sim.Simulator) {
+					defer wg.Done()
+					run(e)
+				}(eng.pool[i])
+			}
+			run(eng.main)
+			wg.Wait()
+		} else {
+			for _, d := range jobs {
+				results[d], errs[d] = simCandidate(eng.main, cands[d], opt)
+			}
+		}
+		for d := 0; d < D; d++ {
+			if errs[d] != nil {
+				return nil, nil, 0, errs[d]
+			}
+			consider(cands[d], results[d], 1)
 		}
 	}
 	if winner == nil {

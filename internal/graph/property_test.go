@@ -120,7 +120,8 @@ func TestNaivelyMovedSendBreaksFIFO(t *testing.T) {
 	// Move every buffered SendAct directly after its CkptForward.
 	broken := opt.Clone()
 	moved := false
-	for d, list := range broken.Lists {
+	for d := range broken.Lists {
+		list := broken.MutableList(d)
 		for i := 0; i < len(list); i++ {
 			in := list[i]
 			if in.Kind != pipeline.SendAct || !in.Buffered {
@@ -137,7 +138,6 @@ func TestNaivelyMovedSendBreaksFIFO(t *testing.T) {
 				}
 			}
 		}
-		broken.Lists[d] = list
 	}
 	if !moved {
 		t.Skip("no buffered send to break")

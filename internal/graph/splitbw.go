@@ -24,14 +24,24 @@ func SplitBackward(s *pipeline.Schedule, opt Options) (*pipeline.Schedule, *sim.
 	if opt.Estimator == nil {
 		return nil, nil, fmt.Errorf("graph: SplitBackward requires an estimator")
 	}
+	eng := &sim.Simulator{}
+	// As in Optimize, candidate acceptance needs no timeline; the returned
+	// result is re-derived with the caller's options at the end.
+	innerSim := opt.Sim
+	innerSim.NoTimeline = true
 	cur := splitAll(s)
-	best, err := sim.Simulate(cur, opt.Estimator, opt.Sim)
+	best, err := eng.Simulate(cur, opt.Estimator, innerSim)
 	if err != nil {
 		return nil, nil, fmt.Errorf("graph: simulating split schedule: %w", err)
 	}
 	// Reject the plain split if it regressed (possible when extra launch
 	// overheads outweigh the unblocking benefit).
-	if base, err := sim.Simulate(s, opt.Estimator, opt.Sim); err == nil && base.Total < best.Total {
+	if base, err := sim.Simulate(s, opt.Estimator, innerSim); err == nil && base.Total < best.Total {
+		if !opt.Sim.NoTimeline {
+			if base, err = sim.Simulate(s, opt.Estimator, opt.Sim); err != nil {
+				return nil, nil, fmt.Errorf("graph: simulating unsplit schedule: %w", err)
+			}
+		}
 		return s.Clone(), base, nil
 	}
 
@@ -43,7 +53,7 @@ func SplitBackward(s *pipeline.Schedule, opt Options) (*pipeline.Schedule, *sim.
 		if !sinkWeightGrads(cand, d) {
 			continue
 		}
-		r, err := sim.Simulate(cand, opt.Estimator, opt.Sim)
+		r, err := eng.Simulate(cand, opt.Estimator, innerSim)
 		if err != nil {
 			if errors.Is(err, sim.ErrCommMismatch) || errors.Is(err, sim.ErrDeadlock) {
 				continue
@@ -59,6 +69,12 @@ func SplitBackward(s *pipeline.Schedule, opt Options) (*pipeline.Schedule, *sim.
 	}
 	if err := pipeline.Validate(cur); err != nil {
 		return nil, nil, fmt.Errorf("graph: split schedule invalid: %w", err)
+	}
+	if !opt.Sim.NoTimeline {
+		best, err = eng.Simulate(cur, opt.Estimator, opt.Sim)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: simulating split schedule: %w", err)
+		}
 	}
 	return cur, best, nil
 }
@@ -90,7 +106,7 @@ func splitAll(s *pipeline.Schedule) *pipeline.Schedule {
 			}
 			out = append(out, wg)
 		}
-		c.Lists[d] = out
+		c.SetList(d, out)
 	}
 	return c
 }
@@ -122,6 +138,6 @@ func sinkWeightGrads(s *pipeline.Schedule, d int) bool {
 	out = append(out, kept[:insertAt]...)
 	out = append(out, sunk...)
 	out = append(out, kept[insertAt:]...)
-	s.Lists[d] = out
+	s.SetList(d, out)
 	return true
 }

@@ -52,7 +52,7 @@ func InsertComm(s *Schedule) {
 			Instr{Kind: AllReduce, Micro: NoMicro},
 			Instr{Kind: OptimizerStep, Micro: NoMicro},
 		)
-		s.Lists[d] = out
+		s.SetList(d, out)
 	}
 }
 

@@ -130,17 +130,46 @@ func TestPlacementPanics(t *testing.T) {
 	}
 }
 
-func TestCloneIsDeep(t *testing.T) {
+func TestCloneIsCopyOnWrite(t *testing.T) {
 	s := &Schedule{
 		Scheme:    Scheme1F1B,
-		Placement: NewLinearPlacement(1),
+		Placement: NewLinearPlacement(2),
 		Micros:    1,
-		Lists:     [][]Instr{{{Kind: Forward}, {Kind: Backward}}},
+		Lists: [][]Instr{
+			{{Kind: Forward}, {Kind: Backward}},
+			{{Kind: Forward, Stage: 1}, {Kind: Backward, Stage: 1}},
+		},
 	}
 	c := s.Clone()
-	c.Lists[0][0].Kind = CkptForward
+	// Unmutated lists are shared storage.
+	if &c.Lists[0][0] != &s.Lists[0][0] {
+		t.Error("Clone copied a list eagerly; want shared storage until mutation")
+	}
+	// A mutation through MutableList copies first and never leaks back.
+	l := c.MutableList(0)
+	l[0].Kind = CkptForward
 	if s.Lists[0][0].Kind != Forward {
-		t.Error("Clone shares list storage with the original")
+		t.Error("MutableList mutation leaked into the parent schedule")
+	}
+	if c.Lists[0][0].Kind != CkptForward {
+		t.Error("MutableList mutation not visible through the clone")
+	}
+	// The other device's list is still shared (copy was per-list).
+	if &c.Lists[1][0] != &s.Lists[1][0] {
+		t.Error("mutating one device's list copied another device's list")
+	}
+	// The parent, too, must copy before writing: it no longer owns its lists.
+	pl := s.MutableList(1)
+	pl[0].Kind = CkptForward
+	if c.Lists[1][0].Kind != Forward {
+		t.Error("parent mutation after Clone leaked into the clone")
+	}
+	// SetList hands ownership to the schedule; a later MutableList call must
+	// not copy again.
+	owned := []Instr{{Kind: Forward, Stage: 1}}
+	c.SetList(1, owned)
+	if got := c.MutableList(1); &got[0] != &owned[0] {
+		t.Error("MutableList copied a list the schedule already owns")
 	}
 }
 

@@ -64,6 +64,12 @@ type Schedule struct {
 	Lists [][]Instr
 	// Checkpointed records whether the apply-checkpoint pass has run.
 	Checkpointed bool
+
+	// shared, when non-nil, marks Lists[d] as aliased with at least one
+	// other schedule (set by Clone on both the child and the receiver).
+	// MutableList copies such a list before returning it; nil means this
+	// schedule solely owns every list and may edit them in place.
+	shared []bool
 }
 
 // NumDevices returns the device count.
@@ -72,15 +78,76 @@ func (s *Schedule) NumDevices() int { return s.Placement.NumDevices() }
 // NumStages returns the global stage count.
 func (s *Schedule) NumStages() int { return s.Placement.NumStages() }
 
-// Clone returns a deep copy of the schedule (instruction lists are copied;
-// the placement, which is immutable, is shared).
+// Clone returns a copy-on-write copy of the schedule: the per-device
+// instruction lists are shared between the receiver and the copy (the
+// placement, which is immutable, is shared too), and a list is only copied
+// when one side first mutates it through MutableList or replaces it through
+// SetList. Direct in-place writes to Lists[d] elements after Clone are
+// therefore visible in both schedules — all mutation must go through
+// MutableList/SetList, which every pass in this repository does.
+//
+// Cloning marks the receiver's lists shared as well. That write makes a
+// first Clone racy when the same schedule is cloned from several goroutines
+// at once; call Freeze once before sharing a schedule across goroutines and
+// the concurrent Clones become read-only on the receiver.
 func (s *Schedule) Clone() *Schedule {
 	c := *s
-	c.Lists = make([][]Instr, len(s.Lists))
-	for d, list := range s.Lists {
-		c.Lists[d] = append([]Instr(nil), list...)
+	c.Lists = append(make([][]Instr, 0, len(s.Lists)), s.Lists...)
+	c.shared = sharedAll(len(s.Lists))
+	if s.shared == nil {
+		s.shared = sharedAll(len(s.Lists))
+	} else {
+		for d, sh := range s.shared {
+			if !sh {
+				s.shared[d] = true
+			}
+		}
 	}
 	return &c
+}
+
+// Freeze marks every list of s as shared, so any later mutation — by s or by
+// one of its clones — goes through a copy. It makes subsequent concurrent
+// Clone calls safe: they no longer need to write the receiver's share marks.
+func (s *Schedule) Freeze() {
+	if s.shared == nil {
+		s.shared = sharedAll(len(s.Lists))
+		return
+	}
+	for d, sh := range s.shared {
+		if !sh {
+			s.shared[d] = true
+		}
+	}
+}
+
+// MutableList returns device d's instruction list, first copying it if it is
+// shared with another schedule. Callers that edit list elements in place
+// must obtain the list through here; the returned list stays owned by s
+// until the next Clone.
+func (s *Schedule) MutableList(d int) []Instr {
+	if s.shared != nil && s.shared[d] {
+		s.Lists[d] = append([]Instr(nil), s.Lists[d]...)
+		s.shared[d] = false
+	}
+	return s.Lists[d]
+}
+
+// SetList replaces device d's instruction list with one the caller built,
+// which s then owns exclusively.
+func (s *Schedule) SetList(d int, list []Instr) {
+	s.Lists[d] = list
+	if s.shared != nil {
+		s.shared[d] = false
+	}
+}
+
+func sharedAll(n int) []bool {
+	sh := make([]bool, n)
+	for i := range sh {
+		sh[i] = true
+	}
+	return sh
 }
 
 // TotalInstrs returns the total number of instructions across all devices.

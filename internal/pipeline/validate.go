@@ -45,10 +45,7 @@ func Validate(s *Schedule) error {
 func validateCoverage(s *Schedule) error {
 	S := s.NumStages()
 	type cell struct{ fw, bw, bi, wg, rc int }
-	seen := make([][]cell, s.Micros)
-	for m := range seen {
-		seen[m] = make([]cell, S)
-	}
+	seen := make([]cell, s.Micros*S)
 	for d, list := range s.Lists {
 		for _, in := range list {
 			if in.Micro == NoMicro {
@@ -60,7 +57,7 @@ func validateCoverage(s *Schedule) error {
 			if in.Stage < 0 || in.Stage >= S {
 				return invalidf("dev%d: %s has stage out of range [0,%d)", d, in, S)
 			}
-			c := &seen[in.Micro][in.Stage]
+			c := &seen[in.Micro*S+in.Stage]
 			switch in.Kind {
 			case Forward, CkptForward:
 				c.fw++
@@ -75,42 +72,45 @@ func validateCoverage(s *Schedule) error {
 			}
 		}
 	}
-	for m := range seen {
-		for st, c := range seen[m] {
-			if c.fw != 1 {
-				return invalidf("micro %d stage %d: %d forward instructions, want 1", m, st, c.fw)
-			}
-			whole := c.bw == 1 && c.bi == 0 && c.wg == 0
-			split := c.bw == 0 && c.bi == 1 && c.wg == 1
-			if !whole && !split {
-				return invalidf("micro %d stage %d: backward counts BW=%d BI=%d WG=%d, want one BW or one BI+WG pair",
-					m, st, c.bw, c.bi, c.wg)
-			}
-			if c.rc > 1 {
-				return invalidf("micro %d stage %d: %d recomputes, want at most 1", m, st, c.rc)
-			}
+	for i, c := range seen {
+		m, st := i/S, i%S
+		if c.fw != 1 {
+			return invalidf("micro %d stage %d: %d forward instructions, want 1", m, st, c.fw)
+		}
+		whole := c.bw == 1 && c.bi == 0 && c.wg == 0
+		split := c.bw == 0 && c.bi == 1 && c.wg == 1
+		if !whole && !split {
+			return invalidf("micro %d stage %d: backward counts BW=%d BI=%d WG=%d, want one BW or one BI+WG pair",
+				m, st, c.bw, c.bi, c.wg)
+		}
+		if c.rc > 1 {
+			return invalidf("micro %d stage %d: %d recomputes, want at most 1", m, st, c.rc)
 		}
 	}
 	return nil
 }
 
 func validatePlacementAndOrder(s *Schedule) error {
+	pos := make(map[uint64]int)
 	for d, list := range s.Lists {
-		// pos maps a key to its list index for intra-device order checks.
-		pos := make(map[Key]int, len(list))
+		// pos maps a packed key to its list index for intra-device order
+		// checks; packed keys hash as plain integers, far cheaper than the
+		// four-field Key struct on this per-candidate hot path.
+		clear(pos)
 		for i, in := range list {
 			if in.Micro != NoMicro {
 				if got := s.Placement.Device(in.Part, in.Stage); got != d {
 					return invalidf("dev%d: %s belongs on dev%d per placement", d, in, got)
 				}
 			}
-			if _, dup := pos[in.Key()]; dup {
+			k := in.Key().Pack()
+			if _, dup := pos[k]; dup {
 				return invalidf("dev%d: duplicate instruction %s", d, in)
 			}
-			pos[in.Key()] = i
+			pos[k] = i
 		}
 		for _, in := range list {
-			i := pos[in.Key()]
+			i := pos[in.Key().Pack()]
 			switch in.Kind {
 			case SendAct:
 				if !in.Buffered {
@@ -120,7 +120,7 @@ func validatePlacementAndOrder(s *Schedule) error {
 				} else {
 					// A buffered SA reads a staging buffer written by a
 					// preposed CFW; the CFW must still precede it.
-					if j, ok := pos[Key{Kind: CkptForward, Micro: in.Micro, Part: in.Part, Stage: in.Stage}]; !ok || j > i {
+					if j, ok := pos[Key{Kind: CkptForward, Micro: in.Micro, Part: in.Part, Stage: in.Stage}.Pack()]; !ok || j > i {
 						return invalidf("dev%d: buffered %s not preceded by its CFW", d, in)
 					}
 				}
@@ -137,7 +137,7 @@ func validatePlacementAndOrder(s *Schedule) error {
 					return invalidf("dev%d: %s not preceded by its backward", d, in)
 				}
 			case BackwardWeight:
-				if j, ok := pos[Key{Kind: BackwardInput, Micro: in.Micro, Part: in.Part, Stage: in.Stage}]; !ok || j > i {
+				if j, ok := pos[Key{Kind: BackwardInput, Micro: in.Micro, Part: in.Part, Stage: in.Stage}.Pack()]; !ok || j > i {
 					return invalidf("dev%d: %s not preceded by its input-gradient half", d, in)
 				}
 			case Backward, BackwardInput:
@@ -149,7 +149,7 @@ func validatePlacementAndOrder(s *Schedule) error {
 				// backward (after remove-redundancy the forward is reverted
 				// to a plain FW, so this stays an iff).
 				ckpt := list[j].Kind == CkptForward
-				r, hasRC := pos[Key{Kind: Recompute, Micro: in.Micro, Part: in.Part, Stage: in.Stage}]
+				r, hasRC := pos[Key{Kind: Recompute, Micro: in.Micro, Part: in.Part, Stage: in.Stage}.Pack()]
 				if ckpt && (!hasRC || r < j || r > i) {
 					return invalidf("dev%d: %s checkpointed but recompute missing or misplaced", d, in)
 				}
@@ -163,39 +163,48 @@ func validatePlacementAndOrder(s *Schedule) error {
 }
 
 // findForward locates the Forward or CkptForward for (m, part, stage).
-func findForward(pos map[Key]int, m, part, stage int) (int, bool) {
-	if j, ok := pos[Key{Kind: Forward, Micro: m, Part: part, Stage: stage}]; ok {
+func findForward(pos map[uint64]int, m, part, stage int) (int, bool) {
+	if j, ok := pos[Key{Kind: Forward, Micro: m, Part: part, Stage: stage}.Pack()]; ok {
 		return j, true
 	}
-	j, ok := pos[Key{Kind: CkptForward, Micro: m, Part: part, Stage: stage}]
+	j, ok := pos[Key{Kind: CkptForward, Micro: m, Part: part, Stage: stage}.Pack()]
 	return j, ok
 }
 
 // findBackwardAnchor locates the Backward, or its input-gradient half when
 // split, for (m, part, stage) — the instruction gradient communication
 // anchors to.
-func findBackwardAnchor(pos map[Key]int, m, part, stage int) (int, bool) {
-	if j, ok := pos[Key{Kind: Backward, Micro: m, Part: part, Stage: stage}]; ok {
+func findBackwardAnchor(pos map[uint64]int, m, part, stage int) (int, bool) {
+	if j, ok := pos[Key{Kind: Backward, Micro: m, Part: part, Stage: stage}.Pack()]; ok {
 		return j, true
 	}
-	j, ok := pos[Key{Kind: BackwardInput, Micro: m, Part: part, Stage: stage}]
+	j, ok := pos[Key{Kind: BackwardInput, Micro: m, Part: part, Stage: stage}.Pack()]
 	return j, ok
 }
 
 func validateCommMatching(s *Schedule) error {
-	idx := s.Index()
+	// A packed-key index of the communication instructions, built inline
+	// rather than through Index() to avoid hashing Key structs.
+	idx := make(map[uint64]int)
+	for d, list := range s.Lists {
+		for _, in := range list {
+			if in.Kind.IsComm() {
+				idx[in.Key().Pack()] = d
+			}
+		}
+	}
 	for d, list := range s.Lists {
 		for _, in := range list {
 			if !in.Kind.IsComm() {
 				continue
 			}
 			mk := s.MatchKey(in)
-			loc, ok := idx[mk]
+			dev, ok := idx[mk.Pack()]
 			if !ok {
 				return invalidf("dev%d: %s has no matching %s", d, in, mk.Kind)
 			}
-			if peer := s.PeerDevice(d, in); loc[0] != peer {
-				return invalidf("dev%d: %s matches on dev%d, want dev%d", d, in, loc[0], peer)
+			if peer := s.PeerDevice(d, in); dev != peer {
+				return invalidf("dev%d: %s matches on dev%d, want dev%d", d, in, dev, peer)
 			}
 		}
 	}

@@ -1,0 +1,724 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"mario/internal/cost"
+	"mario/internal/pipeline"
+)
+
+// fifoMsg is one in-flight eager message on a link: which receive it is for
+// and when it lands on the receiver.
+type fifoMsg struct {
+	dev, idx int32
+	arrive   float64
+}
+
+// commLoc is one slot of the flat communication index: the registered
+// instruction's device + 1 (zero = no instruction at this coordinate) and its
+// list index.
+type commLoc struct {
+	dev1, idx int32
+}
+
+// commKindIdx maps the four communication kinds onto 0..3 for the flat index.
+func commKindIdx(k pipeline.Kind) int {
+	switch k {
+	case pipeline.SendAct:
+		return 0
+	case pipeline.RecvAct:
+		return 1
+	case pipeline.SendGrad:
+		return 2
+	default: // RecvGrad; callers only pass communication kinds
+		return 3
+	}
+}
+
+// devState is the Simulator's cached per-device view of a schedule.
+type devState struct {
+	// list is the instruction list the cached metadata was built from. It
+	// doubles as the cache key (identity of the backing array + length) and,
+	// because the engine retains the reference, guarantees the allocator
+	// cannot hand the same address to a different list while the cache entry
+	// is alive.
+	list  []pipeline.Instr
+	metas []meta
+	// comm indexes the communication instructions of list, in list order.
+	comm []int32
+	// posted[i] is the time the device reached instruction i (NaN before);
+	// done[i] the completion time of rendezvous receive i. Only maintained in
+	// rendezvous mode — eager propagation never reads them.
+	posted, done []float64
+	// peers accumulates the distinct devices this device's communication
+	// matches resolve to — a conservative superset (entries are added on
+	// resolution, never removed), used to skip match re-resolution scans for
+	// devices with no match into a changed list.
+	peers []int32
+	// stages lists the distinct stages whose weights the device holds.
+	stages []int
+	static float64 // framework + owned-weight bytes
+	peak   float64 // cached peak memory of list
+	busy   float64 // cached compute-busy total of list
+
+	// prev* snapshot the previous list's cached metadata. The graph tuner
+	// alternates every device between the current schedule's list and one
+	// candidate list, so keeping a depth-2 cache turns the revert back to the
+	// current list into a buffer swap instead of a rebuild (durations and the
+	// memory walk are recomputed only for genuinely new lists).
+	prevList   []pipeline.Instr
+	prevMetas  []meta
+	prevComm   []int32
+	prevPosted []float64
+	prevDone   []float64
+	prevPeers  []int32
+	prevPeak   float64
+	prevBusy   float64
+}
+
+// swapPrev exchanges the active cached metadata with the snapshot.
+func (ds *devState) swapPrev() {
+	ds.list, ds.prevList = ds.prevList, ds.list
+	ds.metas, ds.prevMetas = ds.prevMetas, ds.metas
+	ds.comm, ds.prevComm = ds.prevComm, ds.comm
+	ds.posted, ds.prevPosted = ds.prevPosted, ds.posted
+	ds.done, ds.prevDone = ds.prevDone, ds.done
+	ds.peers, ds.prevPeers = ds.prevPeers, ds.peers
+	ds.peak, ds.prevPeak = ds.prevPeak, ds.peak
+	ds.busy, ds.prevBusy = ds.prevBusy, ds.busy
+}
+
+// Simulator is a reusable simulation engine. Its results are bit-identical to
+// the package-level Simulate, but it caches — across calls — everything that
+// survives a schedule edit:
+//
+//   - per-device instruction metadata (durations, communication matches,
+//     link ids), keyed on the identity of each device's instruction list, so
+//     re-simulating a schedule that shares most lists with a previous call
+//     (a copy-on-write Clone candidate) rebuilds metadata only for the
+//     devices that actually changed;
+//   - per-device peak memory and compute-busy totals, which are pure
+//     functions of one device's list;
+//   - all propagation working buffers (ready queue, FIFO links, rendezvous
+//     scratch), so steady-state re-simulation performs O(1) heap
+//     allocations per call regardless of schedule size.
+//
+// The zero value is ready to use. A Simulator is not safe for concurrent use;
+// give each worker goroutine its own.
+//
+// Caching contract: metadata is keyed on list identity, so instruction lists
+// must not be edited in place between calls that hand them to the same
+// Simulator. Schedules mutated through pipeline.Schedule's copy-on-write API
+// (Clone + MutableList/SetList) always satisfy this, because every edit lands
+// in a freshly copied list. The *cost.Estimator must likewise not be mutated
+// between calls that pass the same pointer.
+type Simulator struct {
+	// cache key of the bound (schedule family, estimator, options) tuple.
+	est       *cost.Estimator
+	placement pipeline.Placement
+	micros    int
+	dp        int
+	rdv       bool
+
+	nParts  int
+	nStages int
+
+	devs []devState
+	// idx locates communication instructions by their dense
+	// (kind, part, micro, stage) coordinate — see commSlot. Entries store
+	// device+1 so the zero value means "absent" and reset is a memclr.
+	idx []commLoc
+	// linkLookup maps the dense (from, to, channel) coordinate to a compact
+	// link id + 1 (zero = unassigned); nLinks counts assigned ids so the
+	// propagation scratch is sized and reset by actual links, not D².
+	linkLookup []int32
+	nLinks     int
+
+	mem MemSim // reusable memory-walk scratch
+
+	// propagation scratch, reset (not reallocated) every run.
+	clock    []float64
+	pc       []int
+	fifos    [][]fifoMsg
+	fifoHead []int
+	queue    []int32
+	inQueue  []bool
+	// linkWait[l] is the device blocked on link l's empty FIFO (-1 none);
+	// each link has exactly one receiver, so one slot suffices.
+	linkWait []int32
+	// rdvWaiters[d] lists devices blocked on a rendezvous peer post by d;
+	// waitIdx[w] is the peer instruction index waiter w is watching.
+	rdvWaiters [][]int32
+	waitIdx    []int32
+
+	changed    []bool
+	changedIDs []int32
+}
+
+// Simulate runs the dynamic-programming timeline and memory simulation,
+// reusing every cache and buffer that is still valid from the previous call.
+func (m *Simulator) Simulate(s *pipeline.Schedule, e *cost.Estimator, opt Options) (*Result, error) {
+	if e.Stages != s.NumStages() {
+		return nil, fmt.Errorf("sim: estimator built for %d stages, schedule has %d", e.Stages, s.NumStages())
+	}
+	dp := opt.DP
+	if dp <= 0 {
+		dp = 1
+	}
+	m.bind(s, e, dp, opt.Rendezvous)
+	if err := m.refresh(s, e, dp); err != nil {
+		// The caches are partially updated; force a full rebuild next call.
+		m.est = nil
+		return nil, err
+	}
+
+	D := len(m.devs)
+	res := &Result{
+		PeakMem:     make([]float64, D),
+		ComputeBusy: make([]float64, D),
+	}
+	if !opt.NoTimeline {
+		// Each instruction records at most one span; exact-capacity slices
+		// avoid append's growth-doubling garbage on the timeline path.
+		res.Timeline = make([][]Span, D)
+		for d := range res.Timeline {
+			res.Timeline[d] = make([]Span, 0, len(m.devs[d].list))
+		}
+	}
+	if err := m.propagate(e, opt, res); err != nil {
+		return nil, err
+	}
+	for d := range m.devs {
+		res.PeakMem[d] = m.devs[d].peak
+		res.ComputeBusy[d] = m.devs[d].busy
+	}
+	if opt.MemLimit > 0 {
+		for d, p := range res.PeakMem {
+			if p > opt.MemLimit {
+				res.OOM = true
+				res.OOMDevices = append(res.OOMDevices, d)
+			}
+		}
+	}
+	if res.Total > 0 {
+		res.SamplesPerSec = float64(s.Micros*e.MicroBatch*dp) / res.Total
+	}
+	return res, nil
+}
+
+// bind checks the coarse cache key (estimator, placement, micro count, DP,
+// rendezvous mode) and resets every cache when it changed. Per-list caches
+// are handled separately by refresh.
+func (m *Simulator) bind(s *pipeline.Schedule, e *cost.Estimator, dp int, rdv bool) {
+	D := s.NumDevices()
+	if m.est == e && m.placement == s.Placement && m.micros == s.Micros &&
+		m.dp == dp && m.rdv == rdv && len(m.devs) == D {
+		return
+	}
+	m.est, m.placement, m.micros, m.dp, m.rdv = e, s.Placement, s.Micros, dp, rdv
+	m.nParts, m.nStages = s.Placement.NumParts(), s.Placement.NumStages()
+	if cap(m.devs) >= D {
+		m.devs = m.devs[:D]
+	} else {
+		m.devs = make([]devState, D)
+	}
+	for d := range m.devs {
+		ds := &m.devs[d]
+		ds.list = nil
+		ds.prevList = nil // snapshots carry the old estimator's durations
+		ds.comm = ds.comm[:0]
+		ds.peers = ds.peers[:0]
+		ds.stages = appendDeviceStages(ds.stages[:0], s.Placement, d)
+		static := e.FrameworkMem
+		for _, st := range ds.stages {
+			static += e.WeightBytes[st]
+		}
+		ds.static = static
+	}
+	if need := 4 * m.nParts * m.micros * m.nStages; len(m.idx) == need {
+		clear(m.idx)
+	} else {
+		m.idx = make([]commLoc, need)
+	}
+	if need := 2 * D * D; len(m.linkLookup) == need {
+		clear(m.linkLookup)
+	} else {
+		m.linkLookup = make([]int32, need)
+	}
+	m.nLinks = 0
+	if cap(m.changed) >= D {
+		m.changed = m.changed[:D]
+	} else {
+		m.changed = make([]bool, D)
+	}
+}
+
+// refresh re-derives the per-device metadata for every list whose identity
+// changed since the previous call, leaving unchanged devices untouched.
+func (m *Simulator) refresh(s *pipeline.Schedule, e *cost.Estimator, dp int) error {
+	D := len(m.devs)
+	m.changedIDs = m.changedIDs[:0]
+	for d := 0; d < D; d++ {
+		list := s.Lists[d]
+		ds := &m.devs[d]
+		if len(ds.list) == len(list) && (len(list) == 0 || &ds.list[0] == &list[0]) {
+			m.changed[d] = false
+			continue
+		}
+		m.changed[d] = true
+		m.changedIDs = append(m.changedIDs, int32(d))
+	}
+	if len(m.changedIDs) == 0 {
+		return nil
+	}
+	// Drop the stale communication keys of every changed device before any
+	// re-registration, so a key that moved between devices resolves to its
+	// new location.
+	for _, d := range m.changedIDs {
+		ds := &m.devs[d]
+		for _, ci := range ds.comm {
+			if slot := m.commSlot(ds.list[ci].Key()); slot >= 0 {
+				m.idx[slot] = commLoc{}
+			}
+		}
+	}
+	for _, d := range m.changedIDs {
+		m.rebuildDevice(s, e, dp, int(d))
+	}
+	// Resolve communication matches. A match needs (re-)resolution when its
+	// own list changed or when it points into a changed list; matchDev is
+	// placement-determined and never changes for an unchanged list. The scan
+	// runs device-major in list order — the same order the from-scratch
+	// precompute discovered unmatched instructions in, so the first error is
+	// byte-identical.
+	for d := 0; d < D; d++ {
+		ds := &m.devs[d]
+		if !m.changed[d] && !anyChanged(m.changed, ds.peers) {
+			// No match of this device can point into a changed list: peers
+			// is a superset of the devices its resolved matches live on.
+			continue
+		}
+		for _, ci := range ds.comm {
+			mt := &ds.metas[ci]
+			if !m.changed[d] && mt.matchDev >= 0 && !m.changed[mt.matchDev] {
+				continue
+			}
+			in := ds.list[ci]
+			var loc commLoc
+			if slot := m.commSlot(s.MatchKey(in)); slot >= 0 {
+				loc = m.idx[slot]
+			}
+			if loc.dev1 == 0 {
+				return fmt.Errorf("sim: %s on device %d has no matching instruction", in, d)
+			}
+			mt.matchDev, mt.matchIdx = loc.dev1-1, loc.idx
+			addPeer(&ds.peers, mt.matchDev)
+		}
+	}
+	return nil
+}
+
+// anyChanged reports whether any listed device's list changed this refresh.
+func anyChanged(changed []bool, devs []int32) bool {
+	for _, d := range devs {
+		if changed[d] {
+			return true
+		}
+	}
+	return false
+}
+
+// addPeer records device p in the (tiny, deduplicated) peer set.
+func addPeer(peers *[]int32, p int32) {
+	for _, q := range *peers {
+		if q == p {
+			return
+		}
+	}
+	*peers = append(*peers, p)
+}
+
+// Holds reports whether the engine's per-device cache still references list
+// as device dev's active or snapshot entry. Buffer pools recycling dead
+// candidate lists must check this: reusing a buffer the engine still keys on
+// would alias new content at a cached identity and poison the cache.
+func (m *Simulator) Holds(dev int, list []pipeline.Instr) bool {
+	if len(list) == 0 || dev < 0 || dev >= len(m.devs) {
+		return false
+	}
+	ds := &m.devs[dev]
+	return (len(ds.list) == len(list) && &ds.list[0] == &list[0]) ||
+		(len(ds.prevList) == len(list) && &ds.prevList[0] == &list[0])
+}
+
+// Forget drops any cache entry keying device dev on the given list identity,
+// making it safe to recycle the list's buffer. Only the identity keys are
+// cleared — the metadata buffers stay for capacity reuse — so the next
+// Simulate falls back to a full rebuild for entries dropped this way.
+func (m *Simulator) Forget(dev int, list []pipeline.Instr) {
+	if len(list) == 0 || dev < 0 || dev >= len(m.devs) {
+		return
+	}
+	ds := &m.devs[dev]
+	if len(ds.list) == len(list) && &ds.list[0] == &list[0] {
+		// The active entry owns this device's registrations in the comm
+		// index; retract them now, since the next refresh's stale-key drop
+		// walks the (cleared) list.
+		for _, ci := range ds.comm {
+			if slot := m.commSlot(ds.list[ci].Key()); slot >= 0 {
+				m.idx[slot] = commLoc{}
+			}
+		}
+		ds.list = nil
+		ds.comm = ds.comm[:0]
+	}
+	if len(ds.prevList) == len(list) && &ds.prevList[0] == &list[0] {
+		// Snapshot entries hold no comm-index registrations.
+		ds.prevList = nil
+	}
+}
+
+// commSlot returns the flat m.idx slot of a communication key, or -1 when its
+// coordinates fall outside the schedule's (part, micro, stage) space — such
+// keys are simply never found, the behaviour a hash index gave them.
+func (m *Simulator) commSlot(k pipeline.Key) int {
+	if k.Micro < 0 || k.Micro >= m.micros ||
+		k.Part < 0 || k.Part >= m.nParts ||
+		k.Stage < 0 || k.Stage >= m.nStages {
+		return -1
+	}
+	return ((commKindIdx(k.Kind)*m.nParts+k.Part)*m.micros+k.Micro)*m.nStages + k.Stage
+}
+
+// rebuildDevice recomputes device d's cached metadata, memory peak, and busy
+// total from its current list. Communication matches are left unresolved;
+// refresh resolves them after all changed devices re-registered their keys.
+func (m *Simulator) rebuildDevice(s *pipeline.Schedule, e *cost.Estimator, dp int, d int) {
+	list := s.Lists[d]
+	ds := &m.devs[d]
+	// The snapshot of the second-to-last list restores with a buffer swap
+	// plus key re-registration (refresh's delete phase dropped this device's
+	// keys); durations, matches-so-far, peak and busy are all still valid.
+	if len(ds.prevList) == len(list) && (len(list) == 0 || &ds.prevList[0] == &list[0]) {
+		ds.swapPrev()
+		for _, ci := range ds.comm {
+			if slot := m.commSlot(ds.list[ci].Key()); slot >= 0 {
+				m.idx[slot] = commLoc{dev1: int32(d) + 1, idx: ci}
+			}
+		}
+		if m.rdv {
+			ds.posted = growF64(ds.posted, len(list))
+			ds.done = growF64(ds.done, len(list))
+		}
+		return
+	}
+	ds.swapPrev() // retire the outgoing metadata into the snapshot slot
+	ds.list = list
+	if cap(ds.metas) >= len(list) {
+		ds.metas = ds.metas[:len(list)]
+	} else {
+		ds.metas = make([]meta, len(list))
+	}
+	ds.comm = ds.comm[:0]
+	ds.peers = ds.peers[:0]
+	busy := 0.0
+	for i, in := range list {
+		mt := &ds.metas[i]
+		*mt = meta{matchDev: -1, matchIdx: -1}
+		switch in.Kind {
+		case pipeline.Forward, pipeline.CkptForward:
+			mt.dur = e.LaunchOverhead + e.FwTime[in.Stage]
+			mt.compute = true
+		case pipeline.Backward:
+			mt.dur = e.LaunchOverhead + e.BwTime[in.Stage]
+			mt.compute = true
+		case pipeline.BackwardInput:
+			mt.dur = e.LaunchOverhead + e.BwTime[in.Stage]*e.BwSplitRatio
+			mt.compute = true
+		case pipeline.BackwardWeight:
+			mt.dur = e.LaunchOverhead + e.BwTime[in.Stage]*(1-e.BwSplitRatio)
+			mt.compute = true
+		case pipeline.Recompute:
+			mt.dur = e.LaunchOverhead + e.RcTime[in.Stage]
+			mt.compute = true
+		case pipeline.AllReduce:
+			mt.dur = e.LaunchOverhead + e.AllReduceTime(dp, ds.stages)
+			mt.compute = true
+		case pipeline.OptimizerStep:
+			mt.dur = e.LaunchOverhead + e.OptTime
+			mt.compute = true
+		case pipeline.SendAct, pipeline.SendGrad, pipeline.RecvAct, pipeline.RecvGrad:
+			bytes := e.ActP2PBytes
+			if in.Kind == pipeline.SendGrad || in.Kind == pipeline.RecvGrad {
+				bytes = e.GradP2PBytes
+			}
+			mt.comm = e.CommTime(bytes)
+			peer := s.PeerDevice(d, in)
+			var from, to int
+			if in.Kind == pipeline.SendAct || in.Kind == pipeline.SendGrad {
+				mt.class = classSend
+				from, to = d, peer
+			} else {
+				mt.class = classRecv
+				from, to = peer, d
+			}
+			// An out-of-range peer means the match is missing; refresh
+			// reports that before propagation can touch the dummy link.
+			if D := len(m.devs); peer >= 0 && peer < D {
+				ls := (from*D+to)*2 + channelOf(in.Kind)
+				id := m.linkLookup[ls] - 1
+				if id < 0 {
+					id = int32(m.nLinks)
+					m.nLinks++
+					m.linkLookup[ls] = id + 1
+				}
+				mt.link = id
+			}
+			if slot := m.commSlot(in.Key()); slot >= 0 {
+				m.idx[slot] = commLoc{dev1: int32(d) + 1, idx: int32(i)}
+			}
+			ds.comm = append(ds.comm, int32(i))
+		default:
+			mt.dur = e.LaunchOverhead
+		}
+		if mt.compute {
+			busy += mt.dur
+		}
+	}
+	ds.busy = busy
+
+	m.mem.rebind(e, s.Micros, s.NumStages(), ds.static, list)
+	for _, in := range list {
+		m.mem.Step(in)
+	}
+	ds.peak = m.mem.Peak()
+
+	if m.rdv {
+		ds.posted = growF64(ds.posted, len(list))
+		ds.done = growF64(ds.done, len(list))
+	}
+}
+
+// propagate runs the event-driven earliest-start-time propagation: each
+// device advances until it blocks on a dependency, registers itself as a
+// waiter, and is re-enqueued exactly when the dependency is satisfied —
+// replacing the O(D × passes) round-robin retry sweep. The computed times are
+// a pure dataflow fixpoint, so they are independent of wake order and
+// bit-identical to the round-robin result.
+func (m *Simulator) propagate(e *cost.Estimator, opt Options, res *Result) error {
+	D := len(m.devs)
+	m.clock = growF64(m.clock, D)
+	m.pc = growInt(m.pc, D)
+	for d := 0; d < D; d++ {
+		m.clock[d] = 0
+		m.pc[d] = 0
+	}
+	nLinks := m.nLinks
+	if cap(m.fifos) >= nLinks {
+		m.fifos = m.fifos[:nLinks]
+	} else {
+		grown := make([][]fifoMsg, nLinks)
+		copy(grown, m.fifos) // keep the per-link buffers already allocated
+		m.fifos = grown
+	}
+	m.fifoHead = growInt(m.fifoHead, nLinks)
+	m.linkWait = growInt32(m.linkWait, nLinks)
+	for l := 0; l < nLinks; l++ {
+		m.fifos[l] = m.fifos[l][:0]
+		m.fifoHead[l] = 0
+		m.linkWait[l] = -1
+	}
+	if opt.Rendezvous {
+		for d := range m.devs {
+			ds := &m.devs[d]
+			fillNaN(ds.posted)
+			fillNaN(ds.done)
+		}
+		if cap(m.rdvWaiters) >= D {
+			m.rdvWaiters = m.rdvWaiters[:D]
+		} else {
+			grown := make([][]int32, D)
+			copy(grown, m.rdvWaiters)
+			m.rdvWaiters = grown
+		}
+		for d := 0; d < D; d++ {
+			m.rdvWaiters[d] = m.rdvWaiters[d][:0]
+		}
+		m.waitIdx = growInt32(m.waitIdx, D)
+	}
+	m.inQueue = growBool(m.inQueue, D)
+	m.queue = m.queue[:0]
+	for d := 0; d < D; d++ {
+		m.inQueue[d] = true
+		m.queue = append(m.queue, int32(d))
+	}
+
+	for head := 0; head < len(m.queue); head++ {
+		d := int(m.queue[head])
+		m.inQueue[d] = false
+		if err := m.runDevice(d, e, opt, res); err != nil {
+			return err
+		}
+		if opt.Rendezvous {
+			m.wakeRendezvous(d)
+		}
+	}
+
+	for d := 0; d < D; d++ {
+		if m.pc[d] < len(m.devs[d].list) {
+			return fmt.Errorf("%w: device %d blocked at %s", ErrDeadlock, d, m.devs[d].list[m.pc[d]])
+		}
+		if m.clock[d] > res.Total {
+			res.Total = m.clock[d]
+		}
+	}
+	return nil
+}
+
+// runDevice advances device d until it finishes or blocks.
+func (m *Simulator) runDevice(d int, e *cost.Estimator, opt Options, res *Result) error {
+	ds := &m.devs[d]
+	list := ds.list
+	metas := ds.metas
+	i := m.pc[d]
+	clock := m.clock[d]
+	for i < len(list) {
+		mt := &metas[i]
+		start := clock
+		if opt.Rendezvous && math.IsNaN(ds.posted[i]) {
+			ds.posted[i] = start
+		}
+		switch mt.class {
+		case classCompute:
+			clock = start + mt.dur
+		case classSend:
+			if opt.Rendezvous {
+				peer := &m.devs[mt.matchDev]
+				peerPost := peer.posted[mt.matchIdx]
+				if math.IsNaN(peerPost) {
+					m.waitIdx[d] = mt.matchIdx
+					m.rdvWaiters[mt.matchDev] = append(m.rdvWaiters[mt.matchDev], int32(d))
+					goto blocked
+				}
+				t := max64(start, peerPost) + e.LaunchOverhead + mt.comm
+				peer.done[mt.matchIdx] = t
+				clock = t
+			} else {
+				m.fifos[mt.link] = append(m.fifos[mt.link], fifoMsg{
+					dev: mt.matchDev, idx: mt.matchIdx,
+					arrive: start + e.LaunchOverhead + mt.comm,
+				})
+				clock = start + e.LaunchOverhead
+				if w := m.linkWait[mt.link]; w >= 0 {
+					m.linkWait[mt.link] = -1
+					m.enqueue(w)
+				}
+			}
+		case classRecv:
+			if opt.Rendezvous {
+				if t := ds.done[i]; !math.IsNaN(t) {
+					clock = t
+					break
+				}
+				peerPost := m.devs[mt.matchDev].posted[mt.matchIdx]
+				if math.IsNaN(peerPost) {
+					m.waitIdx[d] = mt.matchIdx
+					m.rdvWaiters[mt.matchDev] = append(m.rdvWaiters[mt.matchDev], int32(d))
+					goto blocked
+				}
+				t := max64(start, peerPost) + e.LaunchOverhead + mt.comm
+				ds.done[i] = t
+				clock = t
+			} else {
+				q := m.fifos[mt.link]
+				h := m.fifoHead[mt.link]
+				if h >= len(q) {
+					m.linkWait[mt.link] = int32(d)
+					goto blocked
+				}
+				msg := q[h]
+				if int(msg.dev) != d || int(msg.idx) != i {
+					m.pc[d], m.clock[d] = i, clock
+					return fmt.Errorf("%w: device %d expects %s but link head is for dev%d[%d]",
+						ErrCommMismatch, d, list[i], msg.dev, msg.idx)
+				}
+				m.fifoHead[mt.link] = h + 1
+				clock = max64(start+e.LaunchOverhead, msg.arrive)
+			}
+		}
+		if !opt.NoTimeline {
+			res.Timeline[d] = append(res.Timeline[d], Span{Instr: list[i], Start: start, End: clock})
+		}
+		i++
+	}
+blocked:
+	m.pc[d], m.clock[d] = i, clock
+	return nil
+}
+
+// wakeRendezvous re-enqueues every device whose awaited post on d appeared
+// during d's last run segment.
+func (m *Simulator) wakeRendezvous(d int) {
+	ws := m.rdvWaiters[d]
+	if len(ws) == 0 {
+		return
+	}
+	posted := m.devs[d].posted
+	kept := ws[:0]
+	for _, w := range ws {
+		if math.IsNaN(posted[m.waitIdx[w]]) {
+			kept = append(kept, w)
+		} else {
+			m.enqueue(w)
+		}
+	}
+	m.rdvWaiters[d] = kept
+}
+
+func (m *Simulator) enqueue(d int32) {
+	if !m.inQueue[d] {
+		m.inQueue[d] = true
+		m.queue = append(m.queue, d)
+	}
+}
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
+func growInt(s []int, n int) []int {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int, n)
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n)
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) >= n {
+		s = s[:n]
+	} else {
+		s = make([]bool, n)
+	}
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+func fillNaN(s []float64) {
+	nan := math.NaN()
+	for i := range s {
+		s[i] = nan
+	}
+}

@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"mario/internal/cost"
+	"mario/internal/pipeline"
+	"mario/internal/scheme"
+)
+
+// assertSameOutcome simulates s on the (possibly warm) engine and on the
+// package-level Simulate and requires bit-identical results — including
+// identical error strings on failure paths.
+func assertSameOutcome(t *testing.T, name string, eng *Simulator, s *pipeline.Schedule, e *cost.Estimator, opt Options) {
+	t.Helper()
+	want, wantErr := Simulate(s, e, opt)
+	got, gotErr := eng.Simulate(s, e, opt)
+	if (wantErr == nil) != (gotErr == nil) ||
+		(wantErr != nil && wantErr.Error() != gotErr.Error()) {
+		t.Fatalf("%s: error mismatch: fresh=%v engine=%v", name, wantErr, gotErr)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("%s: engine result differs from fresh Simulate\nfresh:  %+v\nengine: %+v", name, want, got)
+	}
+}
+
+// TestSimulatorMatchesSimulate runs one shared engine across the full
+// scheme × options matrix — interleaved, so every call hits a cache carrying
+// another schedule's state — and requires bit-identical output to a fresh
+// package-level Simulate each time.
+func TestSimulatorMatchesSimulate(t *testing.T) {
+	type sc struct {
+		name string
+		s    *pipeline.Schedule
+		e    *cost.Estimator
+	}
+	var scheds []sc
+	add := func(name string, sch pipeline.Scheme, cfg scheme.Config, stages int) {
+		scheds = append(scheds, sc{name: name, s: build(t, sch, cfg), e: cost.Uniform(stages, 1, 2, 0.25)})
+	}
+	add("gpipe", pipeline.SchemeGPipe, scheme.Config{Devices: 4, Micros: 6}, 4)
+	add("1f1b", pipeline.Scheme1F1B, scheme.Config{Devices: 4, Micros: 8}, 4)
+	add("chimera", pipeline.SchemeChimera, scheme.Config{Devices: 4, Micros: 4}, 4)
+	add("interleave", pipeline.SchemeInterleave, scheme.Config{Devices: 4, Micros: 8, Chunks: 2}, 8)
+
+	opts := []struct {
+		name string
+		opt  Options
+	}{
+		{"default", Options{}},
+		{"notimeline", Options{NoTimeline: true}},
+		{"dp4", Options{DP: 4}},
+		{"oom", Options{MemLimit: 1}}, // absurdly small: every device OOMs
+		{"rendezvous", Options{Rendezvous: true}},
+		{"rendezvous-notimeline", Options{Rendezvous: true, NoTimeline: true}},
+	}
+
+	eng := &Simulator{}
+	// Two passes so the second visit of every (schedule, options) pair runs
+	// against a fully warm cache last touched by a different schedule.
+	for pass := 0; pass < 2; pass++ {
+		for _, tc := range scheds {
+			for _, o := range opts {
+				name := fmt.Sprintf("pass%d/%s/%s", pass, tc.name, o.name)
+				assertSameOutcome(t, name, eng, tc.s, tc.e, o.opt)
+			}
+		}
+	}
+}
+
+// TestSimulatorIncrementalEdits drives one engine over a chain of
+// copy-on-write candidates — each sharing all but one list with its parent —
+// alternating parent and child, and requires every outcome (including the
+// error outcomes that in-list reorderings can produce) to match a fresh
+// Simulate. This is the graph tuner's exact access pattern.
+func TestSimulatorIncrementalEdits(t *testing.T) {
+	parent := build(t, pipeline.Scheme1F1B, scheme.Config{Devices: 4, Micros: 8})
+	e := cost.Uniform(4, 1, 2, 0.25)
+	eng := &Simulator{}
+	opt := Options{NoTimeline: true}
+
+	assertSameOutcome(t, "parent", eng, parent, e, opt)
+	for d := 0; d < parent.NumDevices(); d++ {
+		c := parent.Clone()
+		list := c.MutableList(d)
+		// Swap the first two compute instructions of the device; depending
+		// on the device this yields a different-but-legal schedule or a
+		// comm-order error — both must match the fresh simulator.
+		swapped := false
+		for i := 0; i+1 < len(list) && !swapped; i++ {
+			if list[i].Kind.IsCompute() && list[i+1].Kind.IsCompute() {
+				list[i], list[i+1] = list[i+1], list[i]
+				swapped = true
+			}
+		}
+		assertSameOutcome(t, fmt.Sprintf("child-%d", d), eng, c, e, opt)
+		// Re-simulating the parent right after exercises the cache-restore
+		// path for the edited device.
+		assertSameOutcome(t, fmt.Sprintf("parent-after-%d", d), eng, parent, e, opt)
+	}
+}
+
+// TestSimulatorErrorPathsMatch pins the two hand-built failure modes — a
+// rendezvous cycle (deadlock) and an eager send/recv reorder (comm
+// mismatch) — and requires the engine to report byte-identical errors, then
+// to recover on the next valid schedule.
+func TestSimulatorErrorPathsMatch(t *testing.T) {
+	e := cost.Uniform(2, 1, 2, 0.25)
+	eng := &Simulator{}
+
+	// Deadlock under rendezvous: dev0 sends before receiving, dev1 sends
+	// before receiving — a circular wait.
+	dead := &pipeline.Schedule{
+		Scheme:    pipeline.Scheme1F1B,
+		Placement: pipeline.NewLinearPlacement(2),
+		Micros:    1,
+		Lists: [][]pipeline.Instr{
+			{
+				{Kind: pipeline.Forward, Micro: 0, Stage: 0},
+				{Kind: pipeline.SendAct, Micro: 0, Stage: 0},
+				{Kind: pipeline.RecvGrad, Micro: 0, Stage: 0},
+				{Kind: pipeline.Backward, Micro: 0, Stage: 0},
+			},
+			{
+				{Kind: pipeline.SendGrad, Micro: 0, Stage: 1},
+				{Kind: pipeline.RecvAct, Micro: 0, Stage: 1},
+				{Kind: pipeline.Forward, Micro: 0, Stage: 1},
+				{Kind: pipeline.Backward, Micro: 0, Stage: 1},
+			},
+		},
+	}
+	assertSameOutcome(t, "deadlock", eng, dead, e, Options{Rendezvous: true})
+
+	// Comm mismatch under eager FIFOs: dev0 sends micro 0 then 1, dev1
+	// receives micro 1 then 0.
+	mism := &pipeline.Schedule{
+		Scheme:    pipeline.Scheme1F1B,
+		Placement: pipeline.NewLinearPlacement(2),
+		Micros:    2,
+		Lists: [][]pipeline.Instr{
+			{
+				{Kind: pipeline.Forward, Micro: 0, Stage: 0},
+				{Kind: pipeline.SendAct, Micro: 0, Stage: 0},
+				{Kind: pipeline.Forward, Micro: 1, Stage: 0},
+				{Kind: pipeline.SendAct, Micro: 1, Stage: 0},
+			},
+			{
+				{Kind: pipeline.RecvAct, Micro: 1, Stage: 1},
+				{Kind: pipeline.Forward, Micro: 1, Stage: 1},
+				{Kind: pipeline.RecvAct, Micro: 0, Stage: 1},
+				{Kind: pipeline.Forward, Micro: 0, Stage: 1},
+			},
+		},
+	}
+	assertSameOutcome(t, "mismatch", eng, mism, e, Options{})
+
+	// After an error the engine must rebuild cleanly.
+	good := build(t, pipeline.Scheme1F1B, scheme.Config{Devices: 2, Micros: 4})
+	assertSameOutcome(t, "recovery", eng, good, e, Options{})
+}
+
+// TestSimulatorSteadyStateAllocs proves the tentpole's O(1) claim: once
+// warm, re-simulating the same schedule allocates only the returned Result
+// (one struct + two per-device slices), independent of schedule size.
+func TestSimulatorSteadyStateAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		d, n int
+	}{
+		{"small", 4, 8},
+		{"large", 8, 32},
+	} {
+		s := build(t, pipeline.Scheme1F1B, scheme.Config{Devices: tc.d, Micros: tc.n})
+		e := cost.Uniform(tc.d, 1, 2, 0.25)
+		eng := &Simulator{}
+		opt := Options{NoTimeline: true}
+		if _, err := eng.Simulate(s, e, opt); err != nil {
+			t.Fatalf("%s: warmup: %v", tc.name, err)
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			if _, err := eng.Simulate(s, e, opt); err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+		})
+		// 3 expected (Result + PeakMem + ComputeBusy); leave headroom for
+		// runtime noise but stay far below anything size-dependent.
+		if allocs > 6 {
+			t.Errorf("%s: steady-state Simulate allocates %.0f objects/run, want ≤ 6", tc.name, allocs)
+		}
+	}
+}
+
+// TestSimulatorRebindsAcrossEstimators checks that swapping the estimator or
+// options invalidates the engine's caches rather than serving stale
+// durations.
+func TestSimulatorRebindsAcrossEstimators(t *testing.T) {
+	s := build(t, pipeline.Scheme1F1B, scheme.Config{Devices: 4, Micros: 4})
+	e1 := cost.Uniform(4, 1, 2, 0.25)
+	e2 := cost.Uniform(4, 2, 4, 0.5)
+	eng := &Simulator{}
+	assertSameOutcome(t, "e1", eng, s, e1, Options{})
+	assertSameOutcome(t, "e2", eng, s, e2, Options{})
+	assertSameOutcome(t, "e1-again", eng, s, e1, Options{DP: 8})
+	r1, err := eng.Simulate(s, e1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := eng.Simulate(s, e2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Total == r2.Total {
+		t.Error("different estimators produced identical makespans; cache not invalidated?")
+	}
+	if math.IsNaN(r1.Total) || math.IsNaN(r2.Total) {
+		t.Error("NaN makespan")
+	}
+}

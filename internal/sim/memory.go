@@ -5,10 +5,10 @@ import (
 	"mario/internal/pipeline"
 )
 
-// simulateMemory performs the device-level memory simulation of §5.2: static
-// memory (framework + per-stage training state) is accumulated once, and the
-// dynamic activation memory is tracked instruction by instruction in list
-// order, recording the peak.
+// The device-level memory simulation of §5.2: static memory (framework +
+// per-stage training state) is accumulated once, and the dynamic activation
+// memory is tracked instruction by instruction in list order, recording the
+// peak.
 //
 // Accounting rules (per micro-batch m on stage s):
 //
@@ -22,10 +22,7 @@ import (
 //     live;
 //   - a Buffered SendAct holds the stage output (ActP2PBytes) from its
 //     CkptForward until the send executes (§5.1 pass 4, scenario 2).
-func simulateMemory(s *pipeline.Schedule, e *cost.Estimator, res *Result) {
-	copy(res.PeakMem, PeakMemory(s, e))
-}
-
+//
 // MemSim incrementally replays the memory accounting above for one device,
 // one instruction at a time. The cluster emulator drives it alongside
 // execution to attribute memory to instructions in its event stream; each
@@ -42,25 +39,44 @@ type MemSim struct {
 // NewMemSim builds the tracker for device d of the schedule, starting at the
 // device's static memory (framework + owned weights).
 func NewMemSim(s *pipeline.Schedule, e *cost.Estimator, d int) *MemSim {
-	m := &MemSim{e: e, stages: s.NumStages()}
+	m := &MemSim{}
 	static := e.FrameworkMem
 	for _, st := range deviceStages(s, d) {
 		static += e.WeightBytes[st]
 	}
+	m.rebind(e, s.Micros, s.NumStages(), static, s.Lists[d])
+	return m
+}
+
+// rebind reinitialises the tracker in place for another device list, reusing
+// the bitmap storage; the Simulator's per-device memory walks go through it
+// so re-deriving a cached peak allocates nothing.
+func (m *MemSim) rebind(e *cost.Estimator, micros, stages int, static float64, list []pipeline.Instr) {
+	m.e = e
+	m.stages = stages
 	m.cur, m.peak = static, static
 
 	// bufferedSA marks (micro, stage) pairs whose SendAct is buffered, so
 	// the CkptForward must allocate the staging buffer; ckpted marks pairs
 	// whose forward ran checkpointed, so the Backward also releases the
 	// stash. Both are flat bitmaps indexed micro*S+stage.
-	m.bufferedSA = make([]bool, s.Micros*m.stages)
-	m.ckpted = make([]bool, s.Micros*m.stages)
-	for _, in := range s.Lists[d] {
+	cells := micros * stages
+	if cap(m.bufferedSA) >= cells {
+		m.bufferedSA = m.bufferedSA[:cells]
+		m.ckpted = m.ckpted[:cells]
+		for i := 0; i < cells; i++ {
+			m.bufferedSA[i] = false
+			m.ckpted[i] = false
+		}
+	} else {
+		m.bufferedSA = make([]bool, cells)
+		m.ckpted = make([]bool, cells)
+	}
+	for _, in := range list {
 		if in.Kind == pipeline.SendAct && in.Buffered {
 			m.bufferedSA[m.cell(in)] = true
 		}
 	}
-	return m
 }
 
 func (m *MemSim) cell(in pipeline.Instr) int { return in.Micro*m.stages + in.Stage }

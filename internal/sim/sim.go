@@ -16,8 +16,6 @@ package sim
 
 import (
 	"errors"
-	"fmt"
-	"math"
 
 	"mario/internal/cost"
 	"mario/internal/pipeline"
@@ -128,218 +126,14 @@ type meta struct {
 }
 
 // Simulate runs the dynamic-programming timeline and memory simulation.
+//
+// It delegates to a zero-value Simulator, so the package-level function and a
+// reused engine are the same code path; search loops that evaluate many
+// schedule candidates should hold a Simulator to amortise the metadata
+// precomputation and working buffers across calls.
 func Simulate(s *pipeline.Schedule, e *cost.Estimator, opt Options) (*Result, error) {
-	if e.Stages != s.NumStages() {
-		return nil, fmt.Errorf("sim: estimator built for %d stages, schedule has %d", e.Stages, s.NumStages())
-	}
-	dp := opt.DP
-	if dp <= 0 {
-		dp = 1
-	}
-	D := s.NumDevices()
-	res := &Result{
-		PeakMem:     make([]float64, D),
-		ComputeBusy: make([]float64, D),
-	}
-	if !opt.NoTimeline {
-		res.Timeline = make([][]Span, D)
-	}
-
-	metas, nLinks, err := precompute(s, e, dp)
-	if err != nil {
-		return nil, err
-	}
-
-	clock := make([]float64, D)
-	pc := make([]int, D)
-	// posted[d][i] is the time device d reached instruction i (NaN before).
-	posted := make([][]float64, D)
-	// done[d][i] is the completion time of receive i on device d (NaN
-	// before); rendezvous senders read their match's slot.
-	done := make([][]float64, D)
-	for d := 0; d < D; d++ {
-		posted[d] = nanSlice(len(s.Lists[d]))
-		done[d] = nanSlice(len(s.Lists[d]))
-	}
-	type fifoMsg struct {
-		dev, idx int32
-		arrive   float64
-	}
-	fifos := make([][]fifoMsg, nLinks)
-	fifoHead := make([]int, nLinks)
-
-	progress := true
-	for progress {
-		progress = false
-		for d := 0; d < D; d++ {
-		deviceLoop:
-			for pc[d] < len(s.Lists[d]) {
-				i := pc[d]
-				m := &metas[d][i]
-				start := clock[d]
-				if math.IsNaN(posted[d][i]) {
-					posted[d][i] = start
-				}
-				switch m.class {
-				case classCompute:
-					clock[d] = start + m.dur
-					if m.compute {
-						res.ComputeBusy[d] += m.dur
-					}
-				case classSend:
-					if opt.Rendezvous {
-						peerPost := posted[m.matchDev][m.matchIdx]
-						if math.IsNaN(peerPost) {
-							break deviceLoop
-						}
-						t := max64(start, peerPost) + e.LaunchOverhead + m.comm
-						done[m.matchDev][m.matchIdx] = t
-						clock[d] = t
-					} else {
-						fifos[m.link] = append(fifos[m.link], fifoMsg{
-							dev: m.matchDev, idx: m.matchIdx,
-							arrive: start + e.LaunchOverhead + m.comm,
-						})
-						clock[d] = start + e.LaunchOverhead
-					}
-				case classRecv:
-					if opt.Rendezvous {
-						if t := done[d][i]; !math.IsNaN(t) {
-							clock[d] = t
-							break
-						}
-						peerPost := posted[m.matchDev][m.matchIdx]
-						if math.IsNaN(peerPost) {
-							break deviceLoop
-						}
-						t := max64(start, peerPost) + e.LaunchOverhead + m.comm
-						done[d][i] = t
-						clock[d] = t
-					} else {
-						q := fifos[m.link]
-						h := fifoHead[m.link]
-						if h >= len(q) {
-							break deviceLoop
-						}
-						msg := q[h]
-						if int(msg.dev) != d || int(msg.idx) != i {
-							return nil, fmt.Errorf("%w: device %d expects %s but link head is for dev%d[%d]",
-								ErrCommMismatch, d, s.Lists[d][i], msg.dev, msg.idx)
-						}
-						fifoHead[m.link] = h + 1
-						clock[d] = max64(start+e.LaunchOverhead, msg.arrive)
-					}
-				}
-				if !opt.NoTimeline {
-					res.Timeline[d] = append(res.Timeline[d], Span{Instr: s.Lists[d][i], Start: start, End: clock[d]})
-				}
-				pc[d]++
-				progress = true
-			}
-		}
-	}
-	for d := 0; d < D; d++ {
-		if pc[d] < len(s.Lists[d]) {
-			return nil, fmt.Errorf("%w: device %d blocked at %s", ErrDeadlock, d, s.Lists[d][pc[d]])
-		}
-		if clock[d] > res.Total {
-			res.Total = clock[d]
-		}
-	}
-
-	simulateMemory(s, e, res)
-	if opt.MemLimit > 0 {
-		for d, p := range res.PeakMem {
-			if p > opt.MemLimit {
-				res.OOM = true
-				res.OOMDevices = append(res.OOMDevices, d)
-			}
-		}
-	}
-	if res.Total > 0 {
-		res.SamplesPerSec = float64(s.Micros*e.MicroBatch*dp) / res.Total
-	}
-	return res, nil
-}
-
-// precompute resolves durations and communication matches once.
-func precompute(s *pipeline.Schedule, e *cost.Estimator, dp int) ([][]meta, int, error) {
-	D := s.NumDevices()
-	idx := make(map[uint64][2]int32, s.TotalInstrs())
-	for d, list := range s.Lists {
-		for i, in := range list {
-			idx[in.Key().Pack()] = [2]int32{int32(d), int32(i)}
-		}
-	}
-	metas := make([][]meta, D)
-	linkIDs := make(map[[3]int]int32)
-	for d := 0; d < D; d++ {
-		metas[d] = make([]meta, len(s.Lists[d]))
-		for i, in := range s.Lists[d] {
-			m := &metas[d][i]
-			m.matchDev, m.matchIdx = -1, -1
-			switch in.Kind {
-			case pipeline.Forward, pipeline.CkptForward:
-				m.dur = e.LaunchOverhead + e.FwTime[in.Stage]
-				m.compute = true
-			case pipeline.Backward:
-				m.dur = e.LaunchOverhead + e.BwTime[in.Stage]
-				m.compute = true
-			case pipeline.BackwardInput:
-				m.dur = e.LaunchOverhead + e.BwTime[in.Stage]*e.BwSplitRatio
-				m.compute = true
-			case pipeline.BackwardWeight:
-				m.dur = e.LaunchOverhead + e.BwTime[in.Stage]*(1-e.BwSplitRatio)
-				m.compute = true
-			case pipeline.Recompute:
-				m.dur = e.LaunchOverhead + e.RcTime[in.Stage]
-				m.compute = true
-			case pipeline.AllReduce:
-				m.dur = e.LaunchOverhead + e.AllReduceTime(dp, deviceStages(s, d))
-				m.compute = true
-			case pipeline.OptimizerStep:
-				m.dur = e.LaunchOverhead + e.OptTime
-				m.compute = true
-			case pipeline.SendAct, pipeline.SendGrad, pipeline.RecvAct, pipeline.RecvGrad:
-				bytes := e.ActP2PBytes
-				if in.Kind == pipeline.SendGrad || in.Kind == pipeline.RecvGrad {
-					bytes = e.GradP2PBytes
-				}
-				m.comm = e.CommTime(bytes)
-				loc, ok := idx[s.MatchKey(in).Pack()]
-				if !ok {
-					return nil, 0, fmt.Errorf("sim: %s on device %d has no matching instruction", in, d)
-				}
-				m.matchDev, m.matchIdx = loc[0], loc[1]
-				peer := s.PeerDevice(d, in)
-				var lk [3]int
-				if in.Kind == pipeline.SendAct || in.Kind == pipeline.SendGrad {
-					m.class = classSend
-					lk = [3]int{d, peer, channelOf(in.Kind)}
-				} else {
-					m.class = classRecv
-					lk = [3]int{peer, d, channelOf(in.Kind)}
-				}
-				id, ok := linkIDs[lk]
-				if !ok {
-					id = int32(len(linkIDs))
-					linkIDs[lk] = id
-				}
-				m.link = id
-			default:
-				m.dur = e.LaunchOverhead
-			}
-		}
-	}
-	return metas, len(linkIDs), nil
-}
-
-func nanSlice(n int) []float64 {
-	s := make([]float64, n)
-	for i := range s {
-		s[i] = math.NaN()
-	}
-	return s
+	var eng Simulator
+	return eng.Simulate(s, e, opt)
 }
 
 // channelOf maps a communication kind to its link channel: activations and
@@ -361,8 +155,12 @@ func max64(a, b float64) float64 {
 // deviceStages returns the distinct stages whose weights device dev holds
 // (two for Chimera devices, one per chunk for interleaved devices).
 func deviceStages(s *pipeline.Schedule, dev int) []int {
-	var out []int
-	pl := s.Placement
+	return appendDeviceStages(nil, s.Placement, dev)
+}
+
+// appendDeviceStages is the append-style form of deviceStages; the Simulator
+// uses it to fill its per-device cache without allocating.
+func appendDeviceStages(out []int, pl pipeline.Placement, dev int) []int {
 	for st := 0; st < pl.NumStages(); st++ {
 		for p := 0; p < pl.NumParts(); p++ {
 			if pl.Device(p, st) == dev {

@@ -159,6 +159,12 @@ type Tuner struct {
 	DPEfficiency float64
 	// MaxRounds bounds the prepose search inside graph.Optimize; 0 means 8.
 	MaxRounds int
+	// GraphWorkers bounds the goroutines graph.Optimize may use to simulate
+	// prepose candidates concurrently (graph.Options.Workers); 0 or 1 keeps
+	// the inner loop inline, which is the right choice while Space.Workers
+	// already saturates the cores. The optimized schedules are identical for
+	// every value.
+	GraphWorkers int
 	// SplitBackward additionally tries the ZB-H1-style split-backward
 	// transformation on each checkpointed candidate, keeping it when the
 	// simulator confirms an improvement within the memory budget.
@@ -312,7 +318,7 @@ func (t *Tuner) Search(space Space) (*Candidate, []Candidate, error) {
 			// impossible (mergedBest never exceeds the canonical
 			// best-so-far); evaluate inline as insurance so the result
 			// stays exact even if that invariant is ever broken.
-			forced := t.evalPoint(space, p, nil)
+			forced := t.evalPoint(space, p, nil, nil)
 			c = forced.cand
 			if c == nil {
 				stats.Pruned++
@@ -338,8 +344,9 @@ func (t *Tuner) Search(space Space) (*Candidate, []Candidate, error) {
 	}
 
 	if space.Workers <= 1 || len(points) <= 1 {
+		eng := &sim.Simulator{}
 		for _, p := range points {
-			merge(p, t.evalPoint(space, p, mb))
+			merge(p, t.evalPoint(space, p, mb, eng))
 		}
 	} else {
 		workers := space.Workers
@@ -361,8 +368,9 @@ func (t *Tuner) Search(space Space) (*Candidate, []Candidate, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				eng := &sim.Simulator{} // per-worker engine: a Simulator is not goroutine-safe
 				for i := range jobs {
-					results[i] = t.evalPoint(space, points[i], mb)
+					results[i] = t.evalPoint(space, points[i], mb, eng)
 					close(ready[i])
 				}
 			}()
@@ -392,7 +400,10 @@ func (t *Tuner) Search(space Space) (*Candidate, []Candidate, error) {
 // always the best over a canonical prefix that the merger has not yet
 // extended past this point, so the merger's own prune check is then
 // guaranteed to discard the point too.
-func (t *Tuner) evalPoint(space Space, p gridPoint, mb *mergedBest) pointResult {
+//
+// eng is the caller's reusable simulation engine (one per worker goroutine);
+// nil falls back to the package-level Simulate.
+func (t *Tuner) evalPoint(space Space, p gridPoint, mb *mergedBest, eng *sim.Simulator) pointResult {
 	infeasible := pointResult{ub: math.Inf(1)}
 	if space.GlobalBatch%(p.mbs*p.dp) != 0 {
 		return infeasible
@@ -410,7 +421,15 @@ func (t *Tuner) evalPoint(space Space, p gridPoint, mb *mergedBest) pointResult 
 	}
 	bk := buildKey{scheme: p.scheme, devices: p.pp, micros: micros, chunks: space.Chunks}
 	sched, err := t.builds.do(bk, func() (*pipeline.Schedule, error) {
-		return scheme.Build(p.scheme, scheme.Config{Devices: p.pp, Micros: micros, Chunks: space.Chunks})
+		s, err := scheme.Build(p.scheme, scheme.Config{Devices: p.pp, Micros: micros, Chunks: space.Chunks})
+		if err != nil {
+			return nil, err
+		}
+		// The memoized schedule is cloned by many grid points, possibly
+		// concurrently; freezing it makes those first Clones read-only on
+		// the shared copy-on-write marks.
+		s.Freeze()
+		return s, nil
 	})
 	if err != nil {
 		return infeasible // scheme constraint (odd Chimera, indivisible Interleave, …)
@@ -442,7 +461,7 @@ func (t *Tuner) evalPoint(space Space, p gridPoint, mb *mergedBest) pointResult 
 		gk := graphKey{bk: bk, mbs: p.mbs, dp: p.dp, tp: space.TP,
 			memLimit: space.DeviceMem, maxRounds: maxRounds, split: t.SplitBackward}
 		gv, err := t.graphs.do(gk, func() (graphVal, error) {
-			gopts := graph.Options{Estimator: est, Sim: simOpts, MaxRounds: maxRounds}
+			gopts := graph.Options{Estimator: est, Sim: simOpts, MaxRounds: maxRounds, Workers: t.GraphWorkers}
 			opt, r, err := graph.Optimize(sched, gopts)
 			if err != nil {
 				return graphVal{}, err
@@ -453,6 +472,8 @@ func (t *Tuner) evalPoint(space Space, p gridPoint, mb *mergedBest) pointResult 
 					opt, r = split, sr
 				}
 			}
+			// Frozen for the same reason as the build memo above.
+			opt.Freeze()
 			return graphVal{sched: opt, res: r}, nil
 		})
 		if err != nil {
@@ -460,7 +481,13 @@ func (t *Tuner) evalPoint(space Space, p gridPoint, mb *mergedBest) pointResult 
 		}
 		cand.Schedule, res = gv.sched.Clone(), gv.res
 	} else {
-		r, err := sim.Simulate(sched, est, simOpts)
+		var r *sim.Result
+		var err error
+		if eng != nil {
+			r, err = eng.Simulate(sched, est, simOpts)
+		} else {
+			r, err = sim.Simulate(sched, est, simOpts)
+		}
 		if err != nil {
 			return infeasible
 		}

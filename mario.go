@@ -75,6 +75,11 @@ type Config struct {
 	// GOMAXPROCS, 1 searches sequentially. The chosen plan, trace and
 	// search stats are identical for every value.
 	Workers int
+	// GraphWorkers bounds the goroutines each graph-tuner invocation uses
+	// to simulate prepose candidates concurrently; 0 or 1 keeps that inner
+	// loop inline (the default — the outer Workers already parallelise the
+	// search). The plan is identical for every value.
+	GraphWorkers int
 	// NoPrune disables the tuner's admissible upper-bound prune so every
 	// feasible configuration is simulated and appears in the trace.
 	NoPrune bool
@@ -194,7 +199,7 @@ func Optimize(conf Config, model ModelConfig) (*Plan, error) {
 	}
 
 	prof := &profile.Profiler{Model: model, HW: hw, Spec: spec, Devices: 4, Iters: 10}
-	tn := &tuner.Tuner{Prof: prof, SplitBackward: conf.SplitBackward}
+	tn := &tuner.Tuner{Prof: prof, SplitBackward: conf.SplitBackward, GraphWorkers: conf.GraphWorkers}
 	if cb := conf.Progress; cb != nil {
 		explored := 0
 		tn.Progress = func(_ tuner.Candidate, best tuner.Candidate) {
