@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json check fmt fuzz
+.PHONY: all build vet test race bench bench-json check fmt fuzz lint docs-check
 
 all: check
 
@@ -39,7 +39,20 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSchemeBuild -fuzztime $(FUZZTIME) ./internal/scheme
 	$(GO) test -run '^$$' -fuzz FuzzGraphPassInvariants -fuzztime $(FUZZTIME) ./internal/graph
 
-check: vet build race fuzz
+# Doc-comment lint for the packages whose contracts must live in the source:
+# internal/sim (engine identity/caching rules) and internal/pipeline (COW
+# schedule rules). Dependency-free (cmd/exportlint, go/ast).
+lint:
+	$(GO) run ./cmd/exportlint ./internal/sim ./internal/pipeline
+
+# Markdown link check over the repo docs plus the golden EXPERIMENTS.md
+# snippets (TestGoldenDocs re-runs the fast-mode drift/faults experiments and
+# byte-compares their output against the documented blocks).
+docs-check:
+	$(GO) run ./cmd/docscheck README.md DESIGN.md EXPERIMENTS.md ROADMAP.md PAPER.md docs
+	$(GO) test -run TestGoldenDocs ./internal/experiments
+
+check: vet build race fuzz lint docs-check
 
 fmt:
 	gofmt -l -w .

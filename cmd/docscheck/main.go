@@ -1,0 +1,122 @@
+// Command docscheck is a dependency-free markdown link checker: it scans the
+// given markdown files (and directories, recursively) for inline links,
+// images and reference definitions, and verifies that every relative target
+// exists on disk. External links (http, https, mailto) are not fetched.
+// Fragment-only links (#section) and fragments on existing files are accepted
+// without anchor resolution.
+//
+// Usage:
+//
+//	docscheck README.md DESIGN.md docs
+//
+// Dangling targets are printed as file:line: messages; the exit status is 1
+// when any link dangles.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline links and images: [text](target) / ![alt](target).
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// refRE matches reference-style definitions: [label]: target
+var refRE = regexp.MustCompile(`^\s*\[[^\]]+\]:\s+(\S+)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: docscheck <file.md|dir> [...]")
+		os.Exit(2)
+	}
+	var files []string
+	for _, arg := range os.Args[1:] {
+		st, err := os.Stat(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			os.Exit(2)
+		}
+		if !st.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	dangling := 0
+	for _, f := range files {
+		dangling += checkFile(f)
+	}
+	if dangling > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d dangling links\n", dangling)
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d files, all links resolve\n", len(files))
+}
+
+// checkFile scans one markdown file and reports dangling relative targets.
+func checkFile(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(2)
+	}
+	dir := filepath.Dir(path)
+	bad := 0
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		var targets []string
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			targets = append(targets, m[1])
+		}
+		if m := refRE.FindStringSubmatch(line); m != nil {
+			targets = append(targets, m[1])
+		}
+		for _, tgt := range targets {
+			if skippable(tgt) {
+				continue
+			}
+			tgt = strings.SplitN(tgt, "#", 2)[0]
+			if tgt == "" {
+				continue // fragment-only link into the same file
+			}
+			if _, err := os.Stat(filepath.Join(dir, tgt)); err != nil {
+				fmt.Printf("%s:%d: dangling link target %q\n", path, i+1, tgt)
+				bad++
+			}
+		}
+	}
+	return bad
+}
+
+// skippable reports whether the target is external (not a relative path).
+func skippable(t string) bool {
+	for _, p := range []string{"http://", "https://", "mailto:", "ftp://"} {
+		if strings.HasPrefix(t, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -6,7 +6,8 @@
 //	experiments [-fast] [-run name] [-workers n]
 //
 // where name is one of: table1, figure2, figure5, figure6, table5, figure7,
-// figure8, figure9, figure10, figure11, summary, all (default).
+// figure8, figure9, figure10, figure11, drift, faults, extension, summary,
+// all (default).
 package main
 
 import (
@@ -21,7 +22,7 @@ import (
 
 func main() {
 	fast := flag.Bool("fast", false, "run reduced-size experiments")
-	run := flag.String("run", "all", "experiment to run (table1, figure2, figure5, figure6, table5, figure7, figure8, figure9, figure10, figure11, drift, extension, summary, all)")
+	run := flag.String("run", "all", "experiment to run (table1, figure2, figure5, figure6, table5, figure7, figure8, figure9, figure10, figure11, drift, faults, extension, summary, all)")
 	workers := flag.Int("workers", 0, "concurrent tuner evaluations in figure11 (0 = GOMAXPROCS; output is identical)")
 	flag.Parse()
 
@@ -127,6 +128,14 @@ func main() {
 			fail("drift", err)
 		}
 		experiments.PrintDrift(w, r)
+	}
+	if want("faults") {
+		header("Faults", "schedule robustness under the fault ensemble (straggler, flaky links, stall)")
+		r, err := experiments.Faults(opt)
+		if err != nil {
+			fail("faults", err)
+		}
+		experiments.PrintFaults(w, r)
 	}
 	if want("extension") {
 		header("Extension", "ZB-H1 split-backward study (the paper's §8 future work)")

@@ -9,7 +9,7 @@
 //	mario -model GPT3-13B -devices 32 -gbs 128 -mem 40G [-scheme Auto]
 //	      [-tp 1] [-workers 0] [-no-prune] [-run 3] [-viz] [-svg out.svg]
 //	      [-trace out.json] [-trace-measured out.json] [-events out.jsonl]
-//	      [-stats] [-drift] [-pprof cpu.out]
+//	      [-stats] [-drift] [-faults <spec|file>] [-pprof cpu.out]
 package main
 
 import (
@@ -47,6 +47,7 @@ func main() {
 		eventsPath   = flag.String("events", "", "write the measured run's event stream as JSONL to this path")
 		showStats    = flag.Bool("stats", false, "print per-device measured stats and tuner search counters")
 		showDrift    = flag.Bool("drift", false, "print the predicted-vs-measured drift report")
+		faultsArg    = flag.String("faults", "", "degrade the measured run under a fault plan: inline spec (\"slow:dev=1,factor=1.5; link:from=0,to=1,drop=0.05\") or JSON file path")
 		pprofPath    = flag.String("pprof", "", "write a CPU profile of the tuner search to this path")
 	)
 	flag.Parse()
@@ -62,9 +63,22 @@ func main() {
 		os.Exit(2)
 	}
 
+	var faults *mario.FaultPlan
+	if *faultsArg != "" {
+		var err error
+		if faults, err = mario.ParseFaults(*faultsArg); err != nil {
+			fmt.Fprintf(os.Stderr, "mario: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	wantObs := *measuredPath != "" || *eventsPath != "" || *showStats || *showDrift
 	if wantObs && *runIters <= 0 {
 		fmt.Fprintln(os.Stderr, "mario: -trace-measured/-events/-stats/-drift need a measured run; assuming -run 1")
+		*runIters = 1
+	}
+	if faults != nil && *runIters <= 0 {
+		fmt.Fprintln(os.Stderr, "mario: -faults needs a measured run; assuming -run 1")
 		*runIters = 1
 	}
 
@@ -194,7 +208,7 @@ func main() {
 	}
 
 	if *runIters > 0 {
-		rep, err := mario.RunWithOptions(plan, *runIters, mario.RunOptions{CollectEvents: wantObs})
+		rep, err := mario.RunWithOptions(plan, *runIters, mario.RunOptions{CollectEvents: wantObs, Faults: faults})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mario: run: %v\n", err)
 			os.Exit(1)
@@ -203,6 +217,10 @@ func main() {
 		fmt.Printf("  measured iteration time: %.4f s\n", rep.IterTime)
 		fmt.Printf("  measured throughput:     %.2f samples/s\n", rep.SamplesPerSec)
 		fmt.Printf("  measured peak memory:    [%.2f, %.2f] GB\n", rep.PeakMemMin/(1<<30), rep.PeakMemMax/(1<<30))
+		if rep.FaultPlan != "" {
+			fmt.Printf("  injected faults (%s):    %d slowed instrs, %d dropped p2p attempts, %.4g s stalled, %d stall-absorbed watchdog firings\n",
+				rep.FaultPlan, rep.FaultSlowed, rep.FaultDrops, rep.FaultStall, rep.StallResets)
+		}
 
 		if *measuredPath != "" {
 			f, err := os.Create(*measuredPath)

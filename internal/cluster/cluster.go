@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"mario/internal/cost"
+	"mario/internal/fault"
 	"mario/internal/obs"
 	"mario/internal/pipeline"
 	"mario/internal/sim"
@@ -85,6 +86,12 @@ type Machine struct {
 	// stream is deterministic for a fixed seed and does not perturb the
 	// run: a nil sink allocates no events.
 	Sink obs.Sink
+	// Faults, when non-nil, degrades the run under the fault plan: compute
+	// slowdowns, link latency/bandwidth/drop faults with bounded retry, and
+	// whole-device stall windows — all in virtual time, so a faulted run is
+	// exactly as reproducible as a healthy one. A nil (or empty) plan costs
+	// nothing.
+	Faults *fault.Plan
 }
 
 // SampleKey identifies a class of measured instruction durations.
@@ -114,6 +121,17 @@ type Report struct {
 	// observed progress and re-armed during the run (0 for runs shorter
 	// than one watchdog interval).
 	WatchdogResets int
+	// StallResets counts watchdog firings that found no progress but at
+	// least one device inside an injected wall-clock stall, so the watchdog
+	// re-armed instead of declaring a deadlock.
+	StallResets int
+	// FaultDrops, FaultStall and FaultSlowed summarise the injected faults:
+	// total dropped p2p attempts, total injected stall time in virtual
+	// seconds, and the count of compute instructions that ran slowed. All
+	// zero on a healthy run.
+	FaultDrops  int
+	FaultStall  float64
+	FaultSlowed int
 }
 
 type message struct {
@@ -190,6 +208,13 @@ func (m *Machine) Run(s *pipeline.Schedule, iters int) (*Report, error) {
 	}
 
 	D := s.NumDevices()
+	var inj *fault.Injector
+	if !m.Faults.Empty() {
+		var err error
+		if inj, err = m.Faults.Compile(D); err != nil {
+			return nil, err
+		}
+	}
 	links := make(map[linkKey]chan message)
 	for d, list := range s.Lists {
 		for _, in := range list {
@@ -231,6 +256,9 @@ func (m *Machine) Run(s *pipeline.Schedule, iters int) (*Report, error) {
 				status:   &statuses[d],
 				progress: &progress,
 			}
+			if inj != nil {
+				r.fj = inj.Device(d)
+			}
 			// Static per-device speed factor, fixed for the machine's
 			// lifetime (drawn from a stream independent of the jitter).
 			devRNG := newRNG(m.Seed^0xDEC0DE, uint64(d))
@@ -256,7 +284,7 @@ func (m *Machine) Run(s *pipeline.Schedule, iters int) (*Report, error) {
 	}
 	go func() { wg.Wait(); close(done) }()
 
-	resets := 0
+	resets, stallResets := 0, 0
 	timer := time.NewTimer(watchdog)
 	defer timer.Stop()
 	last := uint64(0)
@@ -270,6 +298,13 @@ watchLoop:
 				// Progress since the last check: re-arm.
 				last = cur
 				resets++
+				timer.Reset(watchdog)
+				continue
+			}
+			if inj != nil && inj.Stalled() > 0 {
+				// No progress, but a device is inside an injected wall-clock
+				// stall — that is the fault plan at work, not a deadlock.
+				stallResets++
 				timer.Reset(watchdog)
 				continue
 			}
@@ -294,6 +329,15 @@ watchLoop:
 		Durations:       make(map[SampleKey][]float64),
 		DeviceDurations: make([]map[SampleKey][]float64, D),
 		WatchdogResets:  resets,
+		StallResets:     stallResets,
+	}
+	if inj != nil {
+		for d := 0; d < D; d++ {
+			fj := inj.Device(d)
+			rep.FaultDrops += fj.Drops
+			rep.FaultStall += fj.StallVirtual
+			rep.FaultSlowed += fj.Slowed
+		}
 	}
 	var firstErr error
 	for d := 0; d < D; d++ {
@@ -356,6 +400,8 @@ type devRunner struct {
 	progress  *atomic.Uint64
 	iter      int
 	clock     float64
+	// fj is the device's fault-injector view; nil on a healthy run.
+	fj *fault.DeviceInjector
 	// events and mem are nil when the machine has no sink attached; the
 	// recording path then allocates nothing.
 	events []obs.Event
@@ -365,12 +411,30 @@ type devRunner struct {
 // exec runs one instruction, advancing the device's virtual clock and, when
 // a sink is attached, recording the instruction's event.
 func (r *devRunner) exec(in pipeline.Instr) error {
+	var stall float64
+	if r.fj != nil {
+		// Injected whole-device stalls take effect at instruction
+		// boundaries: the virtual clock jumps, and an optional wall-clock
+		// hold lets the watchdog's stall classification be exercised.
+		var wall time.Duration
+		stall, wall = r.fj.TakeStall(r.clock)
+		r.clock += stall
+		if wall > 0 {
+			r.fj.EnterStall()
+			select {
+			case <-time.After(wall):
+			case <-r.abort:
+			}
+			r.fj.ExitStall()
+		}
+	}
 	var ev *obs.Event
 	if r.events != nil {
 		r.events = append(r.events, obs.Event{
 			Device: r.d, Iter: r.iter, Kind: in.Kind,
 			Micro: in.Micro, Part: in.Part, Stage: in.Stage,
 			Peer: -1, Start: r.clock, Buffered: in.Buffered,
+			FaultStall: stall,
 		})
 		ev = &r.events[len(r.events)-1]
 	}
@@ -413,6 +477,17 @@ func (r *devRunner) execClock(in pipeline.Instr, ev *obs.Event) error {
 			base = e.OptTime
 		}
 		dur := overhead + base*jitter()
+		if r.fj != nil {
+			// A slowdown degrades the hardware itself: the slowed duration is
+			// what profiling observes, exactly as a thermally-throttled chip
+			// would be measured.
+			if f := r.fj.ComputeFactor(r.clock); f != 1 {
+				dur *= f
+				if ev != nil {
+					ev.FaultSlow = f
+				}
+			}
+		}
 		key := SampleKey{Kind: in.Kind, Stage: in.Stage}
 		if in.Micro == pipeline.NoMicro {
 			key.Stage = -1
@@ -429,6 +504,16 @@ func (r *devRunner) execClock(in pipeline.Instr, ev *obs.Event) error {
 		peer := s.PeerDevice(d, in)
 		lk := linkKey{d, peer, channelOf(in.Kind)}
 		transfer := e.CommTime(bytes) * jitter()
+		if r.fj != nil {
+			tr, err := r.fj.Transfer(peer, channelName(in.Kind), transfer, r.clock)
+			if err != nil {
+				return fmt.Errorf("%w (link %d->%d[%s], %s)", err, d, peer, channelName(in.Kind), in)
+			}
+			transfer = tr.Delay
+			if ev != nil {
+				ev.FaultDrops = tr.Drops
+			}
+		}
 		msg := message{key: s.MatchKey(in), arrive: r.clock + overhead + transfer}
 		if ev != nil {
 			ev.Peer, ev.Bytes = peer, bytes

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"io"
+
+	"mario/internal/cost"
+	"mario/internal/pipeline"
+	"mario/internal/tuner"
+)
+
+// FaultsResult is the robustness demo: a base and a Mario-optimized variant
+// of the same 1F1B configuration, each executed on the emulated cluster
+// healthy and under the canonical fault ensemble (straggler, flaky links,
+// stall), so the report shows both per-plan throughput retention and how much
+// of the checkpointing gain survives degradation.
+type FaultsResult struct {
+	Report *tuner.RobustnessReport
+}
+
+// Faults builds the (base, mario) pair of a checkpointed 1F1B schedule and
+// re-scores both under fault.DefaultEnsemble via tuner.Robustness. Fully
+// deterministic for a given Opts.Fast value.
+func Faults(opt Opts) (*FaultsResult, error) {
+	devices, iters := 8, 3
+	model := cost.GPT3_1_6B
+	if opt.Fast {
+		devices, iters = 4, 2
+	}
+	prof := newProfiler(model)
+	micros := 4 * devices
+	mbs := 2
+
+	est, err := prof.EstimatorFor(devices, mbs, 1)
+	if err != nil {
+		return nil, err
+	}
+	mkCand := func(v variant, ckpt bool) (tuner.Candidate, error) {
+		res, sched, err := evalConfig(pipeline.Scheme1F1B, devices, micros, est, v, 0)
+		if err != nil {
+			return tuner.Candidate{}, err
+		}
+		return tuner.Candidate{
+			Scheme: pipeline.Scheme1F1B, Ckpt: ckpt,
+			PP: devices, DP: 1, MicroBatch: mbs, Micros: micros,
+			Throughput: res.SamplesPerSec,
+			Result:     res, Schedule: sched,
+		}, nil
+	}
+	base, err := mkCand(vBase, false)
+	if err != nil {
+		return nil, err
+	}
+	mario, err := mkCand(vOvlp, true)
+	if err != nil {
+		return nil, err
+	}
+
+	rep, err := tuner.Robustness(prof, []tuner.Candidate{base, mario}, tuner.RobustnessOpts{
+		TopK:  2,
+		Iters: iters,
+		Seed:  7,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &FaultsResult{Report: rep}, nil
+}
+
+// PrintFaults renders the robustness report.
+func PrintFaults(w io.Writer, r *FaultsResult) {
+	r.Report.Print(w)
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// updateGolden regenerates the golden fenced blocks in EXPERIMENTS.md in
+// place: go test ./internal/experiments -run Golden -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite EXPERIMENTS.md golden snippets from current output")
+
+// goldenOutputs generates the deterministic fast-mode outputs documented in
+// EXPERIMENTS.md, keyed by their <!-- golden:NAME --> marker.
+func goldenOutputs(t *testing.T) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+
+	dr, err := Drift(Opts{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	PrintDrift(&b, dr)
+	out["drift-fast"] = b.String()
+
+	fr, err := Faults(Opts{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	PrintFaults(&b, fr)
+	out["faults-fast"] = b.String()
+	return out
+}
+
+// experimentsPath locates the repo-root EXPERIMENTS.md from the package dir.
+func experimentsPath() string {
+	return filepath.Join("..", "..", "EXPERIMENTS.md")
+}
+
+// extractGolden returns the contents of the fenced code block that follows
+// the <!-- golden:name --> marker, or an error describing what is missing.
+func extractGolden(doc, name string) (string, error) {
+	marker := fmt.Sprintf("<!-- golden:%s -->", name)
+	idx := strings.Index(doc, marker)
+	if idx < 0 {
+		return "", fmt.Errorf("marker %s not found", marker)
+	}
+	rest := doc[idx+len(marker):]
+	open := strings.Index(rest, "```")
+	if open < 0 {
+		return "", fmt.Errorf("no fenced block after %s", marker)
+	}
+	rest = rest[open:]
+	nl := strings.Index(rest, "\n")
+	if nl < 0 {
+		return "", fmt.Errorf("unterminated fence after %s", marker)
+	}
+	rest = rest[nl+1:]
+	end := strings.Index(rest, "```")
+	if end < 0 {
+		return "", fmt.Errorf("unclosed fenced block after %s", marker)
+	}
+	return rest[:end], nil
+}
+
+// replaceGolden swaps the fenced block following the marker with content.
+func replaceGolden(doc, name, content string) (string, error) {
+	old, err := extractGolden(doc, name)
+	if err != nil {
+		return "", err
+	}
+	marker := fmt.Sprintf("<!-- golden:%s -->", name)
+	idx := strings.Index(doc, marker)
+	blockStart := idx + len(marker)
+	rel := strings.Index(doc[blockStart:], old)
+	if rel < 0 {
+		return "", fmt.Errorf("golden block for %s not found for replacement", name)
+	}
+	pos := blockStart + rel
+	return doc[:pos] + content + doc[pos+len(old):], nil
+}
+
+// TestGoldenDocs pins the expected-output snippets in EXPERIMENTS.md to the
+// actual deterministic fast-mode output of `cmd/experiments -run drift` and
+// `-run faults`, so the documentation cannot drift from the code.
+func TestGoldenDocs(t *testing.T) {
+	data, err := os.ReadFile(experimentsPath())
+	if err != nil {
+		t.Fatalf("reading EXPERIMENTS.md: %v", err)
+	}
+	doc := string(data)
+	outputs := goldenOutputs(t)
+
+	if *updateGolden {
+		for name, want := range outputs {
+			doc, err = replaceGolden(doc, name, want)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := os.WriteFile(experimentsPath(), []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote golden snippets in %s", experimentsPath())
+		return
+	}
+
+	for name, want := range outputs {
+		got, err := extractGolden(doc, name)
+		if err != nil {
+			t.Errorf("%v (run `go test ./internal/experiments -run Golden -update-golden` after adding the marker)", err)
+			continue
+		}
+		if got != want {
+			t.Errorf("EXPERIMENTS.md golden snippet %q is stale.\n--- documented ---\n%s\n--- actual ---\n%s\nRegenerate with: go test ./internal/experiments -run Golden -update-golden", name, got, want)
+		}
+	}
+}

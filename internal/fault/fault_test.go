@@ -1,0 +1,334 @@
+package fault
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"testing"
+	"time"
+)
+
+func TestPlanEmpty(t *testing.T) {
+	var nilPlan *Plan
+	if !nilPlan.Empty() {
+		t.Error("nil plan should be empty")
+	}
+	if !(&Plan{Name: "x", Seed: 7}).Empty() {
+		t.Error("plan with only metadata should be empty")
+	}
+	if (&Plan{Slowdowns: []Slowdown{{Device: 0, Factor: 2}}}).Empty() {
+		t.Error("plan with a slowdown is not empty")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Plan{
+		{Slowdowns: []Slowdown{{Device: 9, Factor: 2}}},
+		{Slowdowns: []Slowdown{{Device: 0, Factor: 0}}},
+		{Links: []LinkFault{{From: 0, To: 9}}},
+		{Links: []LinkFault{{From: 0, To: 1, Channel: "bogus"}}},
+		{Links: []LinkFault{{From: 0, To: 1, DropProb: 1}}},
+		{Links: []LinkFault{{From: 0, To: 1, BandwidthFactor: 1.5}}},
+		{Links: []LinkFault{{From: 0, To: 1, ExtraLatency: -1}}},
+		{Stalls: []Stall{{Device: -1}}},
+		{Stalls: []Stall{{Device: 0, At: -1}}},
+		{MaxRetries: -1},
+		{RetryBackoff: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(4); err == nil {
+			t.Errorf("plan %d should fail validation", i)
+		}
+	}
+	good := Plan{
+		Slowdowns: []Slowdown{{Device: -1, Factor: 1.5}},
+		Links:     []LinkFault{{From: -1, To: -1, Channel: ChannelAct, DropProb: 0.1}},
+		Stalls:    []Stall{{Device: 3, At: 1, Duration: 0.5}},
+	}
+	if err := good.Validate(4); err != nil {
+		t.Errorf("good plan rejected: %v", err)
+	}
+}
+
+func TestComputeFactorWindows(t *testing.T) {
+	p := &Plan{Slowdowns: []Slowdown{
+		{Device: 0, Factor: 2, Start: 1, End: 2},
+		{Device: -1, Factor: 1.5}, // persistent, all devices
+	}}
+	inj, err := p.Compile(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := inj.Device(0)
+	if f := d0.ComputeFactor(0.5); f != 1.5 {
+		t.Errorf("before window: factor %g, want 1.5", f)
+	}
+	if f := d0.ComputeFactor(1.5); f != 3 {
+		t.Errorf("inside window: factor %g, want 2*1.5=3", f)
+	}
+	if f := d0.ComputeFactor(2.5); f != 1.5 {
+		t.Errorf("after window: factor %g, want 1.5", f)
+	}
+	d1 := inj.Device(1)
+	if f := d1.ComputeFactor(1.5); f != 1.5 {
+		t.Errorf("device 1: factor %g, want 1.5 (wildcard only)", f)
+	}
+	if d0.Slowed != 3 || d1.Slowed != 1 {
+		t.Errorf("slowed counters %d/%d, want 3/1", d0.Slowed, d1.Slowed)
+	}
+}
+
+func TestTakeStallConsumesInOrder(t *testing.T) {
+	p := &Plan{Stalls: []Stall{
+		{Device: 0, At: 2, Duration: 0.5},
+		{Device: 0, At: 1, Duration: 0.25, Wall: 10 * time.Millisecond},
+	}}
+	inj, err := p.Compile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := inj.Device(0)
+	if delay, _ := d.TakeStall(0.5); delay != 0 {
+		t.Errorf("no stall due at t=0.5, got delay %g", delay)
+	}
+	delay, wall := d.TakeStall(1.0)
+	if delay != 0.25 || wall != 10*time.Millisecond {
+		t.Errorf("stall at t=1: delay %g wall %v, want 0.25 / 10ms", delay, wall)
+	}
+	// Both stalls due: the later one alone remains.
+	if delay, _ := d.TakeStall(5); delay != 0.5 {
+		t.Errorf("stall at t=5: delay %g, want 0.5", delay)
+	}
+	if delay, _ := d.TakeStall(100); delay != 0 {
+		t.Errorf("stalls already consumed, got delay %g", delay)
+	}
+	if d.StallVirtual != 0.75 {
+		t.Errorf("StallVirtual %g, want 0.75", d.StallVirtual)
+	}
+}
+
+func TestStalledCounter(t *testing.T) {
+	inj, err := (&Plan{Stalls: []Stall{{Device: 0, At: 0, Duration: 1}}}).Compile(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := inj.Device(0)
+	if inj.Stalled() != 0 {
+		t.Fatal("fresh injector should report 0 stalled")
+	}
+	d.EnterStall()
+	if inj.Stalled() != 1 {
+		t.Error("EnterStall should raise the counter")
+	}
+	d.ExitStall()
+	if inj.Stalled() != 0 {
+		t.Error("ExitStall should clear the counter")
+	}
+}
+
+func TestTransferDegradation(t *testing.T) {
+	p := &Plan{Links: []LinkFault{
+		{From: 0, To: 1, Channel: ChannelAct, ExtraLatency: 1, BandwidthFactor: 0.5},
+	}}
+	inj, err := p.Compile(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := inj.Device(0)
+	tr, err := d.Transfer(1, ChannelAct, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wire time 2 at half bandwidth = 4, plus 1 extra latency.
+	if math.Abs(tr.Delay-5) > 1e-12 || tr.Drops != 0 {
+		t.Errorf("degraded transfer delay %g drops %d, want 5 / 0", tr.Delay, tr.Drops)
+	}
+	// Grad channel unaffected.
+	tr, err = d.Transfer(1, ChannelGrad, 2, 0)
+	if err != nil || tr.Delay != 2 {
+		t.Errorf("grad transfer delay %g err %v, want healthy 2", tr.Delay, err)
+	}
+	// Reverse direction unaffected.
+	tr, err = inj.Device(1).Transfer(0, ChannelAct, 2, 0)
+	if err != nil || tr.Delay != 2 {
+		t.Errorf("reverse transfer delay %g err %v, want healthy 2", tr.Delay, err)
+	}
+}
+
+func TestTransferDropsAreDeterministic(t *testing.T) {
+	mk := func() *DeviceInjector {
+		p := &Plan{
+			Seed:  42,
+			Links: []LinkFault{{From: 0, To: 1, DropProb: 0.5}},
+		}
+		inj, err := p.Compile(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inj.Device(0)
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 200; i++ {
+		ta, ea := a.Transfer(1, ChannelAct, 1e-3, 0)
+		tb, eb := b.Transfer(1, ChannelAct, 1e-3, 0)
+		if ta != tb || (ea == nil) != (eb == nil) {
+			t.Fatalf("attempt %d diverged: %+v/%v vs %+v/%v", i, ta, ea, tb, eb)
+		}
+	}
+	if a.Drops == 0 {
+		t.Skip("seed produced no drops in 200 attempts (statistically impossible at p=0.5)")
+	}
+}
+
+func TestTransferRetryBudgetExhaustion(t *testing.T) {
+	p := &Plan{
+		Seed:       1,
+		MaxRetries: 2,
+		Links:      []LinkFault{{From: 0, To: 1, DropProb: 0.999999999}},
+	}
+	inj, err := p.Compile(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = inj.Device(0).Transfer(1, ChannelAct, 1e-3, 0)
+	if !errors.Is(err, ErrLinkFailure) {
+		t.Fatalf("near-certain drop should exhaust the retry budget, got %v", err)
+	}
+}
+
+func TestTransferBackoffAccumulates(t *testing.T) {
+	// DropProb ~1 with a huge budget: after k drops the delay is
+	// base + backoff*(2^k - 1). Check the first attempt's accounting by
+	// bounding a single-drop outcome instead: use a deterministic stream and
+	// just assert Delay grows monotonically with Drops.
+	p := &Plan{
+		Seed:         7,
+		MaxRetries:   64,
+		RetryBackoff: 1e-3,
+		Links:        []LinkFault{{From: 0, To: 1, DropProb: 0.9}},
+	}
+	inj, err := p.Compile(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := inj.Device(0)
+	for i := 0; i < 50; i++ {
+		tr, err := d.Transfer(1, ChannelAct, 1e-3, 0)
+		if err != nil {
+			t.Fatalf("attempt %d: %v", i, err)
+		}
+		want := 1e-3
+		for k := 0; k < tr.Drops; k++ {
+			want += 1e-3 * math.Pow(2, float64(k))
+		}
+		if math.Abs(tr.Delay-want) > 1e-15 {
+			t.Fatalf("attempt %d: %d drops, delay %g, want %g", i, tr.Drops, tr.Delay, want)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	p, err := Parse("seed=9; name=demo; retries=5; backoff=1ms; " +
+		"slow:dev=1,factor=1.5,from=0.1,to=2; " +
+		"link:from=0,to=1,ch=act,latency=250us,bw=0.5,drop=0.05; " +
+		"stall:dev=2,at=0.5,dur=0.2,wall=100ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 9 || p.Name != "demo" || p.MaxRetries != 5 || p.RetryBackoff != 1e-3 {
+		t.Errorf("top-level fields wrong: %+v", p)
+	}
+	if len(p.Slowdowns) != 1 || p.Slowdowns[0] != (Slowdown{Device: 1, Factor: 1.5, Start: 0.1, End: 2}) {
+		t.Errorf("slowdown wrong: %+v", p.Slowdowns)
+	}
+	if len(p.Links) != 1 {
+		t.Fatalf("links wrong: %+v", p.Links)
+	}
+	lf := p.Links[0]
+	if lf.From != 0 || lf.To != 1 || lf.Channel != "act" || math.Abs(lf.ExtraLatency-250e-6) > 1e-18 ||
+		lf.BandwidthFactor != 0.5 || lf.DropProb != 0.05 {
+		t.Errorf("link fault wrong: %+v", lf)
+	}
+	if len(p.Stalls) != 1 || p.Stalls[0] != (Stall{Device: 2, At: 0.5, Duration: 0.2, Wall: 100 * time.Millisecond}) {
+		t.Errorf("stall wrong: %+v", p.Stalls)
+	}
+}
+
+func TestParseWildcardAndErrors(t *testing.T) {
+	p, err := Parse("slow:dev=*,factor=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Slowdowns[0].Device != -1 {
+		t.Errorf("wildcard device = %d, want -1", p.Slowdowns[0].Device)
+	}
+	for _, bad := range []string{
+		"wobble:dev=1",
+		"slow:dev=1,bogus=2",
+		"slow",
+		"seed=notanumber",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestJSONRoundTripAndLoad(t *testing.T) {
+	p := &Plan{
+		Name: "rt", Seed: 3, MaxRetries: 4, RetryBackoff: 2e-3,
+		Slowdowns: []Slowdown{{Device: 1, Factor: 1.2, Start: 0.5}},
+		Links:     []LinkFault{{From: -1, To: 2, Channel: ChannelGrad, DropProb: 0.01}},
+		Stalls:    []Stall{{Device: 0, At: 1, Duration: 0.1}},
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/plan.json"
+	if err := writeFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseOrLoad(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != p.Name || got.Seed != p.Seed || len(got.Slowdowns) != 1 ||
+		got.Links[0] != p.Links[0] || got.Stalls[0] != p.Stalls[0] {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	// A non-file argument falls back to inline parsing.
+	inline, err := ParseOrLoad("slow:dev=0,factor=3")
+	if err != nil || inline.Slowdowns[0].Factor != 3 {
+		t.Errorf("inline fallback failed: %+v, %v", inline, err)
+	}
+}
+
+func TestDefaultEnsemble(t *testing.T) {
+	plans := DefaultEnsemble(4, 11)
+	if len(plans) != 3 {
+		t.Fatalf("ensemble size %d, want 3", len(plans))
+	}
+	names := map[string]bool{}
+	for i := range plans {
+		names[plans[i].Name] = true
+		if plans[i].Seed != 11 {
+			t.Errorf("plan %s seed %d, want 11", plans[i].Name, plans[i].Seed)
+		}
+		if err := plans[i].Validate(4); err != nil {
+			t.Errorf("plan %s invalid: %v", plans[i].Name, err)
+		}
+	}
+	for _, want := range []string{"straggler", "flaky-links", "stall"} {
+		if !names[want] {
+			t.Errorf("ensemble missing %q", want)
+		}
+	}
+}
+
+// writeFile is a tiny helper so the test file avoids importing os at top
+// level twice.
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

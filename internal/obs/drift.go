@@ -55,6 +55,15 @@ type DriftReport struct {
 	MemMAPE float64
 	// MemPred and MemMeas are the per-device peak-memory vectors compared.
 	MemPred, MemMeas []float64
+	// FaultPlan labels the fault plan the measured run executed under; empty
+	// for a healthy run. Set by the caller before Format to switch the report
+	// into "faulted drift" mode: the drift then reads as the gap between the
+	// healthy prediction and the degraded measurement, not as simulator error.
+	FaultPlan string
+	// FaultSlowed, FaultDrops and FaultStall summarise the injected faults
+	// observed in the measured events (see Stats for the same counters).
+	FaultSlowed, FaultDrops int
+	FaultStall              float64
 }
 
 // siteKey identifies an instruction site across the predicted timeline and
@@ -101,6 +110,11 @@ func ComputeDrift(events []Event, pred *sim.Result, measPeakMem []float64) *Drif
 		if e.End > measEnd {
 			measEnd = e.End
 		}
+		if e.FaultSlow != 0 && e.FaultSlow != 1 {
+			r.FaultSlowed++
+		}
+		r.FaultDrops += e.FaultDrops
+		r.FaultStall += e.FaultStall
 	}
 
 	type kindAcc struct {
@@ -192,11 +206,30 @@ func relErr(pred, meas float64) float64 {
 	return math.Abs(pred-meas) / math.Abs(meas)
 }
 
-// Format renders the drift report as an ASCII table.
+// Faulted reports whether the measured run carried injected faults (either a
+// labelled plan or nonzero fault counters in the events).
+func (r *DriftReport) Faulted() bool {
+	return r.FaultPlan != "" || r.FaultSlowed > 0 || r.FaultDrops > 0 || r.FaultStall > 0
+}
+
+// Format renders the drift report as an ASCII table. When the measured run
+// was faulted, the header switches to "faulted drift": the gap quantifies how
+// far the degraded hardware fell from the healthy prediction.
 func (r *DriftReport) Format() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "drift report: predicted iter %.4g s vs measured %.4g s (%.1f%% error)\n",
-		r.TotalPred, r.TotalMeas, 100*r.TotalErr)
+	if r.Faulted() {
+		plan := r.FaultPlan
+		if plan == "" {
+			plan = "unnamed plan"
+		}
+		fmt.Fprintf(&b, "faulted drift (%s): predicted healthy iter %.4g s vs measured faulted %.4g s (%.1f%% gap)\n",
+			plan, r.TotalPred, r.TotalMeas, 100*r.TotalErr)
+		fmt.Fprintf(&b, "injected: %d slowed instrs, %d dropped p2p attempts, %.4g s stalled\n",
+			r.FaultSlowed, r.FaultDrops, r.FaultStall)
+	} else {
+		fmt.Fprintf(&b, "drift report: predicted iter %.4g s vs measured %.4g s (%.1f%% error)\n",
+			r.TotalPred, r.TotalMeas, 100*r.TotalErr)
+	}
 	fmt.Fprintf(&b, "%-5s %6s %12s %12s %7s\n", "kind", "pairs", "pred-mean(s)", "meas-mean(s)", "MAPE%")
 	for _, k := range r.Kinds {
 		fmt.Fprintf(&b, "%-5s %6d %12.4g %12.4g %7.1f\n", k.Kind, k.Pairs, k.PredMean, k.MeasMean, 100*k.MAPE)

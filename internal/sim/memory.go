@@ -5,10 +5,10 @@ import (
 	"mario/internal/pipeline"
 )
 
-// The device-level memory simulation of §5.2: static memory (framework +
-// per-stage training state) is accumulated once, and the dynamic activation
-// memory is tracked instruction by instruction in list order, recording the
-// peak.
+// MemSim is the device-level memory simulation of §5.2: static memory
+// (framework + per-stage training state) is accumulated once, and the dynamic
+// activation memory is tracked instruction by instruction in list order,
+// recording the peak.
 //
 // Accounting rules (per micro-batch m on stage s):
 //
@@ -23,11 +23,11 @@ import (
 //   - a Buffered SendAct holds the stage output (ActP2PBytes) from its
 //     CkptForward until the send executes (§5.1 pass 4, scenario 2).
 //
-// MemSim incrementally replays the memory accounting above for one device,
-// one instruction at a time. The cluster emulator drives it alongside
-// execution to attribute memory to instructions in its event stream; each
-// iteration's allocations release by iteration end, so stepping the same
-// list repeatedly is valid.
+// A MemSim incrementally replays the accounting above for one device, one
+// instruction at a time. The cluster emulator drives it alongside execution
+// to attribute memory to instructions in its event stream; each iteration's
+// allocations release by iteration end, so stepping the same list repeatedly
+// is valid.
 type MemSim struct {
 	e          *cost.Estimator
 	stages     int

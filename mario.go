@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"mario/internal/cost"
+	"mario/internal/fault"
 	"mario/internal/obs"
 	"mario/internal/pipeline"
 	"mario/internal/profile"
@@ -247,6 +248,16 @@ type MeasuredStats = obs.Stats
 // DriftReport quantifies predicted-vs-measured disagreement; see Drift.
 type DriftReport = obs.DriftReport
 
+// FaultPlan is a deterministic fault scenario for RunOptions.Faults; see the
+// fault package for the plan vocabulary (slowdowns, link faults, stalls).
+type FaultPlan = fault.Plan
+
+// ParseFaults resolves a fault-plan argument: a path to a JSON plan file, or
+// an inline spec like "slow:dev=1,factor=1.5; link:from=0,to=1,drop=0.05".
+func ParseFaults(arg string) (*FaultPlan, error) {
+	return fault.ParseOrLoad(arg)
+}
+
 // RunReport summarises an execution of the plan on the emulated cluster.
 type RunReport struct {
 	// IterTime is the measured time per training iteration in seconds.
@@ -263,6 +274,19 @@ type RunReport struct {
 	// WatchdogResets counts how often the deadlock watchdog re-armed
 	// because the cluster was slow but still making progress.
 	WatchdogResets int
+	// StallResets counts watchdog firings absorbed by an injected
+	// wall-clock stall instead of being declared deadlocks.
+	StallResets int
+	// FaultDrops, FaultStall and FaultSlowed summarise the injected faults
+	// of a run made with RunOptions.Faults: dropped-and-retried p2p
+	// attempts, total injected stall time in virtual seconds, and slowed
+	// compute instructions. All zero on a healthy run.
+	FaultDrops  int
+	FaultStall  float64
+	FaultSlowed int
+	// FaultPlan is the name of the fault plan the run executed under
+	// (empty for a healthy run); Drift uses it to label faulted reports.
+	FaultPlan string
 	// Events is the measured per-instruction event stream (nil unless
 	// RunOptions.CollectEvents was set or a Recorder sink was attached).
 	Events []Event
@@ -280,6 +304,11 @@ type RunOptions struct {
 	// CollectEvents additionally retains the event stream in
 	// RunReport.Events and derives RunReport.Stats from it.
 	CollectEvents bool
+	// Faults, when non-nil and non-empty, degrades the emulated hardware
+	// under the fault plan (see internal/fault): compute slowdowns, link
+	// degradation with bounded retry, and whole-device stalls — all in
+	// virtual time, so faulted runs stay deterministic.
+	Faults *fault.Plan
 }
 
 // Run executes the plan's schedule for iters training iterations on the
@@ -304,6 +333,7 @@ func RunWithOptions(p *Plan, iters int, opts RunOptions) (*RunReport, error) {
 		return nil, err
 	}
 	mach.DP = p.Best.DP
+	mach.Faults = opts.Faults
 	var rec *Recorder
 	if opts.CollectEvents {
 		rec = &Recorder{}
@@ -321,6 +351,16 @@ func RunWithOptions(p *Plan, iters int, opts RunOptions) (*RunReport, error) {
 		SamplesPerSec:  rep.SamplesPerSec,
 		PeakMem:        rep.PeakMem,
 		WatchdogResets: rep.WatchdogResets,
+		StallResets:    rep.StallResets,
+		FaultDrops:     rep.FaultDrops,
+		FaultStall:     rep.FaultStall,
+		FaultSlowed:    rep.FaultSlowed,
+	}
+	if !opts.Faults.Empty() {
+		out.FaultPlan = opts.Faults.Name
+		if out.FaultPlan == "" {
+			out.FaultPlan = "unnamed plan"
+		}
 	}
 	out.PeakMemMin, out.PeakMemMax = rep.PeakMem[0], rep.PeakMem[0]
 	for _, v := range rep.PeakMem[1:] {
@@ -350,7 +390,9 @@ func Drift(p *Plan, rep *RunReport) (*DriftReport, error) {
 	if rep == nil || len(rep.Events) == 0 {
 		return nil, fmt.Errorf("mario: run report has no events (use RunOptions.CollectEvents)")
 	}
-	return obs.ComputeDrift(rep.Events, p.Best.Result, rep.PeakMem), nil
+	dr := obs.ComputeDrift(rep.Events, p.Best.Result, rep.PeakMem)
+	dr.FaultPlan = rep.FaultPlan
+	return dr, nil
 }
 
 // Visualize writes the plan's simulated timeline as an ASCII Gantt chart —
