@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json check fmt fuzz lint docs-check
+.PHONY: all build vet test race bench bench-json check fmt fuzz lint docs-check serve-smoke
 
 all: check
 
@@ -40,10 +40,18 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzGraphPassInvariants -fuzztime $(FUZZTIME) ./internal/graph
 
 # Doc-comment lint for the packages whose contracts must live in the source:
-# internal/sim (engine identity/caching rules) and internal/pipeline (COW
-# schedule rules). Dependency-free (cmd/exportlint, go/ast).
+# internal/sim (engine identity/caching rules), internal/pipeline (COW
+# schedule rules) and the planning service's public surface (internal/serve
+# and its client). Dependency-free (cmd/exportlint, go/ast).
 lint:
-	$(GO) run ./cmd/exportlint ./internal/sim ./internal/pipeline
+	$(GO) run ./cmd/exportlint ./internal/sim ./internal/pipeline ./internal/serve ./internal/serve/client
+
+# End-to-end smoke of the mariod planning service: boots the daemon on a
+# loopback port, plans a small workload through the Go client (fresh run,
+# then a byte-identical cache hit), checks /healthz and /metrics, and walks
+# the SIGTERM drain path. Exits non-zero on any failure.
+serve-smoke:
+	$(GO) run ./cmd/mariod -selfcheck
 
 # Markdown link check over the repo docs plus the golden EXPERIMENTS.md
 # snippets (TestGoldenDocs re-runs the fast-mode drift/faults experiments and
@@ -52,7 +60,7 @@ docs-check:
 	$(GO) run ./cmd/docscheck README.md DESIGN.md EXPERIMENTS.md ROADMAP.md PAPER.md docs
 	$(GO) test -run TestGoldenDocs ./internal/experiments
 
-check: vet build race fuzz lint docs-check
+check: vet build race fuzz lint docs-check serve-smoke
 
 fmt:
 	gofmt -l -w .

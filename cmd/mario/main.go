@@ -10,9 +10,17 @@
 //	      [-tp 1] [-workers 0] [-no-prune] [-run 3] [-viz] [-svg out.svg]
 //	      [-trace out.json] [-trace-measured out.json] [-events out.jsonl]
 //	      [-stats] [-drift] [-faults <spec|file>] [-pprof cpu.out]
+//	      [-remote http://host:8347]
+//
+// With -remote the search runs on a mariod planning server instead of in
+// process: the flags are sent as a plan request, repeated invocations hit
+// the server's plan cache, and everything downstream of the plan (-run,
+// -viz, -drift, …) still executes locally. -pprof profiles the local tuner
+// only and is rejected together with -remote.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +28,8 @@ import (
 
 	"mario"
 	"mario/internal/obs"
+	"mario/internal/serve"
+	"mario/internal/serve/client"
 	"mario/internal/tuner"
 	"mario/internal/viz"
 )
@@ -49,8 +59,14 @@ func main() {
 		showDrift    = flag.Bool("drift", false, "print the predicted-vs-measured drift report")
 		faultsArg    = flag.String("faults", "", "degrade the measured run under a fault plan: inline spec (\"slow:dev=1,factor=1.5; link:from=0,to=1,drop=0.05\") or JSON file path")
 		pprofPath    = flag.String("pprof", "", "write a CPU profile of the tuner search to this path")
+		remoteAddr   = flag.String("remote", "", "plan on a mariod server at this base URL instead of in process")
 	)
 	flag.Parse()
+
+	if *remoteAddr != "" && *pprofPath != "" {
+		fmt.Fprintln(os.Stderr, "mario: -pprof profiles the in-process search; it cannot be combined with -remote")
+		os.Exit(2)
+	}
 
 	models := mario.Models()
 	model, ok := models[*modelName]
@@ -98,25 +114,42 @@ func main() {
 		}()
 	}
 
-	conf := mario.Config{
-		PipelineScheme:  *schemeStr,
-		GlobalBatchSize: *gbs,
-		NumDevices:      *devices,
-		MemoryPerDevice: *mem,
-		TP:              *tp,
-		SplitBackward:   *split,
-		Workers:         *workers,
-		GraphWorkers:    *gWorkers,
-		NoPrune:         *noPrune,
-	}
-	if *showStats {
-		conf.Progress = func(explored int, bestLabel string, bestThroughput float64) {
-			fmt.Fprintf(os.Stderr, "\rtuner: explored %4d  best %-18s %10.2f samples/s", explored, bestLabel, bestThroughput)
+	var plan *mario.Plan
+	var err error
+	if *remoteAddr != "" {
+		req := serve.PlanRequest{
+			Model:         *modelName,
+			Scheme:        *schemeStr,
+			GlobalBatch:   *gbs,
+			Devices:       *devices,
+			Memory:        *mem,
+			TP:            *tp,
+			SplitBackward: *split,
+			NoPrune:       *noPrune,
+			Workers:       *workers,
 		}
-	}
-	plan, err := mario.Optimize(conf, model)
-	if conf.Progress != nil {
-		fmt.Fprintln(os.Stderr)
+		plan, err = remotePlan(*remoteAddr, req, *showStats)
+	} else {
+		conf := mario.Config{
+			PipelineScheme:  *schemeStr,
+			GlobalBatchSize: *gbs,
+			NumDevices:      *devices,
+			MemoryPerDevice: *mem,
+			TP:              *tp,
+			SplitBackward:   *split,
+			Workers:         *workers,
+			GraphWorkers:    *gWorkers,
+			NoPrune:         *noPrune,
+		}
+		if *showStats {
+			conf.Progress = func(explored int, bestLabel string, bestThroughput float64) {
+				fmt.Fprintf(os.Stderr, "\rtuner: explored %4d  best %-18s %10.2f samples/s", explored, bestLabel, bestThroughput)
+			}
+		}
+		plan, err = mario.Optimize(conf, model)
+		if conf.Progress != nil {
+			fmt.Fprintln(os.Stderr)
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mario: %v\n", err)
@@ -268,4 +301,32 @@ func main() {
 			fmt.Print(dr.Format())
 		}
 	}
+}
+
+// remotePlan fetches the plan from a mariod server, streaming progress to
+// stderr when showStats is set, and reports whether the server answered
+// from its cache.
+func remotePlan(addr string, req serve.PlanRequest, showStats bool) (*mario.Plan, error) {
+	c := client.New(addr)
+	ctx := context.Background()
+	var resp *serve.PlanResponse
+	var err error
+	if showStats {
+		resp, err = c.PlanStream(ctx, req, func(ev serve.ProgressEvent) {
+			fmt.Fprintf(os.Stderr, "\rtuner: explored %4d  best %-18s %10.2f samples/s", ev.Explored, ev.Best, ev.BestThroughput)
+		})
+		fmt.Fprintln(os.Stderr)
+	} else {
+		resp, err = c.Plan(ctx, req)
+	}
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case resp.Cached:
+		fmt.Fprintf(os.Stderr, "mario: plan served from %s cache (%.12s…)\n", addr, resp.Fingerprint)
+	case resp.Shared:
+		fmt.Fprintf(os.Stderr, "mario: plan shared with an identical in-flight request on %s\n", addr)
+	}
+	return client.Decode(resp)
 }

@@ -1,0 +1,209 @@
+// Command mariod runs the mario planning service: an HTTP/JSON daemon that
+// answers Optimize requests from a fingerprint-keyed plan cache, collapses
+// concurrent identical requests onto one tuner run, streams tuner progress
+// as NDJSON, and drains gracefully on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	mariod [-addr :8347] [-cache 64] [-workers 2] [-queue 16]
+//	       [-timeout 5m] [-max-timeout 15m] [-tuner-workers 0]
+//	       [-drain-timeout 30s] [-selfcheck]
+//
+// Endpoints: POST /v1/plan, POST /v1/plan/stream, GET /v1/models,
+// GET /healthz, GET /metrics.
+//
+// -selfcheck starts the server on a loopback port, exercises it end to end
+// with the Go client (fresh run, cache hit, byte identity, metrics), then
+// delivers itself a SIGTERM to walk the real shutdown path, and exits 0 on
+// success — the build's smoke test.
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mario/internal/serve"
+	"mario/internal/serve/client"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8347", "listen address")
+		cacheSize    = flag.Int("cache", 64, "plan-cache capacity (plans)")
+		workers      = flag.Int("workers", 2, "concurrent plan computations")
+		queue        = flag.Int("queue", 16, "admission queue depth beyond running flights")
+		timeout      = flag.Duration("timeout", 5*time.Minute, "default per-request deadline")
+		maxTimeout   = flag.Duration("max-timeout", 15*time.Minute, "ceiling for request-supplied deadlines")
+		tunerWorkers = flag.Int("tuner-workers", 0, "cap on per-run tuner parallelism (0 = uncapped)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight plans")
+		selfcheck    = flag.Bool("selfcheck", false, "start on loopback, exercise the service end to end, then shut down")
+	)
+	flag.Parse()
+
+	opts := serve.Options{
+		CacheSize:      *cacheSize,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		TunerWorkers:   *tunerWorkers,
+	}
+
+	if *selfcheck {
+		os.Exit(runSelfcheck(opts, *drainTimeout))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mariod: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "mariod: listening on %s\n", ln.Addr())
+	if err := serveUntilSignal(ln, serve.New(opts), *drainTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "mariod: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "mariod: drained, bye")
+}
+
+// serveUntilSignal serves HTTP on ln until SIGINT/SIGTERM, then drains the
+// planning service (in-flight and queued plans finish) and shuts the HTTP
+// server down. Returns nil on a clean drain.
+func serveUntilSignal(ln net.Listener, s *serve.Server, drainTimeout time.Duration) error {
+	httpSrv := &http.Server{Handler: s.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills hard
+
+	fmt.Fprintln(os.Stderr, "mariod: draining…")
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		s.Close()
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
+}
+
+// runSelfcheck is the -selfcheck body; returns the process exit code.
+func runSelfcheck(opts serve.Options, drainTimeout time.Duration) int {
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "mariod selfcheck: FAIL: "+format+"\n", args...)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail("listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- serveUntilSignal(ln, serve.New(opts), drainTimeout) }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	c := client.New("http://" + ln.Addr().String())
+	if err := c.WaitReady(ctx, 10*time.Second); err != nil {
+		return fail("%v", err)
+	}
+
+	req := serve.PlanRequest{
+		Model:        "LLaMA2-3B",
+		Devices:      4,
+		GlobalBatch:  16,
+		Memory:       "40G",
+		MicroBatches: []int{1, 2},
+	}
+
+	// Fresh run over the streaming endpoint: progress then a plan.
+	events := 0
+	fresh, err := c.PlanStream(ctx, req, func(serve.ProgressEvent) { events++ })
+	if err != nil {
+		return fail("streamed plan: %v", err)
+	}
+	if fresh.Cached {
+		return fail("first request answered from cache")
+	}
+	if events == 0 {
+		return fail("streamed plan reported no progress events")
+	}
+
+	// Same request again: must be a cache hit with byte-identical plan.
+	hit, err := c.Plan(ctx, req)
+	if err != nil {
+		return fail("cached plan: %v", err)
+	}
+	if !hit.Cached {
+		return fail("second request missed the cache")
+	}
+	if hit.Fingerprint != fresh.Fingerprint {
+		return fail("fingerprints differ: %s vs %s", fresh.Fingerprint, hit.Fingerprint)
+	}
+	if !bytes.Equal(fresh.Plan, hit.Plan) {
+		return fail("cache hit not byte-identical to fresh plan")
+	}
+	plan, err := client.Decode(hit)
+	if err != nil {
+		return fail("decoding plan: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "mariod selfcheck: plan %s at %.2f samples/s (%d progress events)\n",
+		plan.Best.Label(), plan.Best.Throughput, events)
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		return fail("healthz: %v", err)
+	}
+	if !h.OK || h.CachedPlans != 1 {
+		return fail("unexpected health %+v", h)
+	}
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		return fail("metrics: %v", err)
+	}
+	for _, want := range []string{
+		"mario_serve_tuner_runs_total 1",
+		"mario_serve_cache_hits_total 1",
+		"mario_serve_cache_misses_total 1",
+		"mario_serve_completed_total 2",
+	} {
+		if !strings.Contains(metrics, want) {
+			return fail("metrics missing %q", want)
+		}
+	}
+
+	// Walk the real shutdown path: deliver ourselves the signal systemd
+	// (or ^C) would send and require a clean drain.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		return fail("sigterm: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return fail("shutdown: %v", err)
+		}
+	case <-time.After(drainTimeout + 10*time.Second):
+		return fail("server did not drain within %v", drainTimeout)
+	}
+	fmt.Fprintln(os.Stderr, "mariod selfcheck: OK")
+	return 0
+}

@@ -6,6 +6,7 @@
 package graph
 
 import (
+	"context"
 	"fmt"
 
 	"mario/internal/cost"
@@ -190,6 +191,15 @@ type Options struct {
 // the simulated makespan stops improving. It returns the optimized schedule
 // (the input is not modified) and its simulation result.
 func Optimize(s *pipeline.Schedule, opt Options) (*pipeline.Schedule, *sim.Result, error) {
+	return OptimizeContext(context.Background(), s, opt)
+}
+
+// OptimizeContext is Optimize with cancellation: the cheap structural passes
+// always run, but the simulator-guided prepose rounds — the expensive part —
+// check ctx between rounds and between candidate simulations, and a
+// cancelled context aborts the call with ctx's error. A completed
+// OptimizeContext is byte-identical to Optimize for every worker count.
+func OptimizeContext(ctx context.Context, s *pipeline.Schedule, opt Options) (*pipeline.Schedule, *sim.Result, error) {
 	if opt.Estimator == nil {
 		return nil, nil, fmt.Errorf("graph: Optimize requires an estimator")
 	}
@@ -225,7 +235,10 @@ func Optimize(s *pipeline.Schedule, opt Options) (*pipeline.Schedule, *sim.Resul
 		if budget == 0 {
 			break
 		}
-		next, nextRes, moves, err := preposeRound(cur, best, inner, budget, eng)
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		next, nextRes, moves, err := preposeRound(ctx, cur, best, inner, budget, eng)
 		if err != nil {
 			return nil, nil, err
 		}

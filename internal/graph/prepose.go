@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -317,7 +318,10 @@ func simCandidate(eng *sim.Simulator, c *pipeline.Schedule, opt Options) (*sim.R
 // ascending device order with a strict-improvement comparison — exactly the
 // sequential selection — so the outcome is byte-identical for every worker
 // count (the determinism-first contract the outer tuner grid established).
-func preposeRound(cur *pipeline.Schedule, best *sim.Result, opt Options, budget int, eng *engines) (*pipeline.Schedule, *sim.Result, int, error) {
+//
+// ctx is checked before each candidate simulation (including by the worker
+// goroutines); a cancelled round returns ctx's error.
+func preposeRound(ctx context.Context, cur *pipeline.Schedule, best *sim.Result, opt Options, budget int, eng *engines) (*pipeline.Schedule, *sim.Result, int, error) {
 	type cand struct {
 		s     *pipeline.Schedule
 		r     *sim.Result
@@ -354,6 +358,9 @@ func preposeRound(cur *pipeline.Schedule, best *sim.Result, opt Options, budget 
 		}
 	}
 	if moves > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, 0, err
+		}
 		r, err := simCandidate(eng.main, comp, opt)
 		if err != nil {
 			return nil, nil, 0, err
@@ -361,6 +368,9 @@ func preposeRound(cur *pipeline.Schedule, best *sim.Result, opt Options, budget 
 		consider(comp, r, moves)
 	}
 	if c, ok := promoteBufferedSends(cur); ok {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, 0, err
+		}
 		r, err := simCandidate(eng.main, c, opt)
 		if err != nil {
 			return nil, nil, 0, err
@@ -394,6 +404,10 @@ func preposeRound(cur *pipeline.Schedule, best *sim.Result, opt Options, budget 
 						return
 					}
 					d := jobs[j]
+					if err := ctx.Err(); err != nil {
+						errs[d] = err
+						continue
+					}
 					results[d], errs[d] = simCandidate(e, cands[d], opt)
 				}
 			}
@@ -409,6 +423,10 @@ func preposeRound(cur *pipeline.Schedule, best *sim.Result, opt Options, budget 
 			wg.Wait()
 		} else {
 			for _, d := range jobs {
+				if err := ctx.Err(); err != nil {
+					errs[d] = err
+					break
+				}
 				results[d], errs[d] = simCandidate(eng.main, cands[d], opt)
 			}
 		}

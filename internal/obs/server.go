@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// ServerStats is the counter set of the planning service (internal/serve):
+// request outcomes, cache effectiveness, singleflight sharing and tuner
+// executions, plus a request-latency histogram. All fields are atomic, so
+// the HTTP handlers update them lock-free and /metrics reads them while
+// requests are in flight. The zero value is ready to use.
+type ServerStats struct {
+	// Requests counts plan requests that passed validation (both the
+	// blocking and the streaming endpoint).
+	Requests atomic.Int64
+	// CacheHits and CacheMisses count plan-cache lookups.
+	CacheHits, CacheMisses atomic.Int64
+	// FlightsShared counts requests that joined an already-running tuner
+	// flight instead of starting their own (singleflight deduplication).
+	FlightsShared atomic.Int64
+	// TunerRuns counts tuner executions actually started — the number the
+	// singleflight/cache layers exist to minimise.
+	TunerRuns atomic.Int64
+	// Rejected counts requests refused by admission control (full queue or
+	// draining server).
+	Rejected atomic.Int64
+	// Timeouts counts requests that gave up waiting (per-request deadline
+	// or client disconnect).
+	Timeouts atomic.Int64
+	// Errors counts requests that failed with an internal error.
+	Errors atomic.Int64
+	// Completed counts requests answered with a plan (fresh, shared or
+	// cached).
+	Completed atomic.Int64
+	// InFlight is the number of plan requests currently being handled — a
+	// gauge, not a counter.
+	InFlight atomic.Int64
+	// Latency is the end-to-end plan-request latency histogram.
+	Latency LatencyHist
+}
+
+// latencyBounds are the histogram's upper bucket bounds in seconds; the
+// implicit final bucket is +Inf. The range spans cache hits (sub-millisecond)
+// to full tuner runs (minutes).
+var latencyBounds = [...]float64{0.001, 0.01, 0.1, 0.5, 1, 5, 15, 60, 300}
+
+// LatencyHist is a fixed-bucket latency histogram safe for concurrent use.
+// The zero value is ready to use.
+type LatencyHist struct {
+	buckets [len(latencyBounds) + 1]atomic.Int64
+	count   atomic.Int64
+	sumNano atomic.Int64
+}
+
+// Observe records one request duration.
+func (h *LatencyHist) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(latencyBounds) && s > latencyBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNano.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *LatencyHist) Count() int64 { return h.count.Load() }
+
+// Sum returns the total observed time.
+func (h *LatencyHist) Sum() time.Duration { return time.Duration(h.sumNano.Load()) }
+
+// writeProm renders the histogram in Prometheus text format under the given
+// metric name (cumulative buckets, plus _sum and _count).
+func (h *LatencyHist) writeProm(w io.Writer, name string) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	cum := int64(0)
+	for i, b := range latencyBounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, trimFloat(b), cum)
+	}
+	cum += h.buckets[len(latencyBounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, trimFloat(h.Sum().Seconds()))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}
+
+// trimFloat renders a float without trailing zeros (Prometheus-friendly).
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WriteProm renders every counter (and the latency histogram) in Prometheus
+// text exposition format under the mario_serve_* namespace. The caller may
+// append its own gauge lines (queue depth, cache size) after it.
+func (s *ServerStats) WriteProm(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("mario_serve_requests_total", "Validated plan requests.", s.Requests.Load())
+	counter("mario_serve_cache_hits_total", "Plan-cache hits.", s.CacheHits.Load())
+	counter("mario_serve_cache_misses_total", "Plan-cache misses.", s.CacheMisses.Load())
+	counter("mario_serve_flights_shared_total", "Requests deduplicated onto a running flight.", s.FlightsShared.Load())
+	counter("mario_serve_tuner_runs_total", "Tuner executions started.", s.TunerRuns.Load())
+	counter("mario_serve_rejected_total", "Requests refused by admission control.", s.Rejected.Load())
+	counter("mario_serve_timeouts_total", "Requests that gave up waiting.", s.Timeouts.Load())
+	counter("mario_serve_errors_total", "Requests failed with an internal error.", s.Errors.Load())
+	counter("mario_serve_completed_total", "Requests answered with a plan.", s.Completed.Load())
+	fmt.Fprintf(w, "# HELP mario_serve_in_flight Plan requests currently being handled.\n# TYPE mario_serve_in_flight gauge\nmario_serve_in_flight %d\n", s.InFlight.Load())
+	s.Latency.writeProm(w, "mario_serve_request_seconds")
+}

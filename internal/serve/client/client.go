@@ -1,0 +1,214 @@
+// Package client is the Go client for the mariod planning service
+// (internal/serve): it submits PlanRequests over HTTP, optionally follows
+// the NDJSON progress stream, and decodes the returned plan JSON back into
+// a *mario.Plan with mario.LoadPlan.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"mario"
+	"mario/internal/serve"
+)
+
+// Client talks to one mariod instance.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8347".
+	BaseURL string
+	// HTTPClient overrides the transport; nil uses a client with no overall
+	// timeout (plan requests are bounded server-side and by ctx).
+	HTTPClient *http.Client
+}
+
+// New returns a client for the server at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{}
+}
+
+// apiError decodes the service's {"error": ...} body into a Go error.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("client: server returned %s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("client: server returned %s", resp.Status)
+}
+
+func (c *Client) post(ctx context.Context, path string, req serve.PlanRequest) (*http.Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, apiError(resp)
+	}
+	return resp, nil
+}
+
+// Plan submits a blocking plan request and returns the raw response. Use
+// Decode (or mario.LoadPlan) to turn the response's Plan bytes into a
+// *mario.Plan.
+func (c *Client) Plan(ctx context.Context, req serve.PlanRequest) (*serve.PlanResponse, error) {
+	resp, err := c.post(ctx, "/v1/plan", req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var pr serve.PlanResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return nil, fmt.Errorf("client: decoding response: %w", err)
+	}
+	return &pr, nil
+}
+
+// PlanStream submits a streaming plan request, invoking onProgress (when
+// non-nil) for every progress record, and returns the terminal plan
+// response.
+func (c *Client) PlanStream(ctx context.Context, req serve.PlanRequest, onProgress func(serve.ProgressEvent)) (*serve.PlanResponse, error) {
+	resp, err := c.post(ctx, "/v1/plan/stream", req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20) // plan records carry the full trace
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec struct {
+			Type           string          `json:"type"`
+			Explored       int             `json:"explored"`
+			Best           string          `json:"best"`
+			BestThroughput float64         `json:"throughput"`
+			Fingerprint    string          `json:"fingerprint"`
+			Cached         bool            `json:"cached"`
+			Shared         bool            `json:"shared"`
+			Plan           json.RawMessage `json:"plan"`
+			Error          string          `json:"error"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("client: decoding stream record: %w", err)
+		}
+		switch rec.Type {
+		case "progress":
+			if onProgress != nil {
+				onProgress(serve.ProgressEvent{Explored: rec.Explored, Best: rec.Best, BestThroughput: rec.BestThroughput})
+			}
+		case "plan":
+			return &serve.PlanResponse{Fingerprint: rec.Fingerprint, Cached: rec.Cached, Shared: rec.Shared, Plan: rec.Plan}, nil
+		case "error":
+			return nil, fmt.Errorf("client: server error: %s", rec.Error)
+		default:
+			return nil, fmt.Errorf("client: unknown stream record type %q", rec.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("client: reading stream: %w", err)
+	}
+	return nil, fmt.Errorf("client: stream ended without a terminal record")
+}
+
+// Decode turns a plan response's raw bytes into a *mario.Plan.
+func Decode(pr *serve.PlanResponse) (*mario.Plan, error) {
+	return mario.LoadPlan(pr.Plan)
+}
+
+// Health fetches /healthz. The returned Health is valid even when the
+// server reports 503 (draining); other statuses are errors.
+func (c *Client) Health(ctx context.Context) (*serve.Health, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return nil, apiError(resp)
+	}
+	var h serve.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, fmt.Errorf("client: decoding health: %w", err)
+	}
+	return &h, nil
+}
+
+// Metrics fetches the raw Prometheus text exposition from /metrics.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", apiError(resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(body), nil
+}
+
+// WaitReady polls /healthz until the server answers OK, ctx expires, or the
+// given budget elapses. Useful right after spawning a mariod process.
+func (c *Client) WaitReady(ctx context.Context, budget time.Duration) error {
+	deadline := time.NewTimer(budget)
+	defer deadline.Stop()
+	tick := time.NewTicker(25 * time.Millisecond)
+	defer tick.Stop()
+	var last error
+	for {
+		h, err := c.Health(ctx)
+		if err == nil && h.OK {
+			return nil
+		}
+		if err == nil {
+			err = fmt.Errorf("client: server draining")
+		}
+		last = err
+		select {
+		case <-tick.C:
+		case <-deadline.C:
+			return fmt.Errorf("client: server not ready after %v: %w", budget, last)
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mario"
+	"mario/internal/serve"
+	"mario/internal/serve/client"
+)
+
+// TestEndToEndByteIdentity runs the full stack — client, HTTP, service,
+// real tuner — and requires the served plan to be byte-identical to a
+// direct mario.Optimize of the same workload, for the fresh run and the
+// cache hit alike.
+func TestEndToEndByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real tuner search")
+	}
+	s := serve.New(serve.Options{Workers: 2, QueueDepth: 4})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := serve.PlanRequest{
+		Model:        "LLaMA2-3B",
+		Devices:      4,
+		GlobalBatch:  16,
+		Memory:       "40G",
+		MicroBatches: []int{1, 2},
+	}
+	direct, err := mario.Optimize(mario.Config{
+		PipelineScheme:  "Auto",
+		GlobalBatchSize: 16,
+		NumDevices:      4,
+		MemoryPerDevice: "40G",
+		MicroBatchSizes: []int{1, 2},
+	}, mario.Models()["LLaMA2-3B"])
+	if err != nil {
+		t.Fatalf("direct optimize: %v", err)
+	}
+	want, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatalf("marshal direct plan: %v", err)
+	}
+
+	c := client.New(ts.URL)
+	ctx := context.Background()
+
+	fresh, err := c.Plan(ctx, req)
+	if err != nil {
+		t.Fatalf("fresh plan: %v", err)
+	}
+	if fresh.Cached {
+		t.Fatal("first request reported cached")
+	}
+	if !bytes.Equal(fresh.Plan, want) {
+		t.Fatalf("fresh served plan differs from direct Optimize (%d vs %d bytes)", len(fresh.Plan), len(want))
+	}
+
+	events := 0
+	hit, err := c.PlanStream(ctx, req, func(serve.ProgressEvent) { events++ })
+	if err != nil {
+		t.Fatalf("cached plan: %v", err)
+	}
+	if !hit.Cached {
+		t.Fatal("second request missed the cache")
+	}
+	if events != 0 {
+		t.Fatalf("cache hit streamed %d progress events, want 0", events)
+	}
+	if !bytes.Equal(hit.Plan, want) {
+		t.Fatal("cache hit not byte-identical to direct Optimize")
+	}
+	if hit.Fingerprint != fresh.Fingerprint {
+		t.Fatalf("fingerprints differ: %s vs %s", fresh.Fingerprint, hit.Fingerprint)
+	}
+
+	plan, err := client.Decode(hit)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if plan.Best.Label() != direct.Best.Label() || plan.Best.Throughput != direct.Best.Throughput {
+		t.Fatalf("decoded best %s/%.4f, direct %s/%.4f",
+			plan.Best.Label(), plan.Best.Throughput, direct.Best.Label(), direct.Best.Throughput)
+	}
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	if !h.OK || h.CachedPlans != 1 {
+		t.Fatalf("health = %+v", h)
+	}
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	for _, want := range []string{
+		"mario_serve_tuner_runs_total 1",
+		"mario_serve_cache_hits_total 1",
+		"mario_serve_cache_misses_total 1",
+		"mario_serve_request_seconds_count 2",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestStreamProgressOnFreshRun requires a fresh streamed run to surface
+// tuner progress before the terminal plan.
+func TestStreamProgressOnFreshRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real tuner search")
+	}
+	s := serve.New(serve.Options{Workers: 1, QueueDepth: 4})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	c := client.New(ts.URL)
+	events := 0
+	resp, err := c.PlanStream(context.Background(), serve.PlanRequest{
+		Model:        "LLaMA2-3B",
+		Devices:      4,
+		GlobalBatch:  16,
+		Memory:       "40G",
+		MicroBatches: []int{1, 2},
+	}, func(serve.ProgressEvent) { events++ })
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	if resp.Cached || resp.Shared {
+		t.Fatalf("fresh run reported cached=%v shared=%v", resp.Cached, resp.Shared)
+	}
+	if events == 0 {
+		t.Fatal("fresh streamed run produced no progress events")
+	}
+	if _, err := client.Decode(resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+}

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// ProgressEvent is one tuner progress update, streamed to every subscriber
+// of a flight as it searches. Events arrive in canonical grid order (the
+// tuner's merge-loop contract); a slow subscriber may observe gaps — each
+// event is a complete snapshot, so dropping intermediate ones loses nothing
+// but granularity.
+type ProgressEvent struct {
+	// Explored is the number of candidates merged so far.
+	Explored int `json:"explored"`
+	// Best and BestThroughput describe the best configuration found so far.
+	Best           string  `json:"best"`
+	BestThroughput float64 `json:"throughput"`
+}
+
+// flight is one in-progress tuner run that any number of identical requests
+// share (singleflight). The first request creates it and enqueues it on the
+// worker pool; later identical requests join as waiters. When the last
+// waiter abandons (deadline, disconnect), the flight's context is cancelled
+// so the tuner stops burning a worker on a result nobody wants.
+type flight struct {
+	fp  string
+	req PlanRequest
+
+	// ctx governs the tuner run; cancel is called when the last waiter
+	// leaves or the server shuts down hard.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// waiters is guarded by the server mutex (join/leave go through the
+	// server, which also owns the flights map).
+	waiters int
+
+	mu   sync.Mutex
+	subs []chan ProgressEvent
+
+	// done is closed exactly once, after data/err are set.
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+func newFlight(fp string, req PlanRequest) *flight {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &flight{fp: fp, req: req, ctx: ctx, cancel: cancel, waiters: 1, done: make(chan struct{})}
+}
+
+// subscribe registers a progress channel. The channel is buffered; broadcast
+// drops events for subscribers that fall behind rather than stalling the
+// tuner's merge loop.
+func (f *flight) subscribe() chan ProgressEvent {
+	ch := make(chan ProgressEvent, 64)
+	f.mu.Lock()
+	f.subs = append(f.subs, ch)
+	f.mu.Unlock()
+	return ch
+}
+
+// broadcast fans one progress event out to every subscriber, never blocking.
+func (f *flight) broadcast(ev ProgressEvent) {
+	f.mu.Lock()
+	for _, ch := range f.subs {
+		select {
+		case ch <- ev:
+		default: // subscriber behind; it will catch up on a later snapshot
+		}
+	}
+	f.mu.Unlock()
+}
+
+// finish publishes the outcome and wakes every waiter. It must be called
+// exactly once.
+func (f *flight) finish(data []byte, err error) {
+	f.data, f.err = data, err
+	close(f.done)
+}

@@ -1,0 +1,509 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"mario"
+	"mario/internal/obs"
+)
+
+// Options configures a Server. The zero value gets sensible defaults.
+type Options struct {
+	// CacheSize bounds the LRU plan cache; 0 means 64 plans.
+	CacheSize int
+	// Workers is the tuner worker-pool size — how many plan computations
+	// may run concurrently; 0 means 2.
+	Workers int
+	// QueueDepth bounds how many flights may wait for a worker beyond the
+	// ones running; a full queue rejects new work with 429. 0 means 16.
+	QueueDepth int
+	// DefaultTimeout is the per-request deadline when the request does not
+	// set one; 0 means 5 minutes.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps request-supplied deadlines; 0 means 15 minutes.
+	MaxTimeout time.Duration
+	// TunerWorkers caps the per-run tuner parallelism (mario.Config.Workers)
+	// a request may ask for; 0 leaves requests uncapped (0 = GOMAXPROCS).
+	TunerWorkers int
+	// Stats receives the server counters; nil allocates a private set.
+	Stats *obs.ServerStats
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheSize <= 0 {
+		o.CacheSize = 64
+	}
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 16
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 5 * time.Minute
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 15 * time.Minute
+	}
+	if o.Stats == nil {
+		o.Stats = &obs.ServerStats{}
+	}
+	return o
+}
+
+// Server is the planning service: an http.Handler that answers Optimize
+// requests from a fingerprint-keyed plan cache, deduplicates concurrent
+// identical requests onto shared flights, and executes cache misses on a
+// bounded worker pool. Create one with New, mount Handler, and call Drain
+// (or Close) on shutdown.
+type Server struct {
+	opts  Options
+	stats *obs.ServerStats
+	cache *planCache
+
+	mu       sync.Mutex
+	flights  map[string]*flight
+	draining bool
+
+	jobs chan *flight
+	wg   sync.WaitGroup
+
+	// run computes one flight's plan bytes; tests replace it to make
+	// admission and drain behaviour deterministic.
+	run func(ctx context.Context, req PlanRequest, progress func(ProgressEvent)) ([]byte, error)
+}
+
+// New builds a Server and starts its worker pool.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		stats:   opts.Stats,
+		cache:   newPlanCache(opts.CacheSize),
+		flights: make(map[string]*flight),
+		jobs:    make(chan *flight, opts.QueueDepth),
+	}
+	s.run = s.optimize
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Stats returns the server's counter set (the one /metrics renders).
+func (s *Server) Stats() *obs.ServerStats { return s.stats }
+
+// Handler returns the service's HTTP routes:
+//
+//	POST /v1/plan         blocking plan request → PlanResponse JSON
+//	POST /v1/plan/stream  same request, NDJSON progress stream + final plan
+//	GET  /v1/models       built-in model presets
+//	GET  /healthz         readiness (503 while draining)
+//	GET  /metrics         Prometheus text exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	mux.HandleFunc("POST /v1/plan/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Drain stops admitting new plan requests, lets queued and running flights
+// finish, and returns when the worker pool has exited (or ctx expires).
+// In-flight HTTP waiters are not interrupted — pair Drain with
+// http.Server.Shutdown, which waits for them.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.jobs)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close is Drain without grace: it cancels every in-progress flight and
+// waits for the workers to exit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.jobs)
+	}
+	for _, f := range s.flights {
+		f.cancel()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// errBusy and errDraining are the admission-control refusals.
+var (
+	errBusy     = errors.New("serve: worker queue full")
+	errDraining = errors.New("serve: server is draining")
+)
+
+// admit resolves one validated request under the server mutex: a cache hit
+// returns the stored bytes; an identical in-progress flight is joined; and
+// otherwise a new flight is created and enqueued — unless the queue is full
+// or the server is draining.
+func (s *Server) admit(fp string, req PlanRequest) (data []byte, f *flight, created bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.cache.get(fp); ok {
+		return d, nil, false, nil
+	}
+	if s.draining {
+		return nil, nil, false, errDraining
+	}
+	if f, ok := s.flights[fp]; ok {
+		f.waiters++
+		return nil, f, false, nil
+	}
+	f = newFlight(fp, req)
+	select {
+	case s.jobs <- f:
+		s.flights[fp] = f
+		return nil, f, true, nil
+	default:
+		f.cancel()
+		return nil, nil, false, errBusy
+	}
+}
+
+// leave drops one waiter from a flight; the last waiter out cancels the
+// flight's context so an abandoned tuner run stops burning a worker.
+func (s *Server) leave(f *flight) {
+	s.mu.Lock()
+	f.waiters--
+	if f.waiters <= 0 {
+		f.cancel()
+	}
+	s.mu.Unlock()
+}
+
+// worker executes flights off the queue until Drain closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for f := range s.jobs {
+		s.runFlight(f)
+	}
+}
+
+// runFlight computes one flight's plan, populates the cache on success, and
+// wakes the waiters. The flight leaves the dedup map before finish so a
+// late identical request either hits the cache (success) or starts a fresh
+// flight (failure) — it can never join a finished one.
+func (s *Server) runFlight(f *flight) {
+	if err := f.ctx.Err(); err != nil {
+		s.removeFlight(f)
+		f.finish(nil, err)
+		return
+	}
+	s.stats.TunerRuns.Add(1)
+	data, err := s.run(f.ctx, f.req, f.broadcast)
+	if err == nil {
+		s.cache.add(f.fp, data)
+	}
+	s.removeFlight(f)
+	f.finish(data, err)
+}
+
+func (s *Server) removeFlight(f *flight) {
+	s.mu.Lock()
+	if cur, ok := s.flights[f.fp]; ok && cur == f {
+		delete(s.flights, f.fp)
+	}
+	s.mu.Unlock()
+}
+
+// optimize is the production run function: it resolves the request into a
+// mario.Config, executes OptimizeContext with progress forwarding, and
+// marshals the plan with the deterministic Plan codec.
+func (s *Server) optimize(ctx context.Context, req PlanRequest, progress func(ProgressEvent)) ([]byte, error) {
+	model, err := req.Validate()
+	if err != nil {
+		return nil, err
+	}
+	workers := req.Workers
+	if s.opts.TunerWorkers > 0 && (workers <= 0 || workers > s.opts.TunerWorkers) {
+		workers = s.opts.TunerWorkers
+	}
+	conf := req.config(workers)
+	conf.Progress = func(n int, best string, throughput float64) {
+		progress(ProgressEvent{Explored: n, Best: best, BestThroughput: throughput})
+	}
+	plan, err := mario.OptimizeContext(ctx, conf, model)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(plan)
+}
+
+// PlanResponse is the body of a successful POST /v1/plan (and the terminal
+// record of the streaming endpoint carries the same fields).
+type PlanResponse struct {
+	// Fingerprint is the canonical workload identity the plan is cached
+	// under.
+	Fingerprint string `json:"fingerprint"`
+	// Cached reports that the plan came from the LRU cache; Shared that the
+	// request joined an already-running identical flight. Both false means
+	// this request's flight computed the plan.
+	Cached bool `json:"cached"`
+	Shared bool `json:"shared,omitempty"`
+	// Plan is the plan JSON (mario.LoadPlan decodes it). Byte-identical to
+	// json.Marshal of the mario.Optimize result for the same inputs,
+	// whether cached, shared or fresh.
+	Plan json.RawMessage `json:"plan"`
+}
+
+// errorJSON writes a JSON error body with the given status.
+func errorJSON(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// decodeRequest parses and validates the request body.
+func decodeRequest(r *http.Request) (PlanRequest, string, error) {
+	var req PlanRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return req, "", fmt.Errorf("serve: decoding request: %w", err)
+	}
+	model, err := req.Validate()
+	if err != nil {
+		return req, "", err
+	}
+	return req, req.Fingerprint(model), nil
+}
+
+// admissionStatus maps an admission refusal to its HTTP status.
+func admissionStatus(err error) int {
+	switch {
+	case errors.Is(err, errBusy):
+		return http.StatusTooManyRequests
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	req, fp, err := decodeRequest(r)
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, err)
+		return
+	}
+	s.stats.Requests.Add(1)
+	s.stats.InFlight.Add(1)
+	defer func() {
+		s.stats.InFlight.Add(-1)
+		s.stats.Latency.Observe(time.Since(start))
+	}()
+
+	data, f, created, err := s.admit(fp, req)
+	if err != nil {
+		s.stats.Rejected.Add(1)
+		errorJSON(w, admissionStatus(err), err)
+		return
+	}
+	if data != nil {
+		s.stats.CacheHits.Add(1)
+		s.stats.Completed.Add(1)
+		writeJSON(w, PlanResponse{Fingerprint: fp, Cached: true, Plan: data})
+		return
+	}
+	s.stats.CacheMisses.Add(1)
+	if !created {
+		s.stats.FlightsShared.Add(1)
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), req.timeout(s.opts.DefaultTimeout, s.opts.MaxTimeout))
+	defer cancel()
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		s.leave(f)
+		s.stats.Timeouts.Add(1)
+		errorJSON(w, http.StatusGatewayTimeout, fmt.Errorf("serve: request abandoned: %w", ctx.Err()))
+		return
+	}
+	if f.err != nil {
+		s.stats.Errors.Add(1)
+		errorJSON(w, http.StatusInternalServerError, f.err)
+		return
+	}
+	s.stats.Completed.Add(1)
+	writeJSON(w, PlanResponse{Fingerprint: fp, Shared: !created, Plan: f.data})
+}
+
+// streamRecord is one NDJSON line of the streaming endpoint. Type is
+// "progress" (Explored/Best/BestThroughput set), "plan" (the terminal
+// PlanResponse fields set) or "error".
+type streamRecord struct {
+	Type string `json:"type"`
+	// Progress fields.
+	Explored       int     `json:"explored,omitempty"`
+	Best           string  `json:"best,omitempty"`
+	BestThroughput float64 `json:"throughput,omitempty"`
+	// Terminal fields.
+	Fingerprint string          `json:"fingerprint,omitempty"`
+	Cached      bool            `json:"cached,omitempty"`
+	Shared      bool            `json:"shared,omitempty"`
+	Plan        json.RawMessage `json:"plan,omitempty"`
+	Error       string          `json:"error,omitempty"`
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	req, fp, err := decodeRequest(r)
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, err)
+		return
+	}
+	s.stats.Requests.Add(1)
+	s.stats.InFlight.Add(1)
+	defer func() {
+		s.stats.InFlight.Add(-1)
+		s.stats.Latency.Observe(time.Since(start))
+	}()
+
+	data, f, created, err := s.admit(fp, req)
+	if err != nil {
+		s.stats.Rejected.Add(1)
+		errorJSON(w, admissionStatus(err), err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(rec streamRecord) {
+		enc.Encode(rec)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	if data != nil {
+		s.stats.CacheHits.Add(1)
+		s.stats.Completed.Add(1)
+		emit(streamRecord{Type: "plan", Fingerprint: fp, Cached: true, Plan: data})
+		return
+	}
+	s.stats.CacheMisses.Add(1)
+	if !created {
+		s.stats.FlightsShared.Add(1)
+	}
+
+	sub := f.subscribe()
+	ctx, cancel := context.WithTimeout(r.Context(), req.timeout(s.opts.DefaultTimeout, s.opts.MaxTimeout))
+	defer cancel()
+	for {
+		select {
+		case ev := <-sub:
+			emit(streamRecord{Type: "progress", Explored: ev.Explored, Best: ev.Best, BestThroughput: ev.BestThroughput})
+		case <-f.done:
+			// Deliver progress still sitting in the buffer (broadcast
+			// happens-before finish) so fast runs stream a coherent story.
+			for drained := false; !drained; {
+				select {
+				case ev := <-sub:
+					emit(streamRecord{Type: "progress", Explored: ev.Explored, Best: ev.Best, BestThroughput: ev.BestThroughput})
+				default:
+					drained = true
+				}
+			}
+			if f.err != nil {
+				s.stats.Errors.Add(1)
+				emit(streamRecord{Type: "error", Error: f.err.Error()})
+				return
+			}
+			s.stats.Completed.Add(1)
+			emit(streamRecord{Type: "plan", Fingerprint: fp, Shared: !created, Plan: f.data})
+			return
+		case <-ctx.Done():
+			s.leave(f)
+			s.stats.Timeouts.Add(1)
+			emit(streamRecord{Type: "error", Error: fmt.Sprintf("serve: request abandoned: %v", ctx.Err())})
+			return
+		}
+	}
+}
+
+// Health is the /healthz body.
+type Health struct {
+	// OK is false while the server is draining.
+	OK bool `json:"ok"`
+	// Draining reports that shutdown has begun (new plan requests are
+	// refused; in-flight ones are finishing).
+	Draining bool `json:"draining"`
+	// InFlight and Queued describe current load; CachedPlans the LRU fill.
+	InFlight    int64 `json:"in_flight"`
+	Queued      int   `json:"queued"`
+	CachedPlans int   `json:"cached_plans"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	h := Health{
+		OK:          !draining,
+		Draining:    draining,
+		InFlight:    s.stats.InFlight.Load(),
+		Queued:      len(s.jobs),
+		CachedPlans: s.cache.len(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.stats.WriteProm(w)
+	fmt.Fprintf(w, "# HELP mario_serve_queue_depth Flights waiting for a worker.\n# TYPE mario_serve_queue_depth gauge\nmario_serve_queue_depth %d\n", len(s.jobs))
+	fmt.Fprintf(w, "# HELP mario_serve_cached_plans Plans in the LRU cache.\n# TYPE mario_serve_cached_plans gauge\nmario_serve_cached_plans %d\n", s.cache.len())
+	fmt.Fprintf(w, "# HELP mario_serve_cache_capacity LRU cache capacity.\n# TYPE mario_serve_cache_capacity gauge\nmario_serve_cache_capacity %d\n", s.opts.CacheSize)
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	names := make([]string, 0, len(mario.Models()))
+	for name := range mario.Models() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	writeJSON(w, map[string][]string{"models": names})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,6 +1,8 @@
 package tuner
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -29,6 +31,9 @@ type memoEntry[V any] struct {
 // do returns the cached value for k, computing it with f exactly once per
 // key. Errors are cached too: a key that failed once fails the same way for
 // every later caller, which keeps parallel and sequential searches identical.
+// The one exception is context cancellation — a compute aborted by a
+// cancelled SearchContext is evicted immediately so the key is retried by
+// the next caller instead of poisoning every later search on the same Tuner.
 func (c *memo[K, V]) do(k K, f func() (V, error)) (V, error) {
 	c.mu.Lock()
 	if c.m == nil {
@@ -47,6 +52,15 @@ func (c *memo[K, V]) do(k K, f func() (V, error)) (V, error) {
 	})
 	if computed {
 		c.misses.Add(1)
+		if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+			c.mu.Lock()
+			// Only evict our own entry: a concurrent caller may already have
+			// replaced it with a fresh (retrying) one.
+			if cur, ok := c.m[k]; ok && cur == e {
+				delete(c.m, k)
+			}
+			c.mu.Unlock()
+		}
 	} else {
 		c.hits.Add(1)
 	}

@@ -1,6 +1,7 @@
 package tuner
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -97,7 +98,18 @@ type RobustnessOpts struct {
 // much of Mario's checkpointing gain survives for every (base, mario) pair in
 // the selection. Runs are deterministic: the same profiler, trace and ensemble
 // produce an identical report.
+//
+// Robustness never aborts early; use RobustnessContext to bound or cancel
+// the re-scoring.
 func Robustness(prof *profile.Profiler, trace []Candidate, opts RobustnessOpts) (*RobustnessReport, error) {
+	return RobustnessContext(context.Background(), prof, trace, opts)
+}
+
+// RobustnessContext is Robustness with cancellation: ctx is checked before
+// every measured run (each candidate's healthy run and each ensemble plan),
+// and a cancelled context aborts the call with ctx's error instead of a
+// partial report.
+func RobustnessContext(ctx context.Context, prof *profile.Profiler, trace []Candidate, opts RobustnessOpts) (*RobustnessReport, error) {
 	if prof == nil {
 		return nil, fmt.Errorf("tuner: robustness needs a profiler")
 	}
@@ -143,6 +155,9 @@ func Robustness(prof *profile.Profiler, trace []Candidate, opts RobustnessOpts) 
 	}
 
 	for _, c := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		row := RobustnessRow{Cand: c}
 		if r := c.Result; r != nil && r.Total > 0 {
 			for d := range r.ComputeBusy {
@@ -163,6 +178,9 @@ func Robustness(prof *profile.Profiler, trace []Candidate, opts RobustnessOpts) 
 
 		worst := 1.0
 		for i := range ensemble {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			plan := ensemble[i]
 			mach.Faults = &plan
 			out := PlanOutcome{Plan: rep.Plans[i]}

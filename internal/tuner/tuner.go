@@ -17,6 +17,8 @@
 package tuner
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -235,6 +237,11 @@ type pointResult struct {
 	// skipped marks feasible points whose simulation the worker skipped
 	// because ub could not beat the merged best at the time.
 	skipped bool
+	// err carries a context cancellation observed while evaluating the
+	// point; the merge loop converts it into an aborted Search. Ordinary
+	// evaluation failures (scheme constraints, estimator limits) are never
+	// reported here — they stay structural infeasibilities.
+	err error
 }
 
 // mergedBest publishes the throughput of the best candidate merged so far to
@@ -284,7 +291,19 @@ func enumerate(space Space) []gridPoint {
 // Fig. 11). Grid points are evaluated by Space.Workers goroutines, but the
 // merge — best tracking, trace order, stats, Progress callbacks — happens in
 // canonical order, so the output is identical for every worker count.
+//
+// Search never aborts early; use SearchContext to bound or cancel a search.
 func (t *Tuner) Search(space Space) (*Candidate, []Candidate, error) {
+	return t.SearchContext(context.Background(), space)
+}
+
+// SearchContext is Search with cancellation: when ctx is cancelled or its
+// deadline passes, the worker pool stops evaluating grid points, the merge
+// loop unwinds, and the call returns ctx's error with no candidate and no
+// trace. A completed SearchContext is byte-identical to Search for every
+// worker count; a cancelled one publishes whatever Stats had accumulated at
+// the abort point (they describe a canonical prefix of the grid).
+func (t *Tuner) SearchContext(ctx context.Context, space Space) (*Candidate, []Candidate, error) {
 	space = space.withDefaults()
 	if space.Devices <= 0 || space.GlobalBatch <= 0 {
 		return nil, nil, fmt.Errorf("tuner: devices (%d) and global batch (%d) must be positive", space.Devices, space.GlobalBatch)
@@ -300,17 +319,29 @@ func (t *Tuner) Search(space Space) (*Candidate, []Candidate, error) {
 	// order. The prune decision is made here, against the canonical
 	// best-so-far, never against worker-time state: a worker that skipped
 	// its simulation did so against an older (smaller or equal) best, so
-	// every worker skip is confirmed by this check.
-	merge := func(p gridPoint, pr pointResult) {
+	// every worker skip is confirmed by this check. A non-nil return aborts
+	// the search (cancellation only).
+	merge := func(p gridPoint, pr pointResult) error {
+		if pr.err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			// A stale cancellation from a memo entry another (cancelled)
+			// search computed: our own context is live, so re-evaluate.
+			pr = t.evalPoint(ctx, space, p, nil, nil)
+			if pr.err != nil {
+				return pr.err
+			}
+		}
 		if !pr.feasible {
 			stats.Pruned++
 			t.publishStats(stats)
-			return
+			return nil
 		}
 		if best != nil && pr.ub <= best.Throughput {
 			stats.BoundPruned++
 			t.publishStats(stats)
-			return
+			return nil
 		}
 		c := pr.cand
 		if c == nil {
@@ -318,12 +349,15 @@ func (t *Tuner) Search(space Space) (*Candidate, []Candidate, error) {
 			// impossible (mergedBest never exceeds the canonical
 			// best-so-far); evaluate inline as insurance so the result
 			// stays exact even if that invariant is ever broken.
-			forced := t.evalPoint(space, p, nil, nil)
+			forced := t.evalPoint(ctx, space, p, nil, nil)
+			if forced.err != nil {
+				return forced.err
+			}
 			c = forced.cand
 			if c == nil {
 				stats.Pruned++
 				t.publishStats(stats)
-				return
+				return nil
 			}
 		}
 		stats.Explored++
@@ -341,12 +375,21 @@ func (t *Tuner) Search(space Space) (*Candidate, []Candidate, error) {
 		if t.Progress != nil {
 			t.Progress(*c, *best)
 		}
+		return nil
 	}
 
+	var searchErr error
 	if space.Workers <= 1 || len(points) <= 1 {
 		eng := &sim.Simulator{}
 		for _, p := range points {
-			merge(p, t.evalPoint(space, p, mb, eng))
+			if err := ctx.Err(); err != nil {
+				searchErr = err
+				break
+			}
+			if err := merge(p, t.evalPoint(ctx, space, p, mb, eng)); err != nil {
+				searchErr = err
+				break
+			}
 		}
 	} else {
 		workers := space.Workers
@@ -370,19 +413,33 @@ func (t *Tuner) Search(space Space) (*Candidate, []Candidate, error) {
 				defer wg.Done()
 				eng := &sim.Simulator{} // per-worker engine: a Simulator is not goroutine-safe
 				for i := range jobs {
-					results[i] = t.evalPoint(space, points[i], mb, eng)
+					if err := ctx.Err(); err != nil {
+						// Cancelled: publish the abort instead of evaluating
+						// so the merge loop can unwind. Every dequeued job
+						// still closes its ready channel — the merger must
+						// never block on a skipped point.
+						results[i] = pointResult{err: err}
+						close(ready[i])
+						continue
+					}
+					results[i] = t.evalPoint(ctx, space, points[i], mb, eng)
 					close(ready[i])
 				}
 			}()
 		}
 		for i := range points {
 			<-ready[i]
-			merge(points[i], results[i])
+			if searchErr == nil {
+				searchErr = merge(points[i], results[i])
+			}
 		}
 		wg.Wait()
 	}
 
 	t.publishStats(stats)
+	if searchErr != nil {
+		return nil, nil, searchErr
+	}
 	if best == nil {
 		return nil, nil, fmt.Errorf("tuner: no feasible configuration in the search space")
 	}
@@ -403,7 +460,14 @@ func (t *Tuner) Search(space Space) (*Candidate, []Candidate, error) {
 //
 // eng is the caller's reusable simulation engine (one per worker goroutine);
 // nil falls back to the package-level Simulate.
-func (t *Tuner) evalPoint(space Space, p gridPoint, mb *mergedBest, eng *sim.Simulator) pointResult {
+//
+// ctx bounds the slow part of the evaluation (the graph-tuner run); a
+// cancelled context comes back as pointResult.err, never as a fake
+// infeasibility.
+func (t *Tuner) evalPoint(ctx context.Context, space Space, p gridPoint, mb *mergedBest, eng *sim.Simulator) pointResult {
+	if err := ctx.Err(); err != nil {
+		return pointResult{err: err}
+	}
 	infeasible := pointResult{ub: math.Inf(1)}
 	if space.GlobalBatch%(p.mbs*p.dp) != 0 {
 		return infeasible
@@ -462,7 +526,7 @@ func (t *Tuner) evalPoint(space Space, p gridPoint, mb *mergedBest, eng *sim.Sim
 			memLimit: space.DeviceMem, maxRounds: maxRounds, split: t.SplitBackward}
 		gv, err := t.graphs.do(gk, func() (graphVal, error) {
 			gopts := graph.Options{Estimator: est, Sim: simOpts, MaxRounds: maxRounds, Workers: t.GraphWorkers}
-			opt, r, err := graph.Optimize(sched, gopts)
+			opt, r, err := graph.OptimizeContext(ctx, sched, gopts)
 			if err != nil {
 				return graphVal{}, err
 			}
@@ -477,6 +541,9 @@ func (t *Tuner) evalPoint(space Space, p gridPoint, mb *mergedBest, eng *sim.Sim
 			return graphVal{sched: opt, res: r}, nil
 		})
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return pointResult{err: err}
+			}
 			return infeasible
 		}
 		cand.Schedule, res = gv.sched.Clone(), gv.res

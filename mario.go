@@ -18,6 +18,7 @@
 package mario
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -159,8 +160,18 @@ func ParseMemory(s string) (float64, error) {
 
 // Optimize searches Equation 1's space for the configuration with the best
 // estimated throughput under the memory budget and returns the executable
-// plan.
+// plan. It never aborts early; use OptimizeContext to bound or cancel the
+// search.
 func Optimize(conf Config, model ModelConfig) (*Plan, error) {
+	return OptimizeContext(context.Background(), conf, model)
+}
+
+// OptimizeContext is Optimize with cancellation: when ctx is cancelled or
+// its deadline passes, the tuner's worker pool stops evaluating grid points
+// and the call returns ctx's error. A completed OptimizeContext returns a
+// plan byte-identical to Optimize for the same inputs and any worker count —
+// the property the planning service's cache relies on.
+func OptimizeContext(ctx context.Context, conf Config, model ModelConfig) (*Plan, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
@@ -208,7 +219,7 @@ func Optimize(conf Config, model ModelConfig) (*Plan, error) {
 			cb(explored, best.Label(), best.Throughput)
 		}
 	}
-	best, trace, err := tn.Search(tuner.Space{
+	best, trace, err := tn.SearchContext(ctx, tuner.Space{
 		Devices:      conf.NumDevices,
 		GlobalBatch:  conf.GlobalBatchSize,
 		Schemes:      schemes,

@@ -1,0 +1,121 @@
+package mario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mario/internal/cost"
+	"mario/internal/profile"
+	"mario/internal/tuner"
+)
+
+// The Plan JSON codec makes optimized plans durable, cacheable artifacts:
+// the planning service (internal/serve) stores and serves them, and the
+// remote client reconstructs a fully functional *Plan — Run, Drift and
+// Visualize all work on a decoded plan, because the profiler is rebuilt from
+// its deterministic inputs (model, hardware, machine spec, probe shape).
+//
+// The encoding is deterministic: the same plan always marshals to the same
+// bytes (struct-field order is fixed and encoding/json's float formatting is
+// canonical), which is what lets the service promise cache hits that are
+// byte-identical to a fresh Optimize.
+
+// planVersion guards the wire format; bump it on incompatible changes.
+const planVersion = 1
+
+// profilerJSON captures the deterministic inputs of a profile.Profiler. The
+// probe-fit cache is deliberately absent: it is rebuilt on demand and, with
+// the same inputs, refits to identical estimators.
+type profilerJSON struct {
+	Model   cost.ModelConfig    `json:"model"`
+	HW      cost.Hardware       `json:"hw"`
+	Spec    profile.MachineSpec `json:"spec"`
+	Devices int                 `json:"devices"`
+	Iters   int                 `json:"iters"`
+}
+
+// planJSON is the wire form of a Plan.
+type planJSON struct {
+	Version     int               `json:"version"`
+	Best        tuner.Candidate   `json:"best"`
+	Trace       []tuner.Candidate `json:"trace"`
+	SearchStats tuner.SearchStats `json:"search_stats"`
+	Profiler    profilerJSON      `json:"profiler"`
+	MemLimit    float64           `json:"mem_limit"`
+	TP          int               `json:"tp"`
+}
+
+// MarshalJSON implements json.Marshaler. The full tuning trace is included
+// (schedules and simulation results and all), so a decoded plan supports the
+// same post-hoc analysis — Rank, Robustness, drift — as the original.
+func (p *Plan) MarshalJSON() ([]byte, error) {
+	if p.Profiler == nil {
+		return nil, fmt.Errorf("mario: plan has no profiler; only plans built by Optimize are serialisable")
+	}
+	return json.Marshal(planJSON{
+		Version:     planVersion,
+		Best:        p.Best,
+		Trace:       p.Trace,
+		SearchStats: p.SearchStats,
+		Profiler: profilerJSON{
+			Model:   p.Profiler.Model,
+			HW:      p.Profiler.HW,
+			Spec:    p.Profiler.Spec,
+			Devices: p.Profiler.Devices,
+			Iters:   p.Profiler.Iters,
+		},
+		MemLimit: p.memLimit,
+		TP:       p.tp,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler. Schedules embedded in the plan
+// are re-validated by the pipeline codec, so corrupted or hand-edited files
+// are rejected; the profiler is reconstructed with an empty probe cache.
+func (p *Plan) UnmarshalJSON(data []byte) error {
+	var in planJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("mario: decoding plan: %w", err)
+	}
+	if in.Version != planVersion {
+		return fmt.Errorf("mario: plan version %d not supported (want %d)", in.Version, planVersion)
+	}
+	if in.Best.Schedule == nil {
+		return fmt.Errorf("mario: decoded plan has no schedule")
+	}
+	p.Best = in.Best
+	p.Trace = in.Trace
+	p.SearchStats = in.SearchStats
+	p.Profiler = &profile.Profiler{
+		Model:   in.Profiler.Model,
+		HW:      in.Profiler.HW,
+		Spec:    in.Profiler.Spec,
+		Devices: in.Profiler.Devices,
+		Iters:   in.Profiler.Iters,
+	}
+	p.memLimit = in.MemLimit
+	p.tp = in.TP
+	return nil
+}
+
+// SavePlan writes a plan as JSON — the durable artifact the planning service
+// caches and serves. LoadPlan restores it.
+func SavePlan(w io.Writer, p *Plan) error {
+	data, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// LoadPlan reads a JSON plan written by SavePlan (or returned by the
+// planning service) and reconstructs a runnable *Plan.
+func LoadPlan(data []byte) (*Plan, error) {
+	p := new(Plan)
+	if err := json.Unmarshal(data, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,122 @@
+package mario_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"mario"
+)
+
+func smallPlan(t *testing.T) *mario.Plan {
+	t.Helper()
+	plan, err := mario.Optimize(mario.Config{
+		PipelineScheme:  "Auto",
+		GlobalBatchSize: 16,
+		NumDevices:      4,
+		MemoryPerDevice: "40G",
+		MicroBatchSizes: []int{1, 2},
+	}, mario.Model("LLaMA2-3B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// Marshal → Unmarshal → Marshal must be byte-identical: the planning
+// service's cache serves stored bytes, and a remote client that re-saves a
+// plan must produce the same artifact.
+func TestPlanJSONRoundTrip(t *testing.T) {
+	plan := smallPlan(t)
+	first, err := json.Marshal(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := mario.LoadPlan(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("re-marshal differs: %d vs %d bytes", len(first), len(second))
+	}
+	if !reflect.DeepEqual(plan.SearchStats, decoded.SearchStats) {
+		t.Errorf("search stats changed: %+v vs %+v", plan.SearchStats, decoded.SearchStats)
+	}
+	if decoded.Best.Label() != plan.Best.Label() || decoded.Best.Throughput != plan.Best.Throughput {
+		t.Errorf("best changed: %s (%v) vs %s (%v)",
+			decoded.Best.Label(), decoded.Best.Throughput, plan.Best.Label(), plan.Best.Throughput)
+	}
+	if len(decoded.Trace) != len(plan.Trace) {
+		t.Fatalf("trace length changed: %d vs %d", len(decoded.Trace), len(plan.Trace))
+	}
+	for i := range plan.Trace {
+		if decoded.Trace[i].Label() != plan.Trace[i].Label() ||
+			decoded.Trace[i].Throughput != plan.Trace[i].Throughput {
+			t.Errorf("trace[%d] changed: %s vs %s", i, decoded.Trace[i].Label(), plan.Trace[i].Label())
+		}
+	}
+}
+
+// A decoded plan must be fully functional: Run executes it on the emulated
+// cluster with results identical to running the original, and Visualize and
+// Drift keep working (the profiler was reconstructed).
+func TestPlanJSONDecodedPlanRuns(t *testing.T) {
+	plan := smallPlan(t)
+	data, err := json.Marshal(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := mario.LoadPlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := mario.RunWithOptions(plan, 2, mario.RunOptions{CollectEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mario.RunWithOptions(decoded, 2, mario.RunOptions{CollectEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(want.SamplesPerSec-got.SamplesPerSec) > 1e-9*math.Abs(want.SamplesPerSec) {
+		t.Errorf("decoded plan throughput %v != original %v", got.SamplesPerSec, want.SamplesPerSec)
+	}
+	if !reflect.DeepEqual(want.PeakMem, got.PeakMem) {
+		t.Errorf("decoded plan peak memory %v != original %v", got.PeakMem, want.PeakMem)
+	}
+
+	if _, err := mario.Drift(decoded, got); err != nil {
+		t.Errorf("drift on decoded plan: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := mario.Visualize(&buf, decoded); err != nil {
+		t.Errorf("visualize on decoded plan: %v", err)
+	}
+}
+
+// Corrupted or incompatible payloads must be rejected, not half-decoded.
+func TestPlanJSONRejectsBadInput(t *testing.T) {
+	plan := smallPlan(t)
+	good, err := json.Marshal(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"not json":      []byte("{nope"),
+		"empty object":  []byte("{}"),
+		"wrong version": bytes.Replace(good, []byte(`"version":1`), []byte(`"version":99`), 1),
+		"bad schedule":  bytes.Replace(good, []byte(`"k":"BW"`), []byte(`"k":"??"`), 1),
+	}
+	for name, data := range cases {
+		if _, err := mario.LoadPlan(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
