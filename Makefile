@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json check fmt fuzz lint docs-check serve-smoke
+.PHONY: all build vet test race bench bench-json bench-serve-json check fmt fuzz lint docs-check serve-smoke telemetry-smoke
 
 all: check
 
@@ -27,10 +27,17 @@ bench:
 # per op, so it runs once.
 BENCHTIME ?= 100x
 bench-json:
-	{ $(GO) test -run '^$$' -bench 'BenchmarkGraphOptimize$$|BenchmarkSimulateReuse|BenchmarkSimulate1F1B|BenchmarkSimulateChimera' \
+	{ $(GO) test -run '^$$' -bench 'BenchmarkGraphOptimize$$|BenchmarkSimulateReuse|BenchmarkSimulate1F1B|BenchmarkSimulateChimera|BenchmarkTelemetry' \
 		-benchtime $(BENCHTIME) -benchmem . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkTunerSearch' -benchtime 1x -benchmem . ; } \
 		| $(GO) run ./cmd/benchjson > BENCH_sim.json
+
+# Service-layer latency artifact: the mariod request path (cache hit, fresh
+# run, traced run, /metrics scrape) against an instant run stub, so the
+# numbers isolate serve/telemetry overhead from tuner work.
+bench-serve-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkServe' -benchtime $(BENCHTIME) -benchmem ./internal/serve \
+		| $(GO) run ./cmd/benchjson > BENCH_serve.json
 
 # Short fuzz smoke: each target gets FUZZTIME of coverage-guided input
 # generation on top of its checked-in seeds.
@@ -44,7 +51,7 @@ fuzz:
 # schedule rules) and the planning service's public surface (internal/serve
 # and its client). Dependency-free (cmd/exportlint, go/ast).
 lint:
-	$(GO) run ./cmd/exportlint ./internal/sim ./internal/pipeline ./internal/serve ./internal/serve/client
+	$(GO) run ./cmd/exportlint ./internal/sim ./internal/pipeline ./internal/serve ./internal/serve/client ./internal/telemetry
 
 # End-to-end smoke of the mariod planning service: boots the daemon on a
 # loopback port, plans a small workload through the Go client (fresh run,
@@ -53,6 +60,19 @@ lint:
 serve-smoke:
 	$(GO) run ./cmd/mariod -selfcheck
 
+# Telemetry smoke: the span-tree determinism tests under the race detector
+# (canonical exports byte-identical for Workers ∈ {1,4,GOMAXPROCS}), the
+# export golden files, and a traced cmd/mario search writing all three trace
+# artifacts to a scratch dir.
+telemetry-smoke:
+	$(GO) test -race -run 'TestTraceWorkerIndependence|TestSelfTimeTelescopes' ./internal/tuner
+	$(GO) test -run 'TestGoldenExports' ./internal/telemetry
+	tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) run ./cmd/mario -model LLaMA2-3B -devices 4 -gbs 16 \
+		-search-trace "$$tmp/trace.json" -search-spans "$$tmp/spans.jsonl" \
+		-search-trace-measured "$$tmp/measured.json" -search-summary >/dev/null && \
+	test -s "$$tmp/trace.json" && test -s "$$tmp/spans.jsonl" && test -s "$$tmp/measured.json"
+
 # Markdown link check over the repo docs plus the golden EXPERIMENTS.md
 # snippets (TestGoldenDocs re-runs the fast-mode drift/faults experiments and
 # byte-compares their output against the documented blocks).
@@ -60,7 +80,7 @@ docs-check:
 	$(GO) run ./cmd/docscheck README.md DESIGN.md EXPERIMENTS.md ROADMAP.md PAPER.md docs
 	$(GO) test -run TestGoldenDocs ./internal/experiments
 
-check: vet build race fuzz lint docs-check serve-smoke
+check: vet build race fuzz lint docs-check serve-smoke telemetry-smoke
 
 fmt:
 	gofmt -l -w .

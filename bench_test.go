@@ -21,6 +21,7 @@ import (
 	"mario/internal/profile"
 	"mario/internal/scheme"
 	"mario/internal/sim"
+	"mario/internal/telemetry"
 	"mario/internal/train"
 	"mario/internal/tuner"
 )
@@ -538,4 +539,62 @@ func BenchmarkOptimizeAPI(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkTelemetryOff prices the disabled-telemetry fast path: the exact
+// span and metrics calls an instrumented grid-point evaluation makes, driven
+// through a zero Span and a nil *telemetry.SearchMetrics. This is the
+// "near zero-cost when off" contract — it must stay at 0 allocs/op.
+func BenchmarkTelemetryOff(b *testing.B) {
+	var root telemetry.Span
+	var m *telemetry.SearchMetrics
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := root.Child(telemetry.PhasePoint, "0000 X-4-2(mario)")
+		bd := p.Child(telemetry.PhaseBuild, "")
+		bd.SetInt("stages", 4)
+		bd.End()
+		g := p.Child(telemetry.PhaseGraph, "")
+		g.Memo("key")
+		g.End()
+		s := p.Child(telemetry.PhaseSim, "")
+		s.SetFloat("throughput", 12.5)
+		s.SetBool("improved", true)
+		s.End()
+		p.End()
+		p.AttachTo(root)
+		m.AddSims(1)
+		m.AddGraphRounds(1)
+	}
+}
+
+// BenchmarkTelemetryOn is the enabled-path sibling: the same call shape
+// against a live Tracer and registry-backed metrics, so the per-span cost of
+// actually tracing is visible next to the off path.
+func BenchmarkTelemetryOn(b *testing.B) {
+	tr := telemetry.New("benchfingerprint").WithMetrics(telemetry.NewSearchMetrics(telemetry.NewRegistry()))
+	root := tr.Root(telemetry.PhaseOptimize, "")
+	m := tr.Metrics()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := tr.Detached(telemetry.PhasePoint, "0000 X-4-2(mario)")
+		bd := p.Child(telemetry.PhaseBuild, "")
+		bd.SetInt("stages", 4)
+		bd.End()
+		g := p.Child(telemetry.PhaseGraph, "")
+		g.Memo("key")
+		g.End()
+		s := p.Child(telemetry.PhaseSim, "")
+		s.SetFloat("throughput", 12.5)
+		s.SetBool("improved", true)
+		s.End()
+		p.End()
+		p.Discard() // keep the arena from growing the timed region
+		m.AddSims(1)
+		m.AddGraphRounds(1)
+	}
+	b.StopTimer()
+	root.End()
 }

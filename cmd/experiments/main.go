@@ -22,7 +22,7 @@ import (
 
 func main() {
 	fast := flag.Bool("fast", false, "run reduced-size experiments")
-	run := flag.String("run", "all", "experiment to run (table1, figure2, figure5, figure6, table5, figure7, figure8, figure9, figure10, figure11, drift, faults, extension, summary, all)")
+	run := flag.String("run", "all", "experiment to run (table1, figure2, figure5, figure6, table5, figure7, figure8, figure9, figure10, figure11, drift, faults, searchtrace, extension, summary, all)")
 	workers := flag.Int("workers", 0, "concurrent tuner evaluations in figure11 (0 = GOMAXPROCS; output is identical)")
 	flag.Parse()
 
@@ -136,6 +136,14 @@ func main() {
 			fail("faults", err)
 		}
 		experiments.PrintFaults(w, r)
+	}
+	if want("searchtrace") {
+		header("Search trace", "telemetry walkthrough: canonical span tree + counters of one traced search")
+		r, err := experiments.SearchTrace(opt)
+		if err != nil {
+			fail("searchtrace", err)
+		}
+		experiments.PrintSearchTrace(w, r)
 	}
 	if want("extension") {
 		header("Extension", "ZB-H1 split-backward study (the paper's §8 future work)")

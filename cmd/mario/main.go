@@ -9,14 +9,24 @@
 //	mario -model GPT3-13B -devices 32 -gbs 128 -mem 40G [-scheme Auto]
 //	      [-tp 1] [-workers 0] [-no-prune] [-run 3] [-viz] [-svg out.svg]
 //	      [-trace out.json] [-trace-measured out.json] [-events out.jsonl]
+//	      [-search-trace out.json] [-search-spans out.jsonl]
+//	      [-search-trace-measured out.json] [-search-summary]
 //	      [-stats] [-drift] [-faults <spec|file>] [-pprof cpu.out]
 //	      [-remote http://host:8347]
+//
+// The -search-* flags trace the tuner search itself (as opposed to -trace,
+// which exports the winning schedule's timeline): -search-trace writes the
+// canonical Chrome trace of the search (structural, byte-identical across
+// worker counts), -search-spans the canonical span JSONL, and
+// -search-trace-measured the wall-clock Chrome trace of this particular
+// run. -search-summary prints the per-phase self-time table.
 //
 // With -remote the search runs on a mariod planning server instead of in
 // process: the flags are sent as a plan request, repeated invocations hit
 // the server's plan cache, and everything downstream of the plan (-run,
-// -viz, -drift, …) still executes locally. -pprof profiles the local tuner
-// only and is rejected together with -remote.
+// -viz, -drift, …) still executes locally. -pprof and the -search-* flags
+// observe the local tuner only and are rejected together with -remote
+// (remotely, ask mariod for ?trace=1 or /debug/flight).
 package main
 
 import (
@@ -25,11 +35,13 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"time"
 
 	"mario"
 	"mario/internal/obs"
 	"mario/internal/serve"
 	"mario/internal/serve/client"
+	"mario/internal/telemetry"
 	"mario/internal/tuner"
 	"mario/internal/viz"
 )
@@ -60,11 +72,21 @@ func main() {
 		faultsArg    = flag.String("faults", "", "degrade the measured run under a fault plan: inline spec (\"slow:dev=1,factor=1.5; link:from=0,to=1,drop=0.05\") or JSON file path")
 		pprofPath    = flag.String("pprof", "", "write a CPU profile of the tuner search to this path")
 		remoteAddr   = flag.String("remote", "", "plan on a mariod server at this base URL instead of in process")
+
+		searchTracePath    = flag.String("search-trace", "", "write the canonical Chrome trace of the tuner search to this path (byte-identical across worker counts)")
+		searchSpansPath    = flag.String("search-spans", "", "write the canonical span JSONL of the tuner search to this path")
+		searchMeasuredPath = flag.String("search-trace-measured", "", "write the wall-clock Chrome trace of the tuner search to this path")
+		searchSummary      = flag.Bool("search-summary", false, "print the search's per-phase self-time summary")
 	)
 	flag.Parse()
 
 	if *remoteAddr != "" && *pprofPath != "" {
 		fmt.Fprintln(os.Stderr, "mario: -pprof profiles the in-process search; it cannot be combined with -remote")
+		os.Exit(2)
+	}
+	wantSearchTrace := *searchTracePath != "" || *searchSpansPath != "" || *searchMeasuredPath != "" || *searchSummary
+	if *remoteAddr != "" && wantSearchTrace {
+		fmt.Fprintln(os.Stderr, "mario: the -search-* flags trace the in-process search; with -remote ask the server for ?trace=1 or /debug/flight")
 		os.Exit(2)
 	}
 
@@ -141,6 +163,28 @@ func main() {
 			GraphWorkers:    *gWorkers,
 			NoPrune:         *noPrune,
 		}
+		var tracer *telemetry.Tracer
+		if wantSearchTrace {
+			// Fingerprint the search the same way mariod would, so span IDs
+			// agree between local traces and the planning service.
+			req := serve.PlanRequest{
+				Model:         *modelName,
+				Scheme:        *schemeStr,
+				GlobalBatch:   *gbs,
+				Devices:       *devices,
+				Memory:        *mem,
+				TP:            *tp,
+				SplitBackward: *split,
+				NoPrune:       *noPrune,
+			}
+			reqModel, verr := req.Validate()
+			if verr != nil {
+				fmt.Fprintf(os.Stderr, "mario: %v\n", verr)
+				os.Exit(2)
+			}
+			tracer = telemetry.New(req.Fingerprint(reqModel))
+			conf.Tracer = tracer
+		}
 		if *showStats {
 			conf.Progress = func(explored int, bestLabel string, bestThroughput float64) {
 				fmt.Fprintf(os.Stderr, "\rtuner: explored %4d  best %-18s %10.2f samples/s", explored, bestLabel, bestThroughput)
@@ -149,6 +193,12 @@ func main() {
 		plan, err = mario.Optimize(conf, model)
 		if conf.Progress != nil {
 			fmt.Fprintln(os.Stderr)
+		}
+		if err == nil && tracer != nil {
+			if terr := writeSearchTraces(tracer.Snapshot(), *searchTracePath, *searchSpansPath, *searchMeasuredPath, *searchSummary); terr != nil {
+				fmt.Fprintf(os.Stderr, "mario: %v\n", terr)
+				os.Exit(1)
+			}
 		}
 	}
 	if err != nil {
@@ -301,6 +351,43 @@ func main() {
 			fmt.Print(dr.Format())
 		}
 	}
+}
+
+// writeSearchTraces exports the search trace in the requested forms and
+// prints the per-phase summary when asked.
+func writeSearchTraces(tr *telemetry.Trace, tracePath, spansPath, measuredPath string, summary bool) error {
+	writeFile := func(path string, data []byte) error {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return fmt.Errorf("writing search trace: %w", err)
+		}
+		fmt.Printf("wrote %s\n", path)
+		return nil
+	}
+	if tracePath != "" {
+		if err := writeFile(tracePath, tr.ChromeTrace()); err != nil {
+			return err
+		}
+	}
+	if spansPath != "" {
+		if err := writeFile(spansPath, tr.JSONL()); err != nil {
+			return err
+		}
+	}
+	if measuredPath != "" {
+		if err := writeFile(measuredPath, tr.ChromeTraceMeasured()); err != nil {
+			return err
+		}
+	}
+	if summary {
+		fmt.Println("\nsearch phase summary (self time):")
+		var total time.Duration
+		for _, row := range tr.PhaseSummary() {
+			total += row.Self
+			fmt.Printf("  %-12s n=%-5d self=%v\n", row.Phase, row.Count, row.Self.Round(time.Microsecond))
+		}
+		fmt.Printf("  %-12s %8s total=%v\n", "", "", total.Round(time.Microsecond))
+	}
+	return nil
 }
 
 // remotePlan fetches the plan from a mariod server, streaming progress to

@@ -1,19 +1,28 @@
 // Command mariod runs the mario planning service: an HTTP/JSON daemon that
 // answers Optimize requests from a fingerprint-keyed plan cache, collapses
 // concurrent identical requests onto one tuner run, streams tuner progress
-// as NDJSON, and drains gracefully on SIGINT/SIGTERM.
+// as NDJSON, traces every tuner run into a flight recorder, and drains
+// gracefully on SIGINT/SIGTERM.
 //
 // Usage:
 //
 //	mariod [-addr :8347] [-cache 64] [-workers 2] [-queue 16]
 //	       [-timeout 5m] [-max-timeout 15m] [-tuner-workers 0]
-//	       [-drain-timeout 30s] [-selfcheck]
+//	       [-drain-timeout 30s] [-debug-addr ""] [-flight-ring 64]
+//	       [-selfcheck]
 //
-// Endpoints: POST /v1/plan, POST /v1/plan/stream, GET /v1/models,
-// GET /healthz, GET /metrics.
+// Endpoints: POST /v1/plan (?trace=1 embeds the search trace),
+// POST /v1/plan/stream, GET /v1/models, GET /healthz, GET /metrics,
+// GET /debug/flight.
+//
+// -debug-addr starts a second listener with the net/http/pprof profiling
+// endpoints plus /debug/flight and /metrics — keep it loopback-only in
+// production. SIGQUIT dumps the flight recorder (recent request traces and
+// the slow log) to stderr without stopping the daemon.
 //
 // -selfcheck starts the server on a loopback port, exercises it end to end
-// with the Go client (fresh run, cache hit, byte identity, metrics), then
+// with the Go client (concurrent streamed fan-out, traced fresh run, cache
+// hit, byte identity, flight recorder, metrics, debug listener), then
 // delivers itself a SIGTERM to walk the real shutdown path, and exits 0 on
 // success — the build's smoke test.
 package main
@@ -24,11 +33,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -46,6 +58,9 @@ func main() {
 		maxTimeout   = flag.Duration("max-timeout", 15*time.Minute, "ceiling for request-supplied deadlines")
 		tunerWorkers = flag.Int("tuner-workers", 0, "cap on per-run tuner parallelism (0 = uncapped)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight plans")
+		debugAddr    = flag.String("debug-addr", "", "optional second listener with pprof + /debug/flight + /metrics (keep loopback-only)")
+		flightRing   = flag.Int("flight-ring", 64, "recent request traces the flight recorder keeps")
+		flightSlow   = flag.Int("flight-slow", 8, "slowest-requests log size")
 		selfcheck    = flag.Bool("selfcheck", false, "start on loopback, exercise the service end to end, then shut down")
 	)
 	flag.Parse()
@@ -57,6 +72,8 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		TunerWorkers:   *tunerWorkers,
+		FlightRing:     *flightRing,
+		FlightSlow:     *flightSlow,
 	}
 
 	if *selfcheck {
@@ -68,21 +85,70 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mariod: %v\n", err)
 		os.Exit(1)
 	}
+	s := serve.New(opts)
+	if *debugAddr != "" {
+		if _, err := startDebugServer(s, *debugAddr); err != nil {
+			fmt.Fprintf(os.Stderr, "mariod: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "mariod: listening on %s\n", ln.Addr())
-	if err := serveUntilSignal(ln, serve.New(opts), *drainTimeout); err != nil {
+	if err := serveUntilSignal(ln, s, *drainTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "mariod: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "mariod: drained, bye")
 }
 
+// startDebugServer listens on debugAddr and serves the profiling and
+// introspection endpoints: /debug/pprof/*, /debug/flight and /metrics.
+// These are deliberately off the main listener so operators can firewall
+// them separately.
+func startDebugServer(s *serve.Server, debugAddr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", debugAddr)
+	if err != nil {
+		return nil, fmt.Errorf("debug listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(s.FlightRecorder().Dump())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.Registry().WriteProm(w)
+	})
+	go http.Serve(ln, mux)
+	fmt.Fprintf(os.Stderr, "mariod: debug endpoints on %s\n", ln.Addr())
+	return ln.Addr(), nil
+}
+
 // serveUntilSignal serves HTTP on ln until SIGINT/SIGTERM, then drains the
 // planning service (in-flight and queued plans finish) and shuts the HTTP
-// server down. Returns nil on a clean drain.
+// server down. SIGQUIT dumps the flight recorder to stderr without
+// stopping the daemon. Returns nil on a clean drain.
 func serveUntilSignal(ln net.Listener, s *serve.Server, drainTimeout time.Duration) error {
 	httpSrv := &http.Server{Handler: s.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGQUIT is the black-box dump: print the flight recorder and keep
+	// serving (the Go runtime's default stack dump is suppressed while the
+	// handler is registered).
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	defer signal.Stop(quit)
+	go func() {
+		for range quit {
+			fmt.Fprintln(os.Stderr, "mariod: SIGQUIT — flight recorder dump:")
+			os.Stderr.Write(s.FlightRecorder().Dump())
+		}
+	}()
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
@@ -117,12 +183,18 @@ func runSelfcheck(opts serve.Options, drainTimeout time.Duration) int {
 	if err != nil {
 		return fail("listen: %v", err)
 	}
+	s := serve.New(opts)
+	debugAddr, err := startDebugServer(s, "127.0.0.1:0")
+	if err != nil {
+		return fail("%v", err)
+	}
 	done := make(chan error, 1)
-	go func() { done <- serveUntilSignal(ln, serve.New(opts), drainTimeout) }()
+	go func() { done <- serveUntilSignal(ln, s, drainTimeout) }()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 	c := client.New("http://" + ln.Addr().String())
+	c.Trace = true
 	if err := c.WaitReady(ctx, 10*time.Second); err != nil {
 		return fail("%v", err)
 	}
@@ -135,39 +207,78 @@ func runSelfcheck(opts serve.Options, drainTimeout time.Duration) int {
 		MicroBatches: []int{1, 2},
 	}
 
-	// Fresh run over the streaming endpoint: progress then a plan.
-	events := 0
-	fresh, err := c.PlanStream(ctx, req, func(serve.ProgressEvent) { events++ })
-	if err != nil {
-		return fail("streamed plan: %v", err)
+	// Fresh run, requested twice concurrently over the streaming endpoint:
+	// the singleflight layer must collapse the pair onto one tuner run and
+	// the NDJSON fan-out must deliver both subscribers a coherent story —
+	// progress records then byte-identical terminal plans.
+	type streamOut struct {
+		resp   *serve.PlanResponse
+		events int
+		err    error
 	}
-	if fresh.Cached {
-		return fail("first request answered from cache")
+	outs := make([]streamOut, 2)
+	var wg sync.WaitGroup
+	for i := range outs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i].resp, outs[i].err = c.PlanStream(ctx, req, func(serve.ProgressEvent) { outs[i].events++ })
+		}(i)
 	}
-	if events == 0 {
-		return fail("streamed plan reported no progress events")
+	wg.Wait()
+	for i, o := range outs {
+		if o.err != nil {
+			return fail("streamed plan %d: %v", i, o.err)
+		}
+	}
+	if outs[0].events+outs[1].events == 0 {
+		return fail("neither concurrent stream reported progress events")
+	}
+	if !bytes.Equal(outs[0].resp.Plan, outs[1].resp.Plan) {
+		return fail("concurrent streams returned different plan bytes")
+	}
+	if outs[0].resp.Fingerprint != outs[1].resp.Fingerprint {
+		return fail("concurrent streams disagree on the fingerprint")
+	}
+	fresh := outs[0]
+	if fresh.resp.Cached {
+		fresh = outs[1]
+	}
+	if fresh.resp.Cached {
+		return fail("both concurrent requests answered from cache")
+	}
+	if len(fresh.resp.Trace) == 0 {
+		return fail("traced request returned no search trace")
+	}
+	if !bytes.Contains(fresh.resp.Trace, []byte(`"phase":"optimize"`)) ||
+		!bytes.Contains(fresh.resp.Trace, []byte(`"phase":"point"`)) {
+		return fail("search trace misses optimize/point spans: %.200s", fresh.resp.Trace)
 	}
 
-	// Same request again: must be a cache hit with byte-identical plan.
+	// Same request again: must be a cache hit with byte-identical plan and
+	// no trace (the run's trace lives in the flight recorder).
 	hit, err := c.Plan(ctx, req)
 	if err != nil {
 		return fail("cached plan: %v", err)
 	}
 	if !hit.Cached {
-		return fail("second request missed the cache")
+		return fail("third request missed the cache")
 	}
-	if hit.Fingerprint != fresh.Fingerprint {
-		return fail("fingerprints differ: %s vs %s", fresh.Fingerprint, hit.Fingerprint)
+	if hit.Fingerprint != fresh.resp.Fingerprint {
+		return fail("fingerprints differ: %s vs %s", fresh.resp.Fingerprint, hit.Fingerprint)
 	}
-	if !bytes.Equal(fresh.Plan, hit.Plan) {
+	if !bytes.Equal(fresh.resp.Plan, hit.Plan) {
 		return fail("cache hit not byte-identical to fresh plan")
+	}
+	if len(hit.Trace) != 0 {
+		return fail("cache hit carried a trace")
 	}
 	plan, err := client.Decode(hit)
 	if err != nil {
 		return fail("decoding plan: %v", err)
 	}
-	fmt.Fprintf(os.Stderr, "mariod selfcheck: plan %s at %.2f samples/s (%d progress events)\n",
-		plan.Best.Label(), plan.Best.Throughput, events)
+	fmt.Fprintf(os.Stderr, "mariod selfcheck: plan %s at %.2f samples/s (%d progress events across 2 streams)\n",
+		plan.Best.Label(), plan.Best.Throughput, outs[0].events+outs[1].events)
 
 	h, err := c.Health(ctx)
 	if err != nil {
@@ -176,6 +287,21 @@ func runSelfcheck(opts serve.Options, drainTimeout time.Duration) int {
 	if !h.OK || h.CachedPlans != 1 {
 		return fail("unexpected health %+v", h)
 	}
+
+	// The flight recorder holds the one tuner run with its phase summary.
+	flight, err := c.Flight(ctx)
+	if err != nil {
+		return fail("flight: %v", err)
+	}
+	for _, want := range []string{
+		"1 recent request(s)", "outcome=completed", "optimize", "point", "sim",
+		hit.Fingerprint[:12],
+	} {
+		if !strings.Contains(flight, want) {
+			return fail("flight dump missing %q in:\n%s", want, flight)
+		}
+	}
+
 	metrics, err := c.Metrics(ctx)
 	if err != nil {
 		return fail("metrics: %v", err)
@@ -183,11 +309,25 @@ func runSelfcheck(opts serve.Options, drainTimeout time.Duration) int {
 	for _, want := range []string{
 		"mario_serve_tuner_runs_total 1",
 		"mario_serve_cache_hits_total 1",
-		"mario_serve_cache_misses_total 1",
-		"mario_serve_completed_total 2",
+		"mario_serve_completed_total 3",
+		"mario_search_runs_total 1",
+		"mario_search_points_total{outcome=",
+		"mario_search_sims_total",
+		"mario_serve_request_seconds_count 3",
 	} {
 		if !strings.Contains(metrics, want) {
 			return fail("metrics missing %q", want)
+		}
+	}
+
+	// The debug listener answers pprof, the flight dump and metrics.
+	for _, path := range []string{"/debug/pprof/cmdline", "/debug/flight", "/metrics"} {
+		body, err := httpGet(ctx, "http://"+debugAddr.String()+path)
+		if err != nil {
+			return fail("debug %s: %v", path, err)
+		}
+		if len(body) == 0 {
+			return fail("debug %s: empty body", path)
 		}
 	}
 
@@ -206,4 +346,21 @@ func runSelfcheck(opts serve.Options, drainTimeout time.Duration) int {
 	}
 	fmt.Fprintln(os.Stderr, "mariod selfcheck: OK")
 	return 0
+}
+
+// httpGet fetches one URL and returns the body of a 200 response.
+func httpGet(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
 }

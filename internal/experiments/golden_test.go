@@ -35,6 +35,14 @@ func goldenOutputs(t *testing.T) map[string]string {
 	b.Reset()
 	PrintFaults(&b, fr)
 	out["faults-fast"] = b.String()
+
+	st, err := SearchTrace(Opts{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	PrintSearchTrace(&b, st)
+	out["searchtrace-fast"] = b.String()
 	return out
 }
 

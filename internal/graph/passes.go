@@ -12,6 +12,7 @@ import (
 	"mario/internal/cost"
 	"mario/internal/pipeline"
 	"mario/internal/sim"
+	"mario/internal/telemetry"
 )
 
 // ApplyCheckpoint is pass 1: apply activation checkpointing to all paired
@@ -184,6 +185,13 @@ type Options struct {
 	// canonical device order, so the optimized schedule is byte-identical
 	// for every worker count.
 	Workers int
+	// Span, when live, parents the run's telemetry: OptimizeContext records
+	// one PhaseRound child per simulator-guided prepose round, with
+	// deterministic attributes (moves, improvement, makespan). The zero
+	// Span disables tracing at zero cost.
+	Span telemetry.Span
+	// Metrics, when non-nil, receives round and simulation counts.
+	Metrics *telemetry.SearchMetrics
 }
 
 // Optimize applies the full pass pipeline — apply-checkpoint once, then
@@ -212,6 +220,7 @@ func OptimizeContext(ctx context.Context, s *pipeline.Schedule, opt Options) (*p
 	// the guided pass.
 	OverlapRecompute(cur)
 	eng := newEngines(opt.Workers)
+	defer func() { opt.Metrics.AddSims(eng.sims()) }()
 	// Candidate acceptance only compares makespans and peaks, so the inner
 	// loop always runs without timeline recording; the caller-visible result
 	// is re-derived with the requested options at the end.
@@ -238,10 +247,17 @@ func OptimizeContext(ctx context.Context, s *pipeline.Schedule, opt Options) (*p
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
+		rs := opt.Span.Child(telemetry.PhaseRound, fmt.Sprintf("%02d", r+1))
 		next, nextRes, moves, err := preposeRound(ctx, cur, best, inner, budget, eng)
 		if err != nil {
+			rs.Discard()
 			return nil, nil, err
 		}
+		opt.Metrics.AddGraphRounds(1)
+		rs.SetBool("improved", nextRes != best && nextRes.Total < best.Total)
+		rs.SetInt("moves", int64(moves))
+		rs.SetFloat("makespan", nextRes.Total)
+		rs.End()
 		if nextRes == best {
 			break
 		}

@@ -103,6 +103,16 @@ func sameList(a, b []pipeline.Instr) bool {
 	return len(a) == len(b) && len(a) > 0 && &a[0] == &b[0]
 }
 
+// sims sums the Simulate-call counters across the bundle's engines; the
+// driver folds the total into the telemetry registry.
+func (e *engines) sims() int64 {
+	n := e.main.Sims
+	for _, m := range e.pool {
+		n += m.Sims
+	}
+	return n
+}
+
 // A forward group is the contiguous [RecvAct?, CkptForward, SendAct?] run of
 // one micro-batch on one device. Pass 4 moves such groups from the steady
 // phase into the leading bubble region ("prepose the checkpointed forward

@@ -25,6 +25,7 @@ func SplitBackward(s *pipeline.Schedule, opt Options) (*pipeline.Schedule, *sim.
 		return nil, nil, fmt.Errorf("graph: SplitBackward requires an estimator")
 	}
 	eng := &sim.Simulator{}
+	defer func() { opt.Metrics.AddSims(eng.Sims) }()
 	// As in Optimize, candidate acceptance needs no timeline; the returned
 	// result is re-derived with the caller's options at the end.
 	innerSim := opt.Sim

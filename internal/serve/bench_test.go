@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"mario/internal/telemetry"
+)
+
+// benchServer builds a server whose run stub returns instantly with a
+// small traced span tree — the service-layer overhead (HTTP, singleflight,
+// cache, metrics, flight recorder) is the thing under test, not the tuner.
+func benchServer() (*Server, *httptest.Server) {
+	s := New(Options{Workers: 2, QueueDepth: 64})
+	s.run = func(ctx context.Context, req PlanRequest, tracer *telemetry.Tracer, progress func(ProgressEvent)) ([]byte, error) {
+		root := tracer.Root(telemetry.PhaseOptimize, "")
+		search := root.Child(telemetry.PhaseSearch, "")
+		p := search.Child(telemetry.PhasePoint, "0000")
+		p.Child(telemetry.PhaseSim, "").End()
+		p.End()
+		search.End()
+		root.End()
+		return []byte(fmt.Sprintf(`{"gbs":%d}`, req.GlobalBatch)), nil
+	}
+	return s, httptest.NewServer(s.Handler())
+}
+
+func benchPost(b *testing.B, url string, body []byte) {
+	b.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkServePlanCacheHit measures the steady-state request path: the
+// plan is in cache, so one request costs routing, fingerprinting, a cache
+// lookup and response encoding.
+func BenchmarkServePlanCacheHit(b *testing.B) {
+	s, ts := benchServer()
+	defer ts.Close()
+	defer s.Close()
+	body, _ := json.Marshal(testRequest(16))
+	benchPost(b, ts.URL+"/v1/plan", body) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, ts.URL+"/v1/plan", body)
+	}
+}
+
+// BenchmarkServePlanFresh measures a full miss: every request carries a
+// distinct global batch, so each one runs the (instant) stub through the
+// worker pool, records a flight, and populates the cache.
+func BenchmarkServePlanFresh(b *testing.B) {
+	s, ts := benchServer()
+	defer ts.Close()
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body, _ := json.Marshal(testRequest(8 + 8*i)) // unique fingerprint per iteration
+		benchPost(b, ts.URL+"/v1/plan", body)
+	}
+}
+
+// BenchmarkServePlanTraced is the fresh path with ?trace=1: adds the span
+// snapshot, canonical-ID derivation and trace JSON embedding.
+func BenchmarkServePlanTraced(b *testing.B) {
+	s, ts := benchServer()
+	defer ts.Close()
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body, _ := json.Marshal(testRequest(8 + 8*i))
+		benchPost(b, ts.URL+"/v1/plan?trace=1", body)
+	}
+}
+
+// BenchmarkServeMetricsScrape prices one /metrics render of the full
+// serve + search registry.
+func BenchmarkServeMetricsScrape(b *testing.B) {
+	s, ts := benchServer()
+	defer ts.Close()
+	defer s.Close()
+	body, _ := json.Marshal(testRequest(16))
+	benchPost(b, ts.URL+"/v1/plan", body)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}

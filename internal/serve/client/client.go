@@ -26,6 +26,10 @@ type Client struct {
 	// HTTPClient overrides the transport; nil uses a client with no overall
 	// timeout (plan requests are bounded server-side and by ctx).
 	HTTPClient *http.Client
+	// Trace asks the plan endpoints for the run's canonical search trace
+	// (?trace=1); when the request is answered by a tuner run, the
+	// response's Trace field carries it.
+	Trace bool
 }
 
 // New returns a client for the server at baseURL.
@@ -57,7 +61,11 @@ func (c *Client) post(ctx context.Context, path string, req serve.PlanRequest) (
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding request: %w", err)
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	url := c.BaseURL + path
+	if c.Trace {
+		url += "?trace=1"
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -114,6 +122,7 @@ func (c *Client) PlanStream(ctx context.Context, req serve.PlanRequest, onProgre
 			Cached         bool            `json:"cached"`
 			Shared         bool            `json:"shared"`
 			Plan           json.RawMessage `json:"plan"`
+			Trace          json.RawMessage `json:"trace"`
 			Error          string          `json:"error"`
 		}
 		if err := json.Unmarshal(line, &rec); err != nil {
@@ -125,7 +134,7 @@ func (c *Client) PlanStream(ctx context.Context, req serve.PlanRequest, onProgre
 				onProgress(serve.ProgressEvent{Explored: rec.Explored, Best: rec.Best, BestThroughput: rec.BestThroughput})
 			}
 		case "plan":
-			return &serve.PlanResponse{Fingerprint: rec.Fingerprint, Cached: rec.Cached, Shared: rec.Shared, Plan: rec.Plan}, nil
+			return &serve.PlanResponse{Fingerprint: rec.Fingerprint, Cached: rec.Cached, Shared: rec.Shared, Plan: rec.Plan, Trace: rec.Trace}, nil
 		case "error":
 			return nil, fmt.Errorf("client: server error: %s", rec.Error)
 		default:
@@ -168,6 +177,28 @@ func (c *Client) Health(ctx context.Context) (*serve.Health, error) {
 // Metrics fetches the raw Prometheus text exposition from /metrics.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", apiError(resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(body), nil
+}
+
+// Flight fetches the flight-recorder dump (recent request traces + slow
+// log) from /debug/flight as plain text.
+func (c *Client) Flight(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/debug/flight", nil)
 	if err != nil {
 		return "", err
 	}

@@ -39,10 +39,14 @@ type flight struct {
 	mu   sync.Mutex
 	subs []chan ProgressEvent
 
-	// done is closed exactly once, after data/err are set.
+	// done is closed exactly once, after data/err/trace are set.
 	done chan struct{}
 	data []byte
 	err  error
+	// trace is the run's canonical search trace JSON, set by runFlight
+	// before finish; waiters that asked for ?trace=1 embed it in their
+	// response.
+	trace []byte
 }
 
 func newFlight(fp string, req PlanRequest) *flight {

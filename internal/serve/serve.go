@@ -11,7 +11,7 @@ import (
 	"time"
 
 	"mario"
-	"mario/internal/obs"
+	"mario/internal/telemetry"
 )
 
 // Options configures a Server. The zero value gets sensible defaults.
@@ -32,8 +32,14 @@ type Options struct {
 	// TunerWorkers caps the per-run tuner parallelism (mario.Config.Workers)
 	// a request may ask for; 0 leaves requests uncapped (0 = GOMAXPROCS).
 	TunerWorkers int
-	// Stats receives the server counters; nil allocates a private set.
-	Stats *obs.ServerStats
+	// Registry receives the server's metric series (and the search
+	// metrics of every tuner run); nil allocates a private registry.
+	// /metrics renders everything registered on it.
+	Registry *telemetry.Registry
+	// FlightRing is how many recent request traces the flight recorder
+	// keeps; 0 means 64. FlightSlow is the slow-log size; 0 means 8.
+	FlightRing int
+	FlightSlow int
 }
 
 func (o Options) withDefaults() Options {
@@ -52,8 +58,14 @@ func (o Options) withDefaults() Options {
 	if o.MaxTimeout <= 0 {
 		o.MaxTimeout = 15 * time.Minute
 	}
-	if o.Stats == nil {
-		o.Stats = &obs.ServerStats{}
+	if o.Registry == nil {
+		o.Registry = telemetry.NewRegistry()
+	}
+	if o.FlightRing <= 0 {
+		o.FlightRing = 64
+	}
+	if o.FlightSlow <= 0 {
+		o.FlightSlow = 8
 	}
 	return o
 }
@@ -61,12 +73,18 @@ func (o Options) withDefaults() Options {
 // Server is the planning service: an http.Handler that answers Optimize
 // requests from a fingerprint-keyed plan cache, deduplicates concurrent
 // identical requests onto shared flights, and executes cache misses on a
-// bounded worker pool. Create one with New, mount Handler, and call Drain
-// (or Close) on shutdown.
+// bounded worker pool. Every tuner run is traced with a telemetry.Tracer
+// keyed by the workload fingerprint; the canonical trace is returned to
+// clients that ask (?trace=1) and kept in the flight recorder either way.
+// Create one with New, mount Handler, and call Drain (or Close) on
+// shutdown.
 type Server struct {
-	opts  Options
-	stats *obs.ServerStats
-	cache *planCache
+	opts      Options
+	reg       *telemetry.Registry
+	sm        *serverMetrics
+	search    *telemetry.SearchMetrics
+	flightRec *telemetry.FlightRecorder
+	cache     *planCache
 
 	mu       sync.Mutex
 	flights  map[string]*flight
@@ -75,21 +93,25 @@ type Server struct {
 	jobs chan *flight
 	wg   sync.WaitGroup
 
-	// run computes one flight's plan bytes; tests replace it to make
-	// admission and drain behaviour deterministic.
-	run func(ctx context.Context, req PlanRequest, progress func(ProgressEvent)) ([]byte, error)
+	// run computes one flight's plan bytes, recording its spans on tracer;
+	// tests replace it to make admission and drain behaviour deterministic.
+	run func(ctx context.Context, req PlanRequest, tracer *telemetry.Tracer, progress func(ProgressEvent)) ([]byte, error)
 }
 
 // New builds a Server and starts its worker pool.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:    opts,
-		stats:   opts.Stats,
-		cache:   newPlanCache(opts.CacheSize),
-		flights: make(map[string]*flight),
-		jobs:    make(chan *flight, opts.QueueDepth),
+		opts:      opts,
+		reg:       opts.Registry,
+		sm:        newServerMetrics(opts.Registry),
+		search:    telemetry.NewSearchMetrics(opts.Registry),
+		flightRec: telemetry.NewFlightRecorder(opts.FlightRing, opts.FlightSlow),
+		cache:     newPlanCache(opts.CacheSize),
+		flights:   make(map[string]*flight),
+		jobs:      make(chan *flight, opts.QueueDepth),
 	}
+	s.sm.cacheCapacity.Set(int64(opts.CacheSize))
 	s.run = s.optimize
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
@@ -98,8 +120,12 @@ func New(opts Options) *Server {
 	return s
 }
 
-// Stats returns the server's counter set (the one /metrics renders).
-func (s *Server) Stats() *obs.ServerStats { return s.stats }
+// Registry returns the metrics registry /metrics renders.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// FlightRecorder returns the server's black box — the ring of recent
+// request traces /debug/flight dumps.
+func (s *Server) FlightRecorder() *telemetry.FlightRecorder { return s.flightRec }
 
 // Handler returns the service's HTTP routes:
 //
@@ -108,6 +134,10 @@ func (s *Server) Stats() *obs.ServerStats { return s.stats }
 //	GET  /v1/models       built-in model presets
 //	GET  /healthz         readiness (503 while draining)
 //	GET  /metrics         Prometheus text exposition
+//	GET  /debug/flight    flight-recorder dump (recent traces + slow log)
+//
+// The plan endpoints accept ?trace=1 to embed the run's canonical search
+// trace in the response.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/plan", s.handlePlan)
@@ -115,6 +145,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	return mux
 }
 
@@ -210,8 +241,23 @@ func (s *Server) worker() {
 	}
 }
 
-// runFlight computes one flight's plan, populates the cache on success, and
-// wakes the waiters. The flight leaves the dedup map before finish so a
+// flightOutcome maps a run error to the flight recorder's outcome label.
+func flightOutcome(err error) string {
+	switch {
+	case err == nil:
+		return "completed"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	default:
+		return "error"
+	}
+}
+
+// runFlight computes one flight's plan under a fingerprint-keyed tracer,
+// populates the cache on success, files the trace with the flight recorder,
+// and wakes the waiters. The flight leaves the dedup map before finish so a
 // late identical request either hits the cache (success) or starts a fresh
 // flight (failure) — it can never join a finished one.
 func (s *Server) runFlight(f *flight) {
@@ -220,8 +266,22 @@ func (s *Server) runFlight(f *flight) {
 		f.finish(nil, err)
 		return
 	}
-	s.stats.TunerRuns.Add(1)
-	data, err := s.run(f.ctx, f.req, f.broadcast)
+	s.sm.tunerRuns.Inc()
+	tracer := telemetry.New(f.fp).WithMetrics(s.search)
+	start := time.Now()
+	data, err := s.run(f.ctx, f.req, tracer, f.broadcast)
+	elapsed := time.Since(start)
+	tr := tracer.Snapshot()
+	if raw, merr := json.Marshal(tr); merr == nil {
+		f.trace = raw
+	}
+	s.flightRec.Record(telemetry.FlightRecord{
+		Fingerprint: f.fp,
+		Outcome:     flightOutcome(err),
+		Start:       start,
+		Elapsed:     elapsed,
+		Trace:       tr,
+	})
 	if err == nil {
 		s.cache.add(f.fp, data)
 	}
@@ -238,9 +298,10 @@ func (s *Server) removeFlight(f *flight) {
 }
 
 // optimize is the production run function: it resolves the request into a
-// mario.Config, executes OptimizeContext with progress forwarding, and
-// marshals the plan with the deterministic Plan codec.
-func (s *Server) optimize(ctx context.Context, req PlanRequest, progress func(ProgressEvent)) ([]byte, error) {
+// mario.Config, executes OptimizeContext with the flight's tracer and
+// progress forwarding, and marshals the plan with the deterministic Plan
+// codec.
+func (s *Server) optimize(ctx context.Context, req PlanRequest, tracer *telemetry.Tracer, progress func(ProgressEvent)) ([]byte, error) {
 	model, err := req.Validate()
 	if err != nil {
 		return nil, err
@@ -250,6 +311,7 @@ func (s *Server) optimize(ctx context.Context, req PlanRequest, progress func(Pr
 		workers = s.opts.TunerWorkers
 	}
 	conf := req.config(workers)
+	conf.Tracer = tracer
 	conf.Progress = func(n int, best string, throughput float64) {
 		progress(ProgressEvent{Explored: n, Best: best, BestThroughput: throughput})
 	}
@@ -275,6 +337,11 @@ type PlanResponse struct {
 	// json.Marshal of the mario.Optimize result for the same inputs,
 	// whether cached, shared or fresh.
 	Plan json.RawMessage `json:"plan"`
+	// Trace is the canonical search trace ({"fingerprint":..,"spans":[..]}),
+	// present when the request asked for ?trace=1 and a tuner run answered
+	// it (cache hits carry no trace — the original run's trace lives in the
+	// flight recorder). Byte-identical across worker counts.
+	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
 // errorJSON writes a JSON error body with the given status.
@@ -299,6 +366,15 @@ func decodeRequest(r *http.Request) (PlanRequest, string, error) {
 	return req, req.Fingerprint(model), nil
 }
 
+// wantTrace reports whether the request asked for the search trace.
+func wantTrace(r *http.Request) bool {
+	switch r.URL.Query().Get("trace") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
 // admissionStatus maps an admission refusal to its HTTP status.
 func admissionStatus(err error) int {
 	switch {
@@ -318,28 +394,28 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusBadRequest, err)
 		return
 	}
-	s.stats.Requests.Add(1)
-	s.stats.InFlight.Add(1)
+	s.sm.requests.Inc()
+	s.sm.inFlight.Add(1)
 	defer func() {
-		s.stats.InFlight.Add(-1)
-		s.stats.Latency.Observe(time.Since(start))
+		s.sm.inFlight.Add(-1)
+		s.sm.latency.ObserveDuration(time.Since(start))
 	}()
 
 	data, f, created, err := s.admit(fp, req)
 	if err != nil {
-		s.stats.Rejected.Add(1)
+		s.sm.rejected.Inc()
 		errorJSON(w, admissionStatus(err), err)
 		return
 	}
 	if data != nil {
-		s.stats.CacheHits.Add(1)
-		s.stats.Completed.Add(1)
+		s.sm.cacheHits.Inc()
+		s.sm.completed.Inc()
 		writeJSON(w, PlanResponse{Fingerprint: fp, Cached: true, Plan: data})
 		return
 	}
-	s.stats.CacheMisses.Add(1)
+	s.sm.cacheMisses.Inc()
 	if !created {
-		s.stats.FlightsShared.Add(1)
+		s.sm.flightsShared.Inc()
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), req.timeout(s.opts.DefaultTimeout, s.opts.MaxTimeout))
@@ -348,17 +424,21 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	case <-f.done:
 	case <-ctx.Done():
 		s.leave(f)
-		s.stats.Timeouts.Add(1)
+		s.sm.timeouts.Inc()
 		errorJSON(w, http.StatusGatewayTimeout, fmt.Errorf("serve: request abandoned: %w", ctx.Err()))
 		return
 	}
 	if f.err != nil {
-		s.stats.Errors.Add(1)
+		s.sm.errors.Inc()
 		errorJSON(w, http.StatusInternalServerError, f.err)
 		return
 	}
-	s.stats.Completed.Add(1)
-	writeJSON(w, PlanResponse{Fingerprint: fp, Shared: !created, Plan: f.data})
+	s.sm.completed.Inc()
+	resp := PlanResponse{Fingerprint: fp, Shared: !created, Plan: f.data}
+	if wantTrace(r) {
+		resp.Trace = f.trace
+	}
+	writeJSON(w, resp)
 }
 
 // streamRecord is one NDJSON line of the streaming endpoint. Type is
@@ -375,6 +455,7 @@ type streamRecord struct {
 	Cached      bool            `json:"cached,omitempty"`
 	Shared      bool            `json:"shared,omitempty"`
 	Plan        json.RawMessage `json:"plan,omitempty"`
+	Trace       json.RawMessage `json:"trace,omitempty"`
 	Error       string          `json:"error,omitempty"`
 }
 
@@ -385,16 +466,16 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		errorJSON(w, http.StatusBadRequest, err)
 		return
 	}
-	s.stats.Requests.Add(1)
-	s.stats.InFlight.Add(1)
+	s.sm.requests.Inc()
+	s.sm.inFlight.Add(1)
 	defer func() {
-		s.stats.InFlight.Add(-1)
-		s.stats.Latency.Observe(time.Since(start))
+		s.sm.inFlight.Add(-1)
+		s.sm.latency.ObserveDuration(time.Since(start))
 	}()
 
 	data, f, created, err := s.admit(fp, req)
 	if err != nil {
-		s.stats.Rejected.Add(1)
+		s.sm.rejected.Inc()
 		errorJSON(w, admissionStatus(err), err)
 		return
 	}
@@ -410,14 +491,14 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if data != nil {
-		s.stats.CacheHits.Add(1)
-		s.stats.Completed.Add(1)
+		s.sm.cacheHits.Inc()
+		s.sm.completed.Inc()
 		emit(streamRecord{Type: "plan", Fingerprint: fp, Cached: true, Plan: data})
 		return
 	}
-	s.stats.CacheMisses.Add(1)
+	s.sm.cacheMisses.Inc()
 	if !created {
-		s.stats.FlightsShared.Add(1)
+		s.sm.flightsShared.Inc()
 	}
 
 	sub := f.subscribe()
@@ -439,16 +520,20 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 			if f.err != nil {
-				s.stats.Errors.Add(1)
+				s.sm.errors.Inc()
 				emit(streamRecord{Type: "error", Error: f.err.Error()})
 				return
 			}
-			s.stats.Completed.Add(1)
-			emit(streamRecord{Type: "plan", Fingerprint: fp, Shared: !created, Plan: f.data})
+			s.sm.completed.Inc()
+			term := streamRecord{Type: "plan", Fingerprint: fp, Shared: !created, Plan: f.data}
+			if wantTrace(r) {
+				term.Trace = f.trace
+			}
+			emit(term)
 			return
 		case <-ctx.Done():
 			s.leave(f)
-			s.stats.Timeouts.Add(1)
+			s.sm.timeouts.Inc()
 			emit(streamRecord{Type: "error", Error: fmt.Sprintf("serve: request abandoned: %v", ctx.Err())})
 			return
 		}
@@ -475,7 +560,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h := Health{
 		OK:          !draining,
 		Draining:    draining,
-		InFlight:    s.stats.InFlight.Load(),
+		InFlight:    s.sm.inFlight.Value(),
 		Queued:      len(s.jobs),
 		CachedPlans: s.cache.len(),
 	}
@@ -487,11 +572,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// Scrape-time gauges: refreshed here so the registry render is the
+	// whole exposition.
+	s.sm.queueDepth.Set(int64(len(s.jobs)))
+	s.sm.cachedPlans.Set(int64(s.cache.len()))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.stats.WriteProm(w)
-	fmt.Fprintf(w, "# HELP mario_serve_queue_depth Flights waiting for a worker.\n# TYPE mario_serve_queue_depth gauge\nmario_serve_queue_depth %d\n", len(s.jobs))
-	fmt.Fprintf(w, "# HELP mario_serve_cached_plans Plans in the LRU cache.\n# TYPE mario_serve_cached_plans gauge\nmario_serve_cached_plans %d\n", s.cache.len())
-	fmt.Fprintf(w, "# HELP mario_serve_cache_capacity LRU cache capacity.\n# TYPE mario_serve_cache_capacity gauge\nmario_serve_cache_capacity %d\n", s.opts.CacheSize)
+	s.reg.WriteProm(w)
+}
+
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(s.flightRec.Dump())
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {

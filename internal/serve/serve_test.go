@@ -9,8 +9,11 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
+
 	"testing"
 	"time"
+
+	"mario/internal/telemetry"
 )
 
 // testRequest returns a valid request; gbs varies the fingerprint.
@@ -36,7 +39,7 @@ func newBlockingRun() *blockingRun {
 	}
 }
 
-func (b *blockingRun) run(ctx context.Context, req PlanRequest, progress func(ProgressEvent)) ([]byte, error) {
+func (b *blockingRun) run(ctx context.Context, req PlanRequest, tracer *telemetry.Tracer, progress func(ProgressEvent)) ([]byte, error) {
 	b.started <- fmt.Sprintf("gbs=%d", req.GlobalBatch)
 	select {
 	case <-b.release:
@@ -114,16 +117,16 @@ func TestSingleflightCollapse(t *testing.T) {
 			shared++
 		}
 	}
-	if got := s.stats.TunerRuns.Load(); got != 1 {
+	if got := s.sm.tunerRuns.Value(); got != 1 {
 		t.Fatalf("TunerRuns = %d, want 1", got)
 	}
-	if got := s.stats.FlightsShared.Load(); got != n-1 {
+	if got := s.sm.flightsShared.Value(); got != n-1 {
 		t.Fatalf("FlightsShared = %d, want %d", got, n-1)
 	}
 	if shared != n-1 {
 		t.Fatalf("%d responses marked shared, want %d", shared, n-1)
 	}
-	if hits, misses := s.stats.CacheHits.Load(), s.stats.CacheMisses.Load(); hits != 0 || misses != int64(n) {
+	if hits, misses := s.sm.cacheHits.Value(), s.sm.cacheMisses.Value(); hits != 0 || misses != int64(n) {
 		t.Fatalf("cache hits/misses = %d/%d, want 0/%d", hits, misses, n)
 	}
 
@@ -137,7 +140,7 @@ func TestSingleflightCollapse(t *testing.T) {
 	if !pr.Cached || !bytes.Equal(pr.Plan, want) {
 		t.Fatalf("repeat not served verbatim from cache: cached=%v plan=%s", pr.Cached, pr.Plan)
 	}
-	if got := s.stats.CacheHits.Load(); got != 1 {
+	if got := s.sm.cacheHits.Value(); got != 1 {
 		t.Fatalf("CacheHits = %d, want 1", got)
 	}
 }
@@ -180,7 +183,7 @@ func TestAdmissionRejection(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("saturated server answered %d (%s), want 429", resp.StatusCode, body)
 	}
-	if got := s.stats.Rejected.Load(); got != 1 {
+	if got := s.sm.rejected.Value(); got != 1 {
 		t.Fatalf("Rejected = %d, want 1", got)
 	}
 
@@ -262,7 +265,7 @@ func TestAbandonCancelsFlight(t *testing.T) {
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("status %d, want 504", resp.StatusCode)
 	}
-	if got := s.stats.Timeouts.Load(); got != 1 {
+	if got := s.sm.timeouts.Value(); got != 1 {
 		t.Fatalf("Timeouts = %d, want 1", got)
 	}
 	// The run stub returns ctx.Err() once cancelled; the worker then frees
@@ -286,7 +289,7 @@ func TestAbandonCancelsFlight(t *testing.T) {
 // terminal plan record.
 func TestStreamEndpoint(t *testing.T) {
 	s := New(Options{Workers: 1, QueueDepth: 4})
-	s.run = func(ctx context.Context, req PlanRequest, progress func(ProgressEvent)) ([]byte, error) {
+	s.run = func(ctx context.Context, req PlanRequest, tracer *telemetry.Tracer, progress func(ProgressEvent)) ([]byte, error) {
 		for i := 1; i <= 3; i++ {
 			progress(ProgressEvent{Explored: i, Best: "1F1B", BestThroughput: float64(i)})
 		}
@@ -346,6 +349,103 @@ func TestValidationErrors(t *testing.T) {
 		resp, body := postPlan(t, ts.URL, req)
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("case %d: status %d (%s), want 400", i, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestTraceAndFlightRecorder covers the observability surface: ?trace=1
+// embeds the run's canonical trace, cache hits carry none, /debug/flight
+// dumps the recorded flight, and /metrics renders the registry (serve and
+// search series together).
+func TestTraceAndFlightRecorder(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 4})
+	s.run = func(ctx context.Context, req PlanRequest, tracer *telemetry.Tracer, progress func(ProgressEvent)) ([]byte, error) {
+		root := tracer.Root(telemetry.PhaseOptimize, "")
+		search := root.Child(telemetry.PhaseSearch, "")
+		search.End()
+		root.End()
+		return []byte(`{"ok":true}`), nil
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(testRequest(16))
+	resp, err := http.Post(ts.URL+"/v1/plan?trace=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var pr PlanResponse
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		t.Fatalf("decode: %v (%s)", err, raw)
+	}
+	if len(pr.Trace) == 0 {
+		t.Fatal("traced request returned no trace")
+	}
+	var tr struct {
+		Fingerprint string `json:"fingerprint"`
+		Spans       []struct {
+			Phase string `json:"phase"`
+			Path  string `json:"path"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(pr.Trace, &tr); err != nil {
+		t.Fatalf("decoding trace: %v", err)
+	}
+	if tr.Fingerprint != pr.Fingerprint {
+		t.Errorf("trace fingerprint %q != response fingerprint %q", tr.Fingerprint, pr.Fingerprint)
+	}
+	if len(tr.Spans) != 2 || tr.Spans[0].Phase != "optimize" || tr.Spans[1].Path != "optimize/search" {
+		t.Errorf("unexpected trace spans: %+v", tr.Spans)
+	}
+
+	// Cache hit: no trace even when asked (the run's trace lives in the
+	// flight recorder).
+	resp2, data := postPlan(t, ts.URL, testRequest(16))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status %d", resp2.StatusCode)
+	}
+	var hit PlanResponse
+	json.Unmarshal(data, &hit)
+	if !hit.Cached || len(hit.Trace) != 0 {
+		t.Errorf("cache hit: cached=%v trace=%d bytes, want cached with no trace", hit.Cached, len(hit.Trace))
+	}
+
+	// The flight recorder holds the completed run with its phase summary.
+	fresp, err := http.Get(ts.URL + "/debug/flight")
+	if err != nil {
+		t.Fatalf("flight: %v", err)
+	}
+	fdump, _ := io.ReadAll(fresp.Body)
+	fresp.Body.Close()
+	for _, want := range []string{"1 recent request(s)", "outcome=completed", "optimize", pr.Fingerprint[:12]} {
+		if !bytes.Contains(fdump, []byte(want)) {
+			t.Errorf("/debug/flight missing %q in:\n%s", want, fdump)
+		}
+	}
+
+	// /metrics renders the whole registry: serve counters, scrape-time
+	// gauges and the search series registered at boot.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	mdump, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"mario_serve_tuner_runs_total 1",
+		"mario_serve_cache_hits_total 1",
+		"mario_serve_completed_total 2",
+		"mario_serve_cached_plans 1",
+		"mario_serve_cache_capacity 64",
+		"mario_serve_request_seconds_count 2",
+		"mario_search_runs_total 0",
+		`mario_search_points_total{outcome="explored"} 0`,
+	} {
+		if !bytes.Contains(mdump, []byte(want)) {
+			t.Errorf("/metrics missing %q", want)
 		}
 	}
 }

@@ -114,6 +114,11 @@ func (ds *devState) swapPrev() {
 // in a freshly copied list. The *cost.Estimator must likewise not be mutated
 // between calls that pass the same pointer.
 type Simulator struct {
+	// Sims counts Simulate calls on this engine. It is a plain field — a
+	// Simulator is single-goroutine by contract — that the graph and tuner
+	// layers read to fold simulation counts into the telemetry registry.
+	Sims int64
+
 	// cache key of the bound (schedule family, estimator, options) tuple.
 	est       *cost.Estimator
 	placement pipeline.Placement
@@ -159,6 +164,7 @@ type Simulator struct {
 // Simulate runs the dynamic-programming timeline and memory simulation,
 // reusing every cache and buffer that is still valid from the previous call.
 func (m *Simulator) Simulate(s *pipeline.Schedule, e *cost.Estimator, opt Options) (*Result, error) {
+	m.Sims++
 	if e.Stages != s.NumStages() {
 		return nil, fmt.Errorf("sim: estimator built for %d stages, schedule has %d", e.Stages, s.NumStages())
 	}

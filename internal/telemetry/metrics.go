@@ -1,0 +1,79 @@
+package telemetry
+
+// SearchMetrics bundles the search-side series of a Registry: what the
+// tuner grid search, the graph tuner and the simulator engines did,
+// exposed as first-class Prometheus series instead of the ad-hoc
+// SearchStats/CacheStats structs the callers used to copy around. The
+// tuner increments the deterministic counters from its canonical merge
+// loop (so the totals match the sequential search bit for bit) and folds
+// memo and simulation counts in as post-search deltas.
+//
+// A nil *SearchMetrics — or one built from a nil Registry — no-ops on
+// every field, so instrumented code updates unconditionally.
+type SearchMetrics struct {
+	// PointsExplored counts grid points fully evaluated (simulated or
+	// graph-optimized); PointsOOM, PointsPruned and PointsBoundPruned
+	// count points rejected by memory fit, structural infeasibility and
+	// the admissible upper bound respectively; PointsImproved counts
+	// evaluations that improved the incumbent.
+	PointsExplored, PointsOOM, PointsPruned, PointsBoundPruned, PointsImproved *Counter
+	// BuildHits/BuildMisses and GraphHits/GraphMisses count the schedule
+	// and graph-result memo caches.
+	BuildHits, BuildMisses, GraphHits, GraphMisses *Counter
+	// Sims counts simulator executions across every engine (direct
+	// evaluations, graph inner loops and robustness runs).
+	Sims *Counter
+	// GraphRounds counts simulator-guided prepose rounds across graph
+	// runs.
+	GraphRounds *Counter
+	// RobustRuns counts robustness ensemble simulations (healthy and
+	// faulted).
+	RobustRuns *Counter
+	// Searches counts tuner grid searches started.
+	Searches *Counter
+	// SearchSeconds is the per-search wall-clock histogram.
+	SearchSeconds *Histogram
+}
+
+// AddSims records n simulator executions. Safe on nil (the graph and
+// robustness layers call it with whatever Tracer.Metrics returned).
+func (m *SearchMetrics) AddSims(n int64) {
+	if m != nil {
+		m.Sims.Add(n)
+	}
+}
+
+// AddGraphRounds records n prepose rounds. Safe on nil.
+func (m *SearchMetrics) AddGraphRounds(n int64) {
+	if m != nil {
+		m.GraphRounds.Add(n)
+	}
+}
+
+// AddRobustRuns records n robustness simulations. Safe on nil.
+func (m *SearchMetrics) AddRobustRuns(n int64) {
+	if m != nil {
+		m.RobustRuns.Add(n)
+	}
+}
+
+// NewSearchMetrics registers the search series on r and returns the
+// handles. Safe on a nil registry: every handle is nil and no-ops.
+func NewSearchMetrics(r *Registry) *SearchMetrics {
+	return &SearchMetrics{
+		PointsExplored:    r.LabeledCounter("mario_search_points_total", "Grid points by outcome.", "outcome", "explored"),
+		PointsOOM:         r.LabeledCounter("mario_search_points_total", "Grid points by outcome.", "outcome", "oom"),
+		PointsPruned:      r.LabeledCounter("mario_search_points_total", "Grid points by outcome.", "outcome", "infeasible"),
+		PointsBoundPruned: r.LabeledCounter("mario_search_points_total", "Grid points by outcome.", "outcome", "bound_pruned"),
+		PointsImproved:    r.Counter("mario_search_improved_total", "Evaluations that improved the incumbent."),
+		BuildHits:         r.LabeledCounter("mario_search_build_memo_total", "Schedule-build memo lookups.", "result", "hit"),
+		BuildMisses:       r.LabeledCounter("mario_search_build_memo_total", "Schedule-build memo lookups.", "result", "miss"),
+		GraphHits:         r.LabeledCounter("mario_search_graph_memo_total", "Graph-result memo lookups.", "result", "hit"),
+		GraphMisses:       r.LabeledCounter("mario_search_graph_memo_total", "Graph-result memo lookups.", "result", "miss"),
+		Sims:              r.Counter("mario_search_sims_total", "Simulator executions across all engines."),
+		GraphRounds:       r.Counter("mario_search_graph_rounds_total", "Simulator-guided prepose rounds."),
+		RobustRuns:        r.Counter("mario_search_robust_runs_total", "Robustness ensemble simulations."),
+		Searches:          r.Counter("mario_search_runs_total", "Tuner grid searches started."),
+		SearchSeconds:     r.Histogram("mario_search_seconds", "Per-search wall-clock.", LatencyBounds),
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"mario/internal/fault"
 	"mario/internal/profile"
+	"mario/internal/telemetry"
 )
 
 // PlanOutcome is one schedule's measured behaviour under one fault plan.
@@ -90,6 +91,15 @@ type RobustnessOpts struct {
 	Ensemble []fault.Plan
 	// Seed seeds the default ensemble when Ensemble is nil.
 	Seed uint64
+	// Span, when live, parents the re-scoring's telemetry: one PhaseRobust
+	// span with a PhaseCandidate child per evaluated schedule and a
+	// PhaseFault grandchild per ensemble plan. The re-scoring is
+	// sequential, so these spans need no canonical reordering. The zero
+	// Span disables tracing at zero cost.
+	Span telemetry.Span
+	// Metrics, when non-nil, counts the measured runs (healthy and
+	// faulted).
+	Metrics *telemetry.SearchMetrics
 }
 
 // Robustness executes the top-K schedules of a tuning trace on the emulated
@@ -154,10 +164,16 @@ func RobustnessContext(ctx context.Context, prof *profile.Profiler, trace []Cand
 		rep.Plans = append(rep.Plans, name)
 	}
 
-	for _, c := range cands {
+	rb := opts.Span.Child(telemetry.PhaseRobust, "")
+	rb.SetInt("candidates", int64(len(cands)))
+	rb.SetInt("plans", int64(len(ensemble)))
+	defer rb.End()
+
+	for ci, c := range cands {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		cs := rb.Child(telemetry.PhaseCandidate, fmt.Sprintf("%02d %s", ci, c.Label()))
 		row := RobustnessRow{Cand: c}
 		if r := c.Result; r != nil && r.Total > 0 {
 			for d := range r.ComputeBusy {
@@ -171,10 +187,12 @@ func RobustnessContext(ctx context.Context, prof *profile.Profiler, trace []Cand
 		}
 		mach.DP = c.DP
 		healthy, err := mach.Run(c.Schedule, iters)
+		opts.Metrics.AddRobustRuns(1)
 		if err != nil {
 			return nil, fmt.Errorf("tuner: healthy run of %s: %w", c.Label(), err)
 		}
 		row.Healthy, row.HealthyIter = healthy.SamplesPerSec, healthy.IterTime
+		cs.SetFloat("healthy", row.Healthy)
 
 		worst := 1.0
 		for i := range ensemble {
@@ -184,7 +202,9 @@ func RobustnessContext(ctx context.Context, prof *profile.Profiler, trace []Cand
 			plan := ensemble[i]
 			mach.Faults = &plan
 			out := PlanOutcome{Plan: rep.Plans[i]}
+			fs := cs.Child(telemetry.PhaseFault, fmt.Sprintf("%02d %s", i, rep.Plans[i]))
 			faulted, err := mach.Run(c.Schedule, iters)
+			opts.Metrics.AddRobustRuns(1)
 			if err != nil {
 				out.Err = err.Error()
 			} else {
@@ -200,11 +220,15 @@ func RobustnessContext(ctx context.Context, prof *profile.Profiler, trace []Cand
 			if out.Retention < worst {
 				worst = out.Retention
 			}
+			fs.SetFloat("retention", out.Retention)
+			fs.End()
 			row.Outcomes = append(row.Outcomes, out)
 		}
 		mach.Faults = nil
 		row.MeanRetention /= float64(len(ensemble))
 		row.WorstRetention = worst
+		cs.SetFloat("worst_retention", worst)
+		cs.End()
 		rep.Rows = append(rep.Rows, row)
 	}
 

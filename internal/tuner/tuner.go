@@ -25,6 +25,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mario/internal/cost"
 	"mario/internal/graph"
@@ -32,6 +33,7 @@ import (
 	"mario/internal/profile"
 	"mario/internal/scheme"
 	"mario/internal/sim"
+	"mario/internal/telemetry"
 )
 
 // Space is the search space of Equation 1.
@@ -176,6 +178,20 @@ type Tuner struct {
 	// streamed). It runs on the merging goroutine in canonical grid order,
 	// regardless of Space.Workers.
 	Progress func(c Candidate, best Candidate)
+	// Span, when live, parents the telemetry of every Search call: each
+	// SearchContext records a PhaseSearch subtree under it — one PhasePoint
+	// child per grid point with build/bound/graph/sim children. Workers
+	// record spans speculatively, but the canonical merge loop attaches
+	// them (and trims speculative work) in canonical grid order, so the
+	// canonical trace exports are byte-identical for every Space.Workers
+	// value. The zero Span disables tracing at zero cost.
+	Span telemetry.Span
+	// Metrics, when non-nil, receives the search counters as registry
+	// series. The grid-outcome counters are incremented from the canonical
+	// merge loop (so their totals match SearchStats exactly); memoization
+	// and simulation counts are folded in as deltas and — like CacheStats —
+	// are not deterministic under Workers > 1.
+	Metrics *telemetry.SearchMetrics
 
 	// Stats describes the most recent Search call. It is updated as
 	// candidates merge; reading it from another goroutine while Search is
@@ -242,6 +258,9 @@ type pointResult struct {
 	// evaluation failures (scheme constraints, estimator limits) are never
 	// reported here — they stay structural infeasibilities.
 	err error
+	// span is the detached point span the evaluation recorded into; the
+	// merge loop attaches or discards it in canonical order.
+	span telemetry.Span
 }
 
 // mergedBest publishes the throughput of the best candidate merged so far to
@@ -315,32 +334,77 @@ func (t *Tuner) SearchContext(ctx context.Context, space Space) (*Candidate, []C
 	var best *Candidate
 	mb := &mergedBest{}
 
+	tracer := t.Span.Tracer()
+	search := t.Span.Child(telemetry.PhaseSearch, "")
+	search.SetInt("points", int64(len(points)))
+	searchStart := time.Now()
+	buildH0, buildM0 := t.builds.hits.Load(), t.builds.misses.Load()
+	graphH0, graphM0 := t.graphs.hits.Load(), t.graphs.misses.Load()
+	if m := t.Metrics; m != nil {
+		m.Searches.Inc()
+	}
+	defer func() {
+		search.End()
+		if m := t.Metrics; m != nil {
+			m.SearchSeconds.ObserveDuration(time.Since(searchStart))
+			m.BuildHits.Add(t.builds.hits.Load() - buildH0)
+			m.BuildMisses.Add(t.builds.misses.Load() - buildM0)
+			m.GraphHits.Add(t.graphs.hits.Load() - graphH0)
+			m.GraphMisses.Add(t.graphs.misses.Load() - graphM0)
+		}
+	}()
+
 	// merge folds one point's result into the search state, in canonical
 	// order. The prune decision is made here, against the canonical
 	// best-so-far, never against worker-time state: a worker that skipped
 	// its simulation did so against an older (smaller or equal) best, so
-	// every worker skip is confirmed by this check. A non-nil return aborts
-	// the search (cancellation only).
-	merge := func(p gridPoint, pr pointResult) error {
+	// every worker skip is confirmed by this check. The point's span is
+	// attached here too — in canonical order, with speculative children a
+	// sequential search would not have recorded trimmed away — which is
+	// what makes the canonical trace worker-count independent. A non-nil
+	// return aborts the search (cancellation only).
+	merge := func(i int, p gridPoint, pr pointResult) error {
+		sp := pr.span
 		if pr.err != nil {
 			if cerr := ctx.Err(); cerr != nil {
+				sp.Discard()
 				return cerr
 			}
 			// A stale cancellation from a memo entry another (cancelled)
 			// search computed: our own context is live, so re-evaluate.
-			pr = t.evalPoint(ctx, space, p, nil, nil)
+			sp.Discard()
+			pr = t.evalTraced(ctx, space, i, p, nil, nil, tracer)
+			sp = pr.span
 			if pr.err != nil {
+				sp.Discard()
 				return pr.err
 			}
 		}
-		if !pr.feasible {
+		prune := func() {
 			stats.Pruned++
 			t.publishStats(stats)
+			if m := t.Metrics; m != nil {
+				m.PointsPruned.Inc()
+			}
+			sp.SetStr("result", "infeasible")
+			sp.AttachTo(search)
+		}
+		if !pr.feasible {
+			prune()
 			return nil
 		}
 		if best != nil && pr.ub <= best.Throughput {
 			stats.BoundPruned++
 			t.publishStats(stats)
+			if m := t.Metrics; m != nil {
+				m.PointsBoundPruned.Inc()
+			}
+			// The sequential search skips the expensive phases at the bound
+			// check, so a speculative full evaluation keeps only the
+			// build/bound prefix in the canonical trace.
+			sp.RetainChildren(telemetry.PhaseBuild, telemetry.PhaseBound)
+			sp.SetStr("result", "bound_pruned")
+			sp.AttachTo(search)
 			return nil
 		}
 		c := pr.cand
@@ -349,14 +413,16 @@ func (t *Tuner) SearchContext(ctx context.Context, space Space) (*Candidate, []C
 			// impossible (mergedBest never exceeds the canonical
 			// best-so-far); evaluate inline as insurance so the result
 			// stays exact even if that invariant is ever broken.
-			forced := t.evalPoint(ctx, space, p, nil, nil)
+			sp.Discard()
+			forced := t.evalTraced(ctx, space, i, p, nil, nil, tracer)
+			sp = forced.span
 			if forced.err != nil {
+				sp.Discard()
 				return forced.err
 			}
 			c = forced.cand
 			if c == nil {
-				stats.Pruned++
-				t.publishStats(stats)
+				prune()
 				return nil
 			}
 		}
@@ -365,13 +431,33 @@ func (t *Tuner) SearchContext(ctx context.Context, space Space) (*Candidate, []C
 			stats.OOMRejected++
 		}
 		trace = append(trace, *c)
-		if best == nil || c.Throughput > best.Throughput {
+		improved := best == nil || c.Throughput > best.Throughput
+		if improved {
 			cc := *c
 			best = &cc
 			stats.Improved++
 			mb.store(best.Throughput)
 		}
 		t.publishStats(stats)
+		if m := t.Metrics; m != nil {
+			m.PointsExplored.Inc()
+			if c.OOM {
+				m.PointsOOM.Inc()
+			}
+			if improved {
+				m.PointsImproved.Inc()
+			}
+		}
+		if c.OOM {
+			sp.SetStr("result", "oom")
+		} else {
+			sp.SetStr("result", "explored")
+		}
+		sp.SetFloat("throughput", c.Throughput)
+		if improved {
+			sp.SetBool("improved", true)
+		}
+		sp.AttachTo(search)
 		if t.Progress != nil {
 			t.Progress(*c, *best)
 		}
@@ -381,16 +467,18 @@ func (t *Tuner) SearchContext(ctx context.Context, space Space) (*Candidate, []C
 	var searchErr error
 	if space.Workers <= 1 || len(points) <= 1 {
 		eng := &sim.Simulator{}
-		for _, p := range points {
+		sims0 := eng.Sims
+		for i, p := range points {
 			if err := ctx.Err(); err != nil {
 				searchErr = err
 				break
 			}
-			if err := merge(p, t.evalPoint(ctx, space, p, mb, eng)); err != nil {
+			if err := merge(i, p, t.evalTraced(ctx, space, i, p, mb, eng, tracer)); err != nil {
 				searchErr = err
 				break
 			}
 		}
+		t.Metrics.AddSims(eng.Sims - sims0)
 	} else {
 		workers := space.Workers
 		if workers > len(points) {
@@ -422,15 +510,16 @@ func (t *Tuner) SearchContext(ctx context.Context, space Space) (*Candidate, []C
 						close(ready[i])
 						continue
 					}
-					results[i] = t.evalPoint(ctx, space, points[i], mb, eng)
+					results[i] = t.evalTraced(ctx, space, i, points[i], mb, eng, tracer)
 					close(ready[i])
 				}
+				t.Metrics.AddSims(eng.Sims)
 			}()
 		}
 		for i := range points {
 			<-ready[i]
 			if searchErr == nil {
-				searchErr = merge(points[i], results[i])
+				searchErr = merge(i, points[i], results[i])
 			}
 		}
 		wg.Wait()
@@ -444,6 +533,29 @@ func (t *Tuner) SearchContext(ctx context.Context, space Space) (*Candidate, []C
 		return nil, nil, fmt.Errorf("tuner: no feasible configuration in the search space")
 	}
 	return best, trace, nil
+}
+
+// pointKey renders a grid point's canonical span key: the zero-padded
+// canonical grid index plus the paper's x-y-z candidate label. The key is a
+// pure function of the enumeration, so span identities never depend on
+// which worker evaluated the point.
+func pointKey(i int, p gridPoint) string {
+	tag := "base"
+	if p.ckpt {
+		tag = "mario"
+	}
+	return fmt.Sprintf("%04d %s-%d-%d(%s)", i, p.scheme.Shape(), p.pp, p.mbs, tag)
+}
+
+// evalTraced wraps evalPoint with a detached point span that the canonical
+// merge loop later attaches (in canonical order) or discards. i is the
+// point's canonical grid index.
+func (t *Tuner) evalTraced(ctx context.Context, space Space, i int, p gridPoint, mb *mergedBest, eng *sim.Simulator, tracer *telemetry.Tracer) pointResult {
+	sp := tracer.Detached(telemetry.PhasePoint, pointKey(i, p))
+	pr := t.evalPoint(ctx, space, p, mb, eng, sp)
+	sp.End()
+	pr.span = sp
+	return pr
 }
 
 // evalPoint scores a single grid point. Structurally impossible points
@@ -464,7 +576,12 @@ func (t *Tuner) SearchContext(ctx context.Context, space Space) (*Candidate, []C
 // ctx bounds the slow part of the evaluation (the graph-tuner run); a
 // cancelled context comes back as pointResult.err, never as a fake
 // infeasibility.
-func (t *Tuner) evalPoint(ctx context.Context, space Space, p gridPoint, mb *mergedBest, eng *sim.Simulator) pointResult {
+//
+// sp is the point's telemetry span (the zero Span when tracing is off):
+// evalPoint records build/bound/graph/sim child spans under it, tagging the
+// memoized phases with their memo keys so Snapshot can normalize hit/miss
+// attribution into canonical order.
+func (t *Tuner) evalPoint(ctx context.Context, space Space, p gridPoint, mb *mergedBest, eng *sim.Simulator, sp telemetry.Span) pointResult {
 	if err := ctx.Err(); err != nil {
 		return pointResult{err: err}
 	}
@@ -484,6 +601,8 @@ func (t *Tuner) evalPoint(ctx context.Context, space Space, p gridPoint, mb *mer
 		return infeasible
 	}
 	bk := buildKey{scheme: p.scheme, devices: p.pp, micros: micros, chunks: space.Chunks}
+	bs := sp.Child(telemetry.PhaseBuild, "")
+	bs.Memo(fmt.Sprintf("%s|pp%d|u%d|c%d", p.scheme.Shape(), p.pp, micros, space.Chunks))
 	sched, err := t.builds.do(bk, func() (*pipeline.Schedule, error) {
 		s, err := scheme.Build(p.scheme, scheme.Config{Devices: p.pp, Micros: micros, Chunks: space.Chunks})
 		if err != nil {
@@ -495,6 +614,7 @@ func (t *Tuner) evalPoint(ctx context.Context, space Space, p gridPoint, mb *mer
 		s.Freeze()
 		return s, nil
 	})
+	bs.End()
 	if err != nil {
 		return infeasible // scheme constraint (odd Chimera, indivisible Interleave, …)
 	}
@@ -505,7 +625,10 @@ func (t *Tuner) evalPoint(ctx context.Context, space Space, p gridPoint, mb *mer
 
 	out := pointResult{feasible: true, ub: math.Inf(1)}
 	if !space.NoPrune {
+		bnd := sp.Child(telemetry.PhaseBound, "")
 		out.ub = t.upperBound(sched, est, p)
+		bnd.SetFloat("ub", out.ub)
+		bnd.End()
 		if mb != nil {
 			if bb, ok := mb.load(); ok && out.ub <= bb {
 				out.skipped = true
@@ -524,8 +647,16 @@ func (t *Tuner) evalPoint(ctx context.Context, space Space, p gridPoint, mb *mer
 		}
 		gk := graphKey{bk: bk, mbs: p.mbs, dp: p.dp, tp: space.TP,
 			memLimit: space.DeviceMem, maxRounds: maxRounds, split: t.SplitBackward}
+		gs := sp.Child(telemetry.PhaseGraph, "")
+		gs.Memo(fmt.Sprintf("%s|pp%d|u%d|c%d|mbs%d|dp%d|tp%d|mem%g|r%d|split%t",
+			p.scheme.Shape(), p.pp, micros, space.Chunks, p.mbs, p.dp, space.TP,
+			space.DeviceMem, maxRounds, t.SplitBackward))
 		gv, err := t.graphs.do(gk, func() (graphVal, error) {
-			gopts := graph.Options{Estimator: est, Sim: simOpts, MaxRounds: maxRounds, Workers: t.GraphWorkers}
+			// The round spans land under this point's graph span; if a
+			// canonically earlier point shares the memo key, Snapshot moves
+			// them there (the sequential attribution).
+			gopts := graph.Options{Estimator: est, Sim: simOpts, MaxRounds: maxRounds,
+				Workers: t.GraphWorkers, Span: gs, Metrics: t.Metrics}
 			opt, r, err := graph.OptimizeContext(ctx, sched, gopts)
 			if err != nil {
 				return graphVal{}, err
@@ -540,6 +671,7 @@ func (t *Tuner) evalPoint(ctx context.Context, space Space, p gridPoint, mb *mer
 			opt.Freeze()
 			return graphVal{sched: opt, res: r}, nil
 		})
+		gs.End()
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				return pointResult{err: err}
@@ -548,13 +680,16 @@ func (t *Tuner) evalPoint(ctx context.Context, space Space, p gridPoint, mb *mer
 		}
 		cand.Schedule, res = gv.sched.Clone(), gv.res
 	} else {
+		ss := sp.Child(telemetry.PhaseSim, "")
 		var r *sim.Result
 		var err error
 		if eng != nil {
 			r, err = eng.Simulate(sched, est, simOpts)
 		} else {
 			r, err = sim.Simulate(sched, est, simOpts)
+			t.Metrics.AddSims(1) // ephemeral engine: its counter dies with it
 		}
+		ss.End()
 		if err != nil {
 			return infeasible
 		}

@@ -29,6 +29,7 @@ import (
 	"mario/internal/obs"
 	"mario/internal/pipeline"
 	"mario/internal/profile"
+	"mario/internal/telemetry"
 	"mario/internal/tuner"
 	"mario/internal/viz"
 )
@@ -85,6 +86,15 @@ type Config struct {
 	// NoPrune disables the tuner's admissible upper-bound prune so every
 	// feasible configuration is simulated and appears in the trace.
 	NoPrune bool
+	// Tracer, when non-nil, records the search's own telemetry: a
+	// PhaseOptimize root span with the tuner grid, graph-pass, simulator
+	// and robustness work nested under it (see internal/telemetry). The
+	// canonical exports of the resulting trace are byte-identical for
+	// every Workers/GraphWorkers value; a nil Tracer costs nothing.
+	Tracer *telemetry.Tracer
+	// Metrics, when non-nil, receives the search counters (grid outcomes,
+	// memoization, simulator executions) as registry series.
+	Metrics *telemetry.SearchMetrics
 }
 
 // ModelConfig is the model_conf of Listing 1.
@@ -211,7 +221,16 @@ func OptimizeContext(ctx context.Context, conf Config, model ModelConfig) (*Plan
 	}
 
 	prof := &profile.Profiler{Model: model, HW: hw, Spec: spec, Devices: 4, Iters: 10}
-	tn := &tuner.Tuner{Prof: prof, SplitBackward: conf.SplitBackward, GraphWorkers: conf.GraphWorkers}
+	root := conf.Tracer.Root(telemetry.PhaseOptimize, "")
+	root.SetInt("devices", int64(conf.NumDevices))
+	root.SetInt("global_batch", int64(conf.GlobalBatchSize))
+	defer root.End()
+	metrics := conf.Metrics
+	if metrics == nil {
+		metrics = conf.Tracer.Metrics()
+	}
+	tn := &tuner.Tuner{Prof: prof, SplitBackward: conf.SplitBackward, GraphWorkers: conf.GraphWorkers,
+		Span: root, Metrics: metrics}
 	if cb := conf.Progress; cb != nil {
 		explored := 0
 		tn.Progress = func(_ tuner.Candidate, best tuner.Candidate) {
