@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-serve-json check fmt fuzz lint docs-check serve-smoke telemetry-smoke
+.PHONY: all build vet test race bench bench-json bench-gate bench-serve-json check fmt fuzz lint docs-check serve-smoke telemetry-smoke
 
 all: check
 
@@ -26,11 +26,23 @@ bench:
 # BENCHTIME iterations to average out noise; the full grid search is seconds
 # per op, so it runs once.
 BENCHTIME ?= 100x
+BENCH_MICRO = BenchmarkGraphOptimize$$|BenchmarkSimulateReuse|BenchmarkSimulate1F1B|BenchmarkSimulateChimera|BenchmarkDeltaSim|BenchmarkTelemetry
 bench-json:
-	{ $(GO) test -run '^$$' -bench 'BenchmarkGraphOptimize$$|BenchmarkSimulateReuse|BenchmarkSimulate1F1B|BenchmarkSimulateChimera|BenchmarkTelemetry' \
+	{ $(GO) test -run '^$$' -bench '$(BENCH_MICRO)' \
 		-benchtime $(BENCHTIME) -benchmem . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkTunerSearch' -benchtime 1x -benchmem . ; } \
 		| $(GO) run ./cmd/benchjson > BENCH_sim.json
+
+# Regression gate over the committed artifact: re-runs the hot-path
+# microbenchmarks and fails if any ns/op regressed by more than GATEPCT
+# percent vs BENCH_sim.json. CI runs this non-gatingly (runner noise); run it
+# locally before regenerating the baseline.
+GATEPCT ?= 15
+bench-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkGraphOptimize$$|BenchmarkSimulateReuse|BenchmarkDeltaSim' \
+		-benchtime $(BENCHTIME) -benchmem . \
+		| $(GO) run ./cmd/benchjson -gate $(GATEPCT) -baseline BENCH_sim.json \
+			-only BenchmarkGraphOptimize,BenchmarkSimulateReuse,BenchmarkDeltaSim
 
 # Service-layer latency artifact: the mariod request path (cache hit, fresh
 # run, traced run, /metrics scrape) against an instant run stub, so the
@@ -45,6 +57,8 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSchemeBuild -fuzztime $(FUZZTIME) ./internal/scheme
 	$(GO) test -run '^$$' -fuzz FuzzGraphPassInvariants -fuzztime $(FUZZTIME) ./internal/graph
+	$(GO) test -run '^$$' -fuzz FuzzDeltaSimEquivalence -fuzztime $(FUZZTIME) ./internal/sim/difftest
+	$(GO) test -run '^$$' -fuzz FuzzBnBArgmaxEquivalence -fuzztime $(FUZZTIME) ./internal/tuner
 
 # Doc-comment lint for the packages whose contracts must live in the source:
 # internal/sim (engine identity/caching rules), internal/pipeline (COW

@@ -11,12 +11,23 @@
 // then value/unit pairs. Unrecognised units (custom b.ReportMetric metrics,
 // MB/s, ...) are preserved under "extra". Non-benchmark lines are ignored, so
 // the full `go test` output can be piped through unfiltered.
+//
+// With -gate PCT the command becomes a regression check instead of a
+// converter: stdin is still bench text, but the parsed ns/op values are
+// compared against the artifact named by -baseline, and the exit status is 1
+// if any benchmark slowed down by more than PCT percent. -only restricts the
+// comparison to benchmarks whose name starts with one of the given
+// comma-separated prefixes. Benchmarks present on only one side are reported
+// but never fail the gate, so adding or retiring a benchmark does not require
+// a lockstep baseline update.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -33,18 +44,33 @@ type result struct {
 }
 
 func main() {
-	results := []result{}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	for sc.Scan() {
-		if r, ok := parseLine(sc.Text()); ok {
-			results = append(results, r)
-		}
-	}
-	if err := sc.Err(); err != nil {
+	gate := flag.Float64("gate", 0, "fail if any ns/op regresses by more than this percent vs -baseline (0 = convert to JSON)")
+	baseline := flag.String("baseline", "", "baseline JSON artifact to gate against (required with -gate)")
+	only := flag.String("only", "", "comma-separated benchmark name prefixes to gate (default: all)")
+	flag.Parse()
+
+	results, err := parseBench(os.Stdin)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
 		os.Exit(1)
 	}
+
+	if *gate > 0 {
+		if *baseline == "" {
+			fmt.Fprintln(os.Stderr, "benchjson: -gate requires -baseline")
+			os.Exit(2)
+		}
+		regressed, err := gateAgainst(os.Stdout, results, *baseline, *gate, splitPrefixes(*only))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
+
 	out, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -52,6 +78,95 @@ func main() {
 	}
 	fmt.Println(string(out))
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmark results\n", len(results))
+}
+
+func parseBench(r io.Reader) ([]result, error) {
+	results := []result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	return results, sc.Err()
+}
+
+// gateAgainst compares ns/op for every benchmark present in both the current
+// run and the baseline artifact, prints one line per comparison, and reports
+// whether any selected benchmark regressed by more than pct percent.
+func gateAgainst(w io.Writer, cur []result, baselinePath string, pct float64, prefixes []string) (bool, error) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return false, err
+	}
+	var base []result
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return false, fmt.Errorf("parsing %s: %w", baselinePath, err)
+	}
+	baseNs := make(map[string]float64, len(base))
+	for _, b := range base {
+		if b.NsPerOp != nil {
+			baseNs[b.Name] = *b.NsPerOp
+		}
+	}
+
+	regressed := false
+	compared := 0
+	for _, c := range cur {
+		if c.NsPerOp == nil || !matchesPrefix(c.Name, prefixes) {
+			continue
+		}
+		old, ok := baseNs[c.Name]
+		if !ok {
+			fmt.Fprintf(w, "NEW    %-55s %12.0f ns/op (not in baseline)\n", c.Name, *c.NsPerOp)
+			continue
+		}
+		delete(baseNs, c.Name)
+		compared++
+		delta := 100 * (*c.NsPerOp - old) / old
+		verdict := "ok    "
+		if delta > pct {
+			verdict = "SLOWER"
+			regressed = true
+		}
+		fmt.Fprintf(w, "%s %-55s %12.0f -> %12.0f ns/op (%+.1f%%)\n", verdict, c.Name, old, *c.NsPerOp, delta)
+	}
+	for name := range baseNs {
+		if matchesPrefix(name, prefixes) {
+			fmt.Fprintf(w, "GONE   %-55s (in baseline, not in this run)\n", name)
+		}
+	}
+	if compared == 0 {
+		return false, fmt.Errorf("no benchmarks matched the gate selection")
+	}
+	fmt.Fprintf(w, "benchjson: gated %d benchmarks at +%.0f%% ns/op\n", compared, pct)
+	return regressed, nil
+}
+
+func splitPrefixes(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func matchesPrefix(name string, prefixes []string) bool {
+	if len(prefixes) == 0 {
+		return true
+	}
+	for _, p := range prefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
 }
 
 func parseLine(line string) (result, bool) {

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkGraphOptimize-8   4070   559046 ns/op   634984 B/op   427 allocs/op")
+	if !ok {
+		t.Fatal("parseLine rejected a valid bench line")
+	}
+	if r.Name != "BenchmarkGraphOptimize" || r.Procs != 8 || r.Iterations != 4070 {
+		t.Errorf("parsed header = %q/%d/%d", r.Name, r.Procs, r.Iterations)
+	}
+	if r.NsPerOp == nil || *r.NsPerOp != 559046 || r.BytesPerOp == nil || *r.BytesPerOp != 634984 || r.AllocsPerOp == nil || *r.AllocsPerOp != 427 {
+		t.Errorf("parsed values = %+v", r)
+	}
+
+	r, ok = parseLine("BenchmarkTunerSearch/workers=1 1 9070527158 ns/op 220 explored")
+	if !ok || r.Name != "BenchmarkTunerSearch/workers=1" || r.Extra["explored"] != 220 {
+		t.Errorf("custom-metric line parsed as %+v (ok=%v)", r, ok)
+	}
+
+	for _, line := range []string{
+		"ok   mario   0.026s",
+		"PASS",
+		"Benchmark only-name-no-iters",
+		"BenchmarkX notanumber 5 ns/op",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted non-result line %q", line)
+		}
+	}
+}
+
+// writeBaseline writes a minimal baseline artifact and returns its path.
+func writeBaseline(t *testing.T, body string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const baseJSON = `[
+  {"name": "BenchmarkA", "iterations": 100, "ns_per_op": 1000},
+  {"name": "BenchmarkB", "iterations": 100, "ns_per_op": 2000},
+  {"name": "BenchmarkGone", "iterations": 100, "ns_per_op": 3000}
+]`
+
+func curResults(t *testing.T, bench string) []result {
+	t.Helper()
+	rs, err := parseBench(strings.NewReader(bench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func TestGateAgainst(t *testing.T) {
+	base := writeBaseline(t, baseJSON)
+
+	t.Run("within threshold passes", func(t *testing.T) {
+		var out strings.Builder
+		cur := curResults(t, "BenchmarkA 100 1100 ns/op\nBenchmarkB 100 1900 ns/op\n")
+		regressed, err := gateAgainst(&out, cur, base, 15, nil)
+		if err != nil || regressed {
+			t.Fatalf("regressed=%v err=%v\n%s", regressed, err, out.String())
+		}
+		if !strings.Contains(out.String(), "GONE   BenchmarkGone") {
+			t.Errorf("missing GONE report:\n%s", out.String())
+		}
+	})
+
+	t.Run("regression fails", func(t *testing.T) {
+		var out strings.Builder
+		cur := curResults(t, "BenchmarkA 100 1200 ns/op\n")
+		regressed, err := gateAgainst(&out, cur, base, 15, nil)
+		if err != nil || !regressed {
+			t.Fatalf("regressed=%v err=%v\n%s", regressed, err, out.String())
+		}
+		if !strings.Contains(out.String(), "SLOWER BenchmarkA") {
+			t.Errorf("missing SLOWER verdict:\n%s", out.String())
+		}
+	})
+
+	t.Run("prefix filter scopes the gate", func(t *testing.T) {
+		var out strings.Builder
+		// BenchmarkA regresses hugely but is filtered out; only B is gated.
+		cur := curResults(t, "BenchmarkA 100 9000 ns/op\nBenchmarkB 100 2000 ns/op\n")
+		regressed, err := gateAgainst(&out, cur, base, 15, []string{"BenchmarkB"})
+		if err != nil || regressed {
+			t.Fatalf("regressed=%v err=%v\n%s", regressed, err, out.String())
+		}
+	})
+
+	t.Run("new benchmark never fails the gate", func(t *testing.T) {
+		var out strings.Builder
+		cur := curResults(t, "BenchmarkNew 100 99999 ns/op\nBenchmarkA 100 1000 ns/op\n")
+		regressed, err := gateAgainst(&out, cur, base, 15, nil)
+		if err != nil || regressed {
+			t.Fatalf("regressed=%v err=%v\n%s", regressed, err, out.String())
+		}
+		if !strings.Contains(out.String(), "NEW    BenchmarkNew") {
+			t.Errorf("missing NEW report:\n%s", out.String())
+		}
+	})
+
+	t.Run("empty selection is an error", func(t *testing.T) {
+		var out strings.Builder
+		cur := curResults(t, "BenchmarkA 100 1000 ns/op\n")
+		if _, err := gateAgainst(&out, cur, base, 15, []string{"BenchmarkZ"}); err == nil || !strings.Contains(err.Error(), "no benchmarks matched") {
+			t.Fatalf("err = %v, want no-match error", err)
+		}
+	})
+
+	t.Run("unreadable baseline", func(t *testing.T) {
+		var out strings.Builder
+		cur := curResults(t, "BenchmarkA 100 1000 ns/op\n")
+		if _, err := gateAgainst(&out, cur, filepath.Join(t.TempDir(), "missing.json"), 15, nil); err == nil {
+			t.Fatal("want error for missing baseline")
+		}
+		bad := writeBaseline(t, "{not json")
+		if _, err := gateAgainst(&out, cur, bad, 15, nil); err == nil || !strings.Contains(err.Error(), "parsing") {
+			t.Fatalf("err = %v, want parsing error", err)
+		}
+	})
+}

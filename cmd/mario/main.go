@@ -7,7 +7,8 @@
 // Usage:
 //
 //	mario -model GPT3-13B -devices 32 -gbs 128 -mem 40G [-scheme Auto]
-//	      [-tp 1] [-workers 0] [-no-prune] [-run 3] [-viz] [-svg out.svg]
+//	      [-tp 1] [-workers 0] [-no-prune] [-no-bnb] [-no-delta]
+//	      [-run 3] [-viz] [-svg out.svg]
 //	      [-trace out.json] [-trace-measured out.json] [-events out.jsonl]
 //	      [-search-trace out.json] [-search-spans out.jsonl]
 //	      [-search-trace-measured out.json] [-search-summary]
@@ -57,6 +58,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "concurrent tuner evaluations (0 = GOMAXPROCS, 1 = sequential; results are identical)")
 		gWorkers  = flag.Int("graph-workers", 0, "concurrent prepose-candidate simulations inside each graph-tuner call (0/1 = inline; results are identical)")
 		noPrune   = flag.Bool("no-prune", false, "disable the tuner's upper-bound prune (simulate every feasible configuration)")
+		noBnB     = flag.Bool("no-bnb", false, "use the canonical-order grid walk instead of branch-and-bound search (same best plan, more points simulated)")
+		noDelta   = flag.Bool("no-delta", false, "disable delta re-simulation in the graph passes (same plan, full fixpoint per candidate)")
 		split     = flag.Bool("split", false, "also try ZB-H1 split-backward on checkpointed candidates")
 		runIters  = flag.Int("run", 0, "execute the winning schedule for N iterations on the emulated cluster")
 		showViz   = flag.Bool("viz", false, "print the winning schedule's timeline as ASCII")
@@ -148,6 +151,8 @@ func main() {
 			TP:            *tp,
 			SplitBackward: *split,
 			NoPrune:       *noPrune,
+			NoBnB:         *noBnB,
+			NoDelta:       *noDelta,
 			Workers:       *workers,
 		}
 		plan, err = remotePlan(*remoteAddr, req, *showStats)
@@ -162,6 +167,8 @@ func main() {
 			Workers:         *workers,
 			GraphWorkers:    *gWorkers,
 			NoPrune:         *noPrune,
+			NoBnB:           *noBnB,
+			NoDelta:         *noDelta,
 		}
 		var tracer *telemetry.Tracer
 		if wantSearchTrace {
@@ -176,6 +183,7 @@ func main() {
 				TP:            *tp,
 				SplitBackward: *split,
 				NoPrune:       *noPrune,
+				NoBnB:         *noBnB,
 			}
 			reqModel, verr := req.Validate()
 			if verr != nil {
@@ -217,8 +225,8 @@ func main() {
 	}
 	if *showStats {
 		st := plan.SearchStats
-		fmt.Printf("tuner search: explored %d, OOM-rejected %d, pruned %d structural + %d by bound, best improved %d times\n",
-			st.Explored, st.OOMRejected, st.Pruned, st.BoundPruned, st.Improved)
+		fmt.Printf("tuner search: explored %d, OOM-rejected %d, pruned %d structural + %d by bound + %d by memory, best improved %d times\n",
+			st.Explored, st.OOMRejected, st.Pruned, st.BoundPruned, st.MemPruned, st.Improved)
 	}
 
 	if *traceAll {

@@ -57,6 +57,7 @@ func main() {
 		timeout      = flag.Duration("timeout", 5*time.Minute, "default per-request deadline")
 		maxTimeout   = flag.Duration("max-timeout", 15*time.Minute, "ceiling for request-supplied deadlines")
 		tunerWorkers = flag.Int("tuner-workers", 0, "cap on per-run tuner parallelism (0 = uncapped)")
+		noDelta      = flag.Bool("no-delta", false, "force full-fixpoint re-simulation on every run (plans are identical; escape hatch)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight plans")
 		debugAddr    = flag.String("debug-addr", "", "optional second listener with pprof + /debug/flight + /metrics (keep loopback-only)")
 		flightRing   = flag.Int("flight-ring", 64, "recent request traces the flight recorder keeps")
@@ -72,6 +73,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		TunerWorkers:   *tunerWorkers,
+		NoDelta:        *noDelta,
 		FlightRing:     *flightRing,
 		FlightSlow:     *flightSlow,
 	}
@@ -306,9 +308,21 @@ func runSelfcheck(opts serve.Options, drainTimeout time.Duration) int {
 	if err != nil {
 		return fail("metrics: %v", err)
 	}
+	// The second concurrent stream either shared the first one's flight
+	// (singleflight collapse) or — small tuner runs finish in milliseconds
+	// with the delta engine and branch-and-bound — arrived after completion
+	// and was answered from the cache. Both are correct, so the expected hit
+	// count derives from the observed responses: the explicit repeat request
+	// plus any concurrent stream that reported cached.
+	hits := 1
+	for _, o := range outs {
+		if o.resp.Cached {
+			hits++
+		}
+	}
 	for _, want := range []string{
 		"mario_serve_tuner_runs_total 1",
-		"mario_serve_cache_hits_total 1",
+		fmt.Sprintf("mario_serve_cache_hits_total %d", hits),
 		"mario_serve_completed_total 3",
 		"mario_search_runs_total 1",
 		"mario_search_points_total{outcome=",

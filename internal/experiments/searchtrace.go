@@ -18,6 +18,11 @@ type SearchTraceResult struct {
 	Best    string
 	Trace   *telemetry.Trace
 	Metrics *telemetry.SearchMetrics
+	// BnB and Grid are the search stats of the branch-and-bound walk (the
+	// traced run above) and of a canonical grid walk over the identical
+	// space: same argmax, different number of simulated points.
+	BnB  tuner.SearchStats
+	Grid tuner.SearchStats
 }
 
 // SearchTrace runs a grid search with a live Tracer and registry attached
@@ -41,22 +46,39 @@ func SearchTrace(opt Opts) (*SearchTraceResult, error) {
 		Span:      root,
 		Metrics:   tracer.Metrics(),
 	}
-	best, _, err := tn.Search(tuner.Space{
+	space := tuner.Space{
 		Devices:      devices,
 		GlobalBatch:  gbs,
 		MicroBatches: mbs,
 		TP:           1,
 		DeviceMem:    cost.A100_40G.MemBytes,
 		Workers:      1,
-	})
+	}
+	best, _, err := tn.Search(space)
 	if err != nil {
 		return nil, err
 	}
 	root.End()
+
+	// The strategy comparison: walk the identical space with the canonical
+	// grid (bound pruning only behind the incumbent, no best-first order,
+	// no admissible memory floor) and check it lands on the same argmax.
+	gridSpace := space
+	gridSpace.NoBnB = true
+	gridTn := &tuner.Tuner{Prof: tn.Prof, MaxRounds: 1}
+	gridBest, _, err := gridTn.Search(gridSpace)
+	if err != nil {
+		return nil, err
+	}
+	if gridBest.Label() != best.Label() {
+		return nil, fmt.Errorf("searchtrace: grid argmax %s != bnb argmax %s", gridBest.Label(), best.Label())
+	}
 	return &SearchTraceResult{
 		Best:    best.Label(),
 		Trace:   tracer.Snapshot(),
 		Metrics: tracer.Metrics(),
+		BnB:     tn.StatsSnapshot(),
+		Grid:    gridTn.StatsSnapshot(),
 	}, nil
 }
 
@@ -88,10 +110,25 @@ func PrintSearchTrace(w io.Writer, r *SearchTraceResult) {
 
 	m := r.Metrics
 	fmt.Fprintf(w, "\nsearch counters:\n")
-	fmt.Fprintf(w, "  explored=%d oom=%d infeasible=%d bound_pruned=%d improved=%d\n",
+	fmt.Fprintf(w, "  explored=%d oom=%d infeasible=%d bound_pruned=%d mem_pruned=%d improved=%d\n",
 		m.PointsExplored.Value(), m.PointsOOM.Value(), m.PointsPruned.Value(),
-		m.PointsBoundPruned.Value(), m.PointsImproved.Value())
+		m.PointsBoundPruned.Value(), m.PointsMemPruned.Value(), m.PointsImproved.Value())
 	fmt.Fprintf(w, "  build_memo hit=%d miss=%d  graph_memo hit=%d miss=%d\n",
 		m.BuildHits.Value(), m.BuildMisses.Value(), m.GraphHits.Value(), m.GraphMisses.Value())
 	fmt.Fprintf(w, "  sims=%d graph_rounds=%d\n", m.Sims.Value(), m.GraphRounds.Value())
+
+	// Why branch-and-bound simulates fewer points: the probe pass orders the
+	// grid best-first by an admissible throughput upper bound, so once the
+	// true optimum is simulated every point whose bound cannot beat it is
+	// cut, and the admissible memory floor rejects configurations that
+	// cannot fit before any simulation. The canonical grid only skips
+	// points whose bound falls behind the incumbent it happens to have.
+	fmt.Fprintf(w, "\nstrategy comparison (identical argmax %s):\n", r.Best)
+	for _, row := range []struct {
+		name string
+		st   tuner.SearchStats
+	}{{"bnb", r.BnB}, {"grid", r.Grid}} {
+		fmt.Fprintf(w, "  %-4s explored=%d bound_pruned=%d mem_pruned=%d infeasible=%d\n",
+			row.name, row.st.Explored, row.st.BoundPruned, row.st.MemPruned, row.st.Pruned)
+	}
 }

@@ -119,8 +119,18 @@ func TestListPoolSafety(t *testing.T) {
 	if eng.main.Holds(0, cl) || eng.pool[0].Holds(0, cl) {
 		t.Error("engines still hold the recycled list")
 	}
-	if got := eng.getList(len(cl)); len(cl) == 0 || &got[:1][0] != &cl[:1][0] {
+	buf := eng.getList(len(cl))
+	if len(cl) == 0 || &buf[:1][0] != &cl[:1][0] {
 		t.Error("getList did not hand back the recycled buffer")
+	}
+	// Reuse is the hazard the Holds protocol guards against: overwrite the
+	// recycled buffer with unrelated content. Every cache class that keys on
+	// it by identity — the active entry, the depth-2 revert snapshot, the
+	// delta snapshot, and the pinned base fixpoint — must already have
+	// dropped it, or the bit-for-bit re-simulations below read this garbage.
+	buf = buf[:cap(buf)]
+	for i := range buf {
+		buf[i] = pipeline.Instr{Kind: pipeline.OptimizerStep, Micro: pipeline.NoMicro}
 	}
 
 	// A winning candidate's list is part of cur and must stay out of the pool.

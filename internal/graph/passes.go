@@ -29,7 +29,16 @@ func ApplyCheckpoint(s *pipeline.Schedule) {
 // all-stages form and lets remove-redundancy revert the useless cases.
 func ApplyCheckpointStages(s *pipeline.Schedule, keep func(stage int) bool) {
 	for d, list := range s.Lists {
-		out := make([]pipeline.Instr, 0, len(list)+len(list)/2)
+		// Count the Recompute insertions first so the rewritten list is
+		// allocated exactly once at its final size; this runs on Optimize's
+		// per-call path, where append regrowth is measurable GC pressure.
+		extra := 0
+		for _, in := range list {
+			if in.Kind == pipeline.Backward && keep(in.Stage) {
+				extra++
+			}
+		}
+		out := make([]pipeline.Instr, 0, len(list)+extra)
 		for _, in := range list {
 			switch {
 			case in.Kind == pipeline.Forward && keep(in.Stage):
@@ -219,7 +228,8 @@ func OptimizeContext(ctx context.Context, s *pipeline.Schedule, opt Options) (*p
 	// versa; they are cheap, so run them to a (two-round) fixpoint before
 	// the guided pass.
 	OverlapRecompute(cur)
-	eng := newEngines(opt.Workers)
+	eng := acquireEngines(opt.Workers)
+	defer eng.release()
 	defer func() { opt.Metrics.AddSims(eng.sims()) }()
 	// Candidate acceptance only compares makespans and peaks, so the inner
 	// loop always runs without timeline recording; the caller-visible result
@@ -271,6 +281,17 @@ func OptimizeContext(ctx context.Context, s *pipeline.Schedule, opt Options) (*p
 			break
 		}
 		cur, best = next, nextRes
+		// Re-base the main engine's delta snapshot onto the accepted
+		// schedule (candidate probes left it keyed on the previous base), so
+		// the next round's probes diff against it. When the winner was the
+		// main engine's own last probe — the common case — Commit adopts its
+		// already-computed clocks for free; otherwise one adopting delta sim
+		// re-derives them.
+		if !eng.main.Commit(cur) {
+			if _, err := eng.main.Simulate(cur, opt.Estimator, inner.Sim); err != nil {
+				return nil, nil, fmt.Errorf("graph: re-basing accepted schedule: %w", err)
+			}
+		}
 		// Recycle list buffers of candidates this round retired; lists an
 		// engine still keys on stay out of the pool until pushed out of its
 		// depth-2 cache by later rebuilds.

@@ -27,6 +27,217 @@ type engines struct {
 	// list under that device's slot.
 	free    [][]pipeline.Instr
 	tracked []trackedList
+
+	// sims0 is the simsTotal() baseline taken at acquire time; sims()
+	// subtracts it so pooled reuse never double-counts telemetry.
+	sims0 int64
+
+	feas feasScratch
+}
+
+// feasScratch is the reusable state of engines.feasible. Candidates are
+// constructed and screened on the driver goroutine before any worker fan-out,
+// so one scratch per bundle suffices.
+type feasScratch struct {
+	sendKeys [][]pipeline.Key // per link: keys of its sends, in push order
+	recvOrd  []int32          // per link: receives popped so far
+	sentByPC []int32          // per link: sends executed so far
+	recvWait []int32          // per link: device blocked on it, -1 none
+	pc       []int32          // per device: next instruction index
+	queue    []int32
+	inQueue  []bool
+	// Placement-peer cache: PeerDevice is placement-determined and
+	// device-independent for communication kinds, so (kind, part, stage)
+	// fully keys the answer across all the candidates of one run.
+	placement pipeline.Placement
+	peerTab   []int32
+}
+
+// linkFor resolves the flat link id of a communication instruction through
+// the scratch's peer cache (same layout as linkOf, minus the repeated
+// placement walks).
+func (f *feasScratch) linkFor(s *pipeline.Schedule, D, d int, in pipeline.Instr, nParts, nStages int) int {
+	if in.Part < 0 || in.Part >= nParts || in.Stage < 0 || in.Stage >= nStages {
+		return linkOf(s, D, d, in)
+	}
+	ci := (commKindIdx(in.Kind)*nParts+in.Part)*nStages + in.Stage
+	peer := f.peerTab[ci]
+	if peer == -2 {
+		peer = int32(s.PeerDevice(d, in))
+		f.peerTab[ci] = peer
+	}
+	if peer < 0 || int(peer) >= D {
+		return -1
+	}
+	ch := 0
+	if in.Kind == pipeline.SendGrad || in.Kind == pipeline.RecvGrad {
+		ch = 1
+	}
+	if in.Kind == pipeline.SendAct || in.Kind == pipeline.SendGrad {
+		return (d*D+int(peer))*2 + ch
+	}
+	return (int(peer)*D+d)*2 + ch
+}
+
+// commKindIdx maps the four communication kinds to 0..3 for flat tables.
+func commKindIdx(k pipeline.Kind) int {
+	switch k {
+	case pipeline.SendAct:
+		return 0
+	case pipeline.RecvAct:
+		return 1
+	case pipeline.SendGrad:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// feasible reports whether every instruction of the schedule can execute
+// under the eager FIFO link semantics the simulator implements: per link
+// (sender, receiver, channel) messages are delivered in the sender's list
+// order and popped in the receiver's list order, with each pop requiring the
+// matching key. Sends never block, so executability — including the
+// deadlock/mismatch verdict — is independent of timing, and this untimed
+// check is exactly "Simulate would not return ErrDeadlock/ErrCommMismatch".
+// The prepose driver screens candidates with it before paying for a
+// simulation: illegal candidates are skipped either way, so the optimization
+// result is unchanged.
+func (e *engines) feasible(s *pipeline.Schedule) bool {
+	D := s.NumDevices()
+	nl := 2 * D * D
+	nParts := s.Placement.NumParts()
+	nStages := s.Placement.NumStages()
+	f := &e.feas
+	f.sendKeys = growOuter(f.sendKeys, nl)
+	f.recvOrd = growI32(f.recvOrd, nl)
+	f.sentByPC = growI32(f.sentByPC, nl)
+	f.recvWait = growI32(f.recvWait, nl)
+	f.pc = growI32(f.pc, D)
+	f.inQueue = growBools(f.inQueue, D)
+	if f.placement != s.Placement || len(f.peerTab) != 4*nParts*nStages {
+		f.placement = s.Placement
+		f.peerTab = growI32(f.peerTab, 4*nParts*nStages)
+		for i := range f.peerTab {
+			f.peerTab[i] = -2
+		}
+	}
+	for l := 0; l < nl; l++ {
+		f.sendKeys[l] = f.sendKeys[l][:0]
+		f.recvOrd[l] = 0
+		f.sentByPC[l] = 0
+		f.recvWait[l] = -1
+	}
+	// Gather each link's send-key sequence (the order messages arrive in).
+	for d := 0; d < D; d++ {
+		for _, in := range s.Lists[d] {
+			if in.Kind != pipeline.SendAct && in.Kind != pipeline.SendGrad {
+				continue
+			}
+			l := f.linkFor(s, D, d, in, nParts, nStages)
+			if l < 0 {
+				return false // dangling peer; Simulate would reject it too
+			}
+			f.sendKeys[l] = append(f.sendKeys[l], in.Key())
+		}
+	}
+	// Untimed execution: run every device until it blocks on an undelivered
+	// message; a send wakes the link's waiting receiver. All-executed means
+	// feasible; a blocked or mispaired pop means Simulate errors.
+	f.queue = f.queue[:0]
+	for d := 0; d < D; d++ {
+		f.pc[d] = 0
+		f.inQueue[d] = true
+		f.queue = append(f.queue, int32(d))
+	}
+	done := 0
+	for head := 0; head < len(f.queue); head++ {
+		d := int(f.queue[head])
+		f.inQueue[d] = false
+		list := s.Lists[d]
+		i := int(f.pc[d])
+		blocked := false
+		for i < len(list) && !blocked {
+			in := list[i]
+			switch in.Kind {
+			case pipeline.SendAct, pipeline.SendGrad:
+				l := f.linkFor(s, D, d, in, nParts, nStages)
+				f.sentByPC[l]++
+				if w := f.recvWait[l]; w >= 0 {
+					f.recvWait[l] = -1
+					if !f.inQueue[w] {
+						f.inQueue[w] = true
+						f.queue = append(f.queue, w)
+					}
+				}
+			case pipeline.RecvAct, pipeline.RecvGrad:
+				l := f.linkFor(s, D, d, in, nParts, nStages)
+				if l < 0 {
+					return false
+				}
+				k := f.recvOrd[l]
+				if k >= f.sentByPC[l] {
+					// Not delivered yet; block here until the sender pushes.
+					f.recvWait[l] = int32(d)
+					blocked = true
+					continue
+				}
+				sk := f.sendKeys[l][k]
+				send := pipeline.Instr{Kind: sk.Kind, Micro: sk.Micro, Part: sk.Part, Stage: sk.Stage}
+				if s.MatchKey(send) != in.Key() {
+					return false // mispaired pop: ErrCommMismatch
+				}
+				f.recvOrd[l] = k + 1
+			}
+			i++
+		}
+		f.pc[d] = int32(i)
+		if !blocked {
+			done++
+		}
+	}
+	return done == D
+}
+
+// linkOf returns the flat id of the FIFO link a communication instruction of
+// device d uses — (sender, receiver, channel) like the simulator's — or -1
+// when the placement peer falls outside the device range.
+func linkOf(s *pipeline.Schedule, D, d int, in pipeline.Instr) int {
+	peer := s.PeerDevice(d, in)
+	if peer < 0 || peer >= D {
+		return -1
+	}
+	ch := 0
+	if in.Kind == pipeline.SendGrad || in.Kind == pipeline.RecvGrad {
+		ch = 1
+	}
+	if in.Kind == pipeline.SendAct || in.Kind == pipeline.SendGrad {
+		return (d*D+peer)*2 + ch
+	}
+	return (peer*D+d)*2 + ch
+}
+
+func growOuter(s [][]pipeline.Key, n int) [][]pipeline.Key {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	grown := make([][]pipeline.Key, n)
+	copy(grown, s)
+	return grown
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n)
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]bool, n)
 }
 
 type trackedList struct {
@@ -40,6 +251,51 @@ func newEngines(workers int) *engines {
 		e.pool = append(e.pool, &sim.Simulator{})
 	}
 	return e
+}
+
+// engPool recycles engine bundles across Optimize calls so a tuner sweeping
+// hundreds of grid points reuses warm simulator buffers instead of
+// reallocating them per point. Identity caches are dropped on release
+// (Simulator.Invalidate) because the previous run's result schedule owns
+// lists the engines still key on; only capacity survives.
+var engPool = sync.Pool{New: func() any { return newEngines(1) }}
+
+// acquireEngines returns a bundle sized for the requested worker count, with
+// per-run counters rebased so sims() reports this run's simulations only.
+func acquireEngines(workers int) *engines {
+	e := engPool.Get().(*engines)
+	for len(e.pool) < workers-1 {
+		e.pool = append(e.pool, &sim.Simulator{})
+	}
+	if len(e.pool) > workers-1 && workers >= 1 {
+		for i := workers - 1; i < len(e.pool); i++ {
+			e.pool[i] = nil
+		}
+		e.pool = e.pool[:workers-1]
+	}
+	e.sims0 = e.simsTotal()
+	return e
+}
+
+// release returns the bundle to the pool. Result lists escape to the caller,
+// so tracked entries are dropped without recycling their buffers (free-list
+// buffers never appear in a result and stay pooled), and every engine
+// forgets its cached identities.
+func (e *engines) release() {
+	for i := range e.tracked {
+		e.tracked[i] = trackedList{}
+	}
+	e.tracked = e.tracked[:0]
+	// The main engine re-keys its caches onto owned copies: a pooled bundle
+	// often sees a near-identical schedule next (tuner grid neighbours), so
+	// its warm metadata and delta snapshot keep paying off. Worker engines
+	// only ever simulate scan candidates whose buffers are recycled below —
+	// their identities are worthless and are dropped outright.
+	e.main.Detach()
+	for _, m := range e.pool {
+		m.Invalidate()
+	}
+	engPool.Put(e)
 }
 
 // getList returns an empty instruction list with capacity for at least n
@@ -103,14 +359,20 @@ func sameList(a, b []pipeline.Instr) bool {
 	return len(a) == len(b) && len(a) > 0 && &a[0] == &b[0]
 }
 
-// sims sums the Simulate-call counters across the bundle's engines; the
-// driver folds the total into the telemetry registry.
-func (e *engines) sims() int64 {
+// simsTotal sums the lifetime Simulate-call counters across the bundle's
+// engines (monotone across pooled reuse).
+func (e *engines) simsTotal() int64 {
 	n := e.main.Sims
 	for _, m := range e.pool {
 		n += m.Sims
 	}
 	return n
+}
+
+// sims reports the Simulate calls issued since this bundle was acquired; the
+// driver folds the total into the telemetry registry.
+func (e *engines) sims() int64 {
+	return e.simsTotal() - e.sims0
 }
 
 // A forward group is the contiguous [RecvAct?, CkptForward, SendAct?] run of
@@ -193,6 +455,88 @@ func canPrepose(list []pipeline.Instr) bool {
 	}
 	_, ok := nextGroupAfter(list, b)
 	return ok
+}
+
+// preposeReorders reports whether moving device d's next steady-phase
+// forward group would reorder the device's sends or receives on some FIFO
+// link relative to same-link communication it crosses. A single-device
+// candidate with such a reorder is guaranteed to deadlock or comm-mismatch —
+// the peers' pop and push orders are unchanged, so the first affected pop
+// meets the wrong key — and the per-device scan skips simulating it. The
+// composite candidate must not use this test: it rewrites both endpoints of
+// a link, and matching reorders on the two sides can cancel out.
+func preposeReorders(s *pipeline.Schedule, d int) bool {
+	list := s.Lists[d]
+	b := findBoundary(list)
+	if b < 0 {
+		return false
+	}
+	g, ok := nextGroupAfter(list, b)
+	if !ok {
+		return false
+	}
+	cfw := list[g.cfwIdx]
+	moveSA := g.saIdx >= 0 && consumerPreposed(s, cfw.Micro, cfw.Part, cfw.Stage)
+	hasRA := g.start < g.cfwIdx
+	for i := b; i < g.start; i++ {
+		in := list[i]
+		switch in.Kind {
+		case pipeline.RecvAct:
+			if hasRA && s.PeerDevice(d, in) == s.PeerDevice(d, list[g.start]) {
+				return true
+			}
+		case pipeline.SendAct:
+			if moveSA && s.PeerDevice(d, in) == s.PeerDevice(d, list[g.saIdx]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// preposeBlocked reports whether the single-device prepose candidate for
+// device d is guaranteed to deadlock on a two-device wait cycle: the moved
+// group's RecvAct blocks d at the insertion point, while the producing peer
+// sits behind a RecvGrad whose matching SendGrad on d is ordered after that
+// insertion point (every SendGrad follows its Backward, hence the boundary).
+// Neither device can advance, so the simulation is skipped. Cycles through
+// third devices are left for the simulator to detect.
+func preposeBlocked(s *pipeline.Schedule, d int) bool {
+	list := s.Lists[d]
+	b := findBoundary(list)
+	if b < 0 {
+		return false
+	}
+	g, ok := nextGroupAfter(list, b)
+	if !ok || g.start == g.cfwIdx {
+		return false // no RecvAct travels with the group
+	}
+	ra := list[g.start]
+	p := s.PeerDevice(d, ra)
+	match := s.MatchKey(ra)
+	for _, in := range s.Lists[p] {
+		if in.Key() == match {
+			return false // producer send reachable before any grad wait on d
+		}
+		if in.Kind != pipeline.RecvGrad || s.PeerDevice(p, in) != d {
+			continue
+		}
+		// The peer waits for a gradient from d. Its SendGrad on d follows
+		// d's first backward, i.e. lands after the moved group's insertion
+		// point — unless it was somehow already in the forward prefix.
+		sg := s.MatchKey(in)
+		early := false
+		for i := 0; i < b; i++ {
+			if list[i].Key() == sg {
+				early = true
+				break
+			}
+		}
+		if !early {
+			return true
+		}
+	}
+	return false
 }
 
 // preposeDevice builds a candidate schedule with the next steady-phase
@@ -332,6 +676,12 @@ func simCandidate(eng *sim.Simulator, c *pipeline.Schedule, opt Options) (*sim.R
 // ctx is checked before each candidate simulation (including by the worker
 // goroutines); a cancelled round returns ctx's error.
 func preposeRound(ctx context.Context, cur *pipeline.Schedule, best *sim.Result, opt Options, budget int, eng *engines) (*pipeline.Schedule, *sim.Result, int, error) {
+	// Candidate evaluations are throwaway probes: each diffs against the
+	// engine's accepted baseline instead of re-keying the delta snapshot on
+	// every try-then-revert mutation (opt is a by-value copy; the caller's
+	// options are unchanged). OptimizeContext re-bases the baseline when a
+	// round's winner is accepted.
+	opt.Sim.Probe = true
 	type cand struct {
 		s     *pipeline.Schedule
 		r     *sim.Result
@@ -346,7 +696,22 @@ func preposeRound(ctx context.Context, cur *pipeline.Schedule, best *sim.Result,
 		}
 	}
 
-	// Composite candidate first — one prepose on every device — because the
+	// The buffered-send promotion candidate goes first so the composite —
+	// the usual winner — is the main engine's most recent probe when the
+	// round ends, letting OptimizeContext adopt its clocks with Commit
+	// instead of an extra re-basing simulation. (Order only matters on exact
+	// makespan ties: the earlier candidate wins them.)
+	if c, ok := promoteBufferedSends(cur); ok {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, 0, err
+		}
+		r, err := simCandidate(eng.main, c, opt)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		consider(c, r, 0)
+	}
+	// Composite candidate — one prepose on every device — because the
 	// cascaded move is both the usual winner and a single simulation. Only
 	// when it fails to improve do we pay for the per-device scan. One clone
 	// serves all the device rewrites; it is created lazily so a round with no
@@ -367,7 +732,7 @@ func preposeRound(ctx context.Context, cur *pipeline.Schedule, best *sim.Result,
 			moves++
 		}
 	}
-	if moves > 0 {
+	if moves > 0 && eng.feasible(comp) {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, 0, err
 		}
@@ -377,16 +742,6 @@ func preposeRound(ctx context.Context, cur *pipeline.Schedule, best *sim.Result,
 		}
 		consider(comp, r, moves)
 	}
-	if c, ok := promoteBufferedSends(cur); ok {
-		if err := ctx.Err(); err != nil {
-			return nil, nil, 0, err
-		}
-		r, err := simCandidate(eng.main, c, opt)
-		if err != nil {
-			return nil, nil, 0, err
-		}
-		consider(c, r, 0)
-	}
 	if winner == nil && (budget < 0 || budget >= 1) {
 		D := cur.NumDevices()
 		// Build every candidate on this goroutine — candidate construction
@@ -395,7 +750,7 @@ func preposeRound(ctx context.Context, cur *pipeline.Schedule, best *sim.Result,
 		cands := make([]*pipeline.Schedule, D)
 		jobs := make([]int, 0, D)
 		for d := 0; d < D; d++ {
-			if !canPrepose(cur.Lists[d]) {
+			if !canPrepose(cur.Lists[d]) || preposeReorders(cur, d) || preposeBlocked(cur, d) {
 				continue
 			}
 			c := cur.Clone()

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // ErrInvalidSchedule wraps all validation failures so callers can test with
@@ -11,6 +12,188 @@ var ErrInvalidSchedule = errors.New("pipeline: invalid schedule")
 
 func invalidf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrInvalidSchedule, fmt.Sprintf(format, args...))
+}
+
+// valScratch is the reusable lookup state behind Validate. Keys are dense in
+// (kind, part, micro+1, stage) — micro is offset by one so NoMicro packs at
+// zero — so position and device lookups are flat-array reads instead of map
+// operations on this per-candidate hot path. Entries are valid only when
+// their generation tag matches the current pass, which makes clearing between
+// devices (and between pooled uses) a single counter increment. Coordinates
+// outside the schedule's box fall back to a tiny overflow map with identical
+// semantics.
+type valScratch struct {
+	parts, micros, stages int
+	val                   []int32
+	gen                   []uint32
+	cur                   uint32
+	overflow              map[uint64]int32
+
+	// cov is the per-(micro, stage) coverage counter array, kept here so the
+	// hot per-candidate path does not reallocate it every call.
+	cov []covCell
+	// comm collects the coordinates of communication instructions during the
+	// main walk, so the final matching phase only revisits those instead of
+	// re-scanning every list.
+	comm []commPos
+	// devTab and peerTab cache the placement's Device and PeerDevice answers
+	// per (part, stage) and (comm kind, part, stage) — placement walks are
+	// interface calls, and every instruction of every device needs one.
+	devTab  []int32
+	peerTab []int32
+}
+
+type covCell struct{ fw, bw, bi, wg, rc int32 }
+
+// commPos addresses one communication instruction: device and list index.
+type commPos struct{ d, i int32 }
+
+var valPool = sync.Pool{New: func() any { return new(valScratch) }}
+
+// reset sizes the scratch for a schedule's coordinate box and invalidates
+// every entry.
+func (v *valScratch) reset(parts, micros, stages int) {
+	v.parts, v.micros, v.stages = parts, micros, stages
+	n := int(numKinds) * parts * (micros + 1) * stages
+	if cap(v.val) < n {
+		v.val = make([]int32, n)
+		v.gen = make([]uint32, n)
+		v.cur = 0
+	}
+	v.val = v.val[:n]
+	v.gen = v.gen[:n]
+	np := parts * stages
+	if cap(v.devTab) < np {
+		v.devTab = make([]int32, np)
+	}
+	v.devTab = v.devTab[:np]
+	for i := range v.devTab {
+		v.devTab[i] = -2
+	}
+	if cap(v.peerTab) < 4*np {
+		v.peerTab = make([]int32, 4*np)
+	}
+	v.peerTab = v.peerTab[:4*np]
+	for i := range v.peerTab {
+		v.peerTab[i] = -2
+	}
+	v.bump()
+}
+
+// deviceOf is Placement.Device through the scratch's (part, stage) cache;
+// coordinates outside the box fall back to the direct call.
+func (v *valScratch) deviceOf(s *Schedule, part, stage int) int {
+	if part < 0 || part >= v.parts || stage < 0 || stage >= v.stages {
+		return s.Placement.Device(part, stage)
+	}
+	c := part*v.stages + stage
+	d := v.devTab[c]
+	if d == -2 {
+		d = int32(s.Placement.Device(part, stage))
+		v.devTab[c] = d
+	}
+	return int(d)
+}
+
+// peerOf is PeerDevice through the scratch's (kind, part, stage) cache —
+// valid because a communication instruction's peer is placement-determined
+// and independent of the device it sits on.
+func (v *valScratch) peerOf(s *Schedule, d int, in Instr) int {
+	if in.Part < 0 || in.Part >= v.parts || in.Stage < 0 || in.Stage >= v.stages {
+		return s.PeerDevice(d, in)
+	}
+	var k int
+	switch in.Kind {
+	case SendAct:
+		k = 0
+	case RecvAct:
+		k = 1
+	case SendGrad:
+		k = 2
+	default:
+		k = 3
+	}
+	c := (k*v.parts+in.Part)*v.stages + in.Stage
+	p := v.peerTab[c]
+	if p == -2 {
+		p = int32(s.PeerDevice(d, in))
+		v.peerTab[c] = p
+	}
+	return int(p)
+}
+
+// bump starts a new pass: all previous entries become invalid.
+func (v *valScratch) bump() {
+	v.cur++
+	if v.cur == 0 { // generation counter wrapped: hard-clear the tags
+		for i := range v.gen {
+			v.gen[i] = 0
+		}
+		v.cur = 1
+	}
+	if len(v.overflow) > 0 {
+		clear(v.overflow)
+	}
+}
+
+// slot returns the dense index of a key, or -1 when a coordinate falls
+// outside the schedule's box (the caller then uses the overflow map).
+func (v *valScratch) slot(k Key) int {
+	m := k.Micro + 1
+	if int(k.Kind) >= int(numKinds) || m < 0 || m > v.micros ||
+		k.Part < 0 || k.Part >= v.parts || k.Stage < 0 || k.Stage >= v.stages {
+		return -1
+	}
+	return ((int(k.Kind)*v.parts+k.Part)*(v.micros+1)+m)*v.stages + k.Stage
+}
+
+// put records key → value for the current pass and reports whether the key
+// was already present.
+func (v *valScratch) put(k Key, val int32) (dup bool) {
+	if s := v.slot(k); s >= 0 {
+		if v.gen[s] == v.cur {
+			return true
+		}
+		v.gen[s] = v.cur
+		v.val[s] = val
+		return false
+	}
+	if v.overflow == nil {
+		v.overflow = make(map[uint64]int32)
+	}
+	p := k.Pack()
+	if _, dup := v.overflow[p]; dup {
+		return true
+	}
+	v.overflow[p] = val
+	return false
+}
+
+// set records key → value for the current pass, overwriting any earlier
+// entry (the comm index keeps the last registration, like the map it
+// replaced).
+func (v *valScratch) set(k Key, val int32) {
+	if s := v.slot(k); s >= 0 {
+		v.gen[s] = v.cur
+		v.val[s] = val
+		return
+	}
+	if v.overflow == nil {
+		v.overflow = make(map[uint64]int32)
+	}
+	v.overflow[k.Pack()] = val
+}
+
+// get looks up a key recorded in the current pass.
+func (v *valScratch) get(k Key) (int32, bool) {
+	if s := v.slot(k); s >= 0 {
+		if v.gen[s] != v.cur {
+			return 0, false
+		}
+		return v.val[s], true
+	}
+	val, ok := v.overflow[k.Pack()]
+	return val, ok
 }
 
 // Validate checks the structural invariants every executable schedule must
@@ -33,46 +216,148 @@ func Validate(s *Schedule) error {
 	if len(s.Lists) != s.NumDevices() {
 		return invalidf("have %d lists for %d devices", len(s.Lists), s.NumDevices())
 	}
-	if err := validateCoverage(s); err != nil {
+	v := valPool.Get().(*valScratch)
+	defer valPool.Put(v)
+	v.reset(s.Placement.NumParts(), s.Micros, s.NumStages())
+	if err := validateDevices(s, v); err != nil {
 		return err
 	}
-	if err := validatePlacementAndOrder(s); err != nil {
+	if err := validateCoverageCounts(s, v); err != nil {
 		return err
 	}
-	return validateCommMatching(s)
+	return validateCommMatching(s, v)
 }
 
-func validateCoverage(s *Schedule) error {
+// validateDevices runs the per-device work in two fused walks per list: the
+// first records key positions while checking ranges, placement, and
+// duplicates and accumulating the coverage counters and the comm-instruction
+// index; the second checks intra-device ordering against the recorded
+// positions. Fusing the walks keeps Validate at two passes over each list —
+// it sits on graph.Optimize's per-call path, so list walks dominate its cost.
+func validateDevices(s *Schedule, pos *valScratch) error {
 	S := s.NumStages()
-	type cell struct{ fw, bw, bi, wg, rc int }
-	seen := make([]cell, s.Micros*S)
+	n := s.Micros * S
+	if cap(pos.cov) < n {
+		pos.cov = make([]covCell, n)
+	}
+	seen := pos.cov[:n]
+	for i := range seen {
+		seen[i] = covCell{}
+	}
+	pos.comm = pos.comm[:0]
 	for d, list := range s.Lists {
-		for _, in := range list {
-			if in.Micro == NoMicro {
-				continue
+		// pos maps each key to its list index for intra-device order checks;
+		// starting a new generation invalidates the previous device's
+		// entries without touching memory.
+		pos.bump()
+		for i, in := range list {
+			if in.Micro != NoMicro {
+				if in.Micro < 0 || in.Micro >= s.Micros {
+					return invalidf("dev%d: %s has micro out of range [0,%d)", d, in, s.Micros)
+				}
+				if in.Stage < 0 || in.Stage >= S {
+					return invalidf("dev%d: %s has stage out of range [0,%d)", d, in, S)
+				}
+				if got := pos.deviceOf(s, in.Part, in.Stage); got != d {
+					return invalidf("dev%d: %s belongs on dev%d per placement", d, in, got)
+				}
+				switch in.Kind {
+				case Forward, CkptForward:
+					seen[in.Micro*S+in.Stage].fw++
+				case Backward:
+					seen[in.Micro*S+in.Stage].bw++
+				case BackwardInput:
+					seen[in.Micro*S+in.Stage].bi++
+				case BackwardWeight:
+					seen[in.Micro*S+in.Stage].wg++
+				case Recompute:
+					seen[in.Micro*S+in.Stage].rc++
+				}
 			}
-			if in.Micro < 0 || in.Micro >= s.Micros {
-				return invalidf("dev%d: %s has micro out of range [0,%d)", d, in, s.Micros)
+			if pos.put(in.Key(), int32(i)) {
+				return invalidf("dev%d: duplicate instruction %s", d, in)
 			}
-			if in.Stage < 0 || in.Stage >= S {
-				return invalidf("dev%d: %s has stage out of range [0,%d)", d, in, S)
+			if in.Kind.IsComm() {
+				pos.comm = append(pos.comm, commPos{d: int32(d), i: int32(i)})
 			}
-			c := &seen[in.Micro*S+in.Stage]
+		}
+		for i32, in := range list {
+			i := int32(i32)
 			switch in.Kind {
-			case Forward, CkptForward:
-				c.fw++
-			case Backward:
-				c.bw++
-			case BackwardInput:
-				c.bi++
+			case SendAct:
+				if !in.Buffered {
+					if j, ok := findForward(pos, in.Micro, in.Part, in.Stage); !ok || j > i {
+						return invalidf("dev%d: %s not preceded by its forward", d, in)
+					}
+				} else {
+					// A buffered SA reads a staging buffer written by a
+					// preposed CFW; the CFW must still precede it.
+					if j, ok := pos.get(Key{Kind: CkptForward, Micro: in.Micro, Part: in.Part, Stage: in.Stage}); !ok || j > i {
+						return invalidf("dev%d: buffered %s not preceded by its CFW", d, in)
+					}
+				}
+			case RecvAct:
+				if j, ok := findForward(pos, in.Micro, in.Part, in.Stage); !ok || j < i {
+					return invalidf("dev%d: %s not followed by its forward", d, in)
+				}
+			case RecvGrad:
+				if j, ok := findBackwardAnchor(pos, in.Micro, in.Part, in.Stage); !ok || j < i {
+					return invalidf("dev%d: %s not followed by its backward", d, in)
+				}
+			case SendGrad:
+				if j, ok := findBackwardAnchor(pos, in.Micro, in.Part, in.Stage); !ok || j > i {
+					return invalidf("dev%d: %s not preceded by its backward", d, in)
+				}
 			case BackwardWeight:
-				c.wg++
-			case Recompute:
-				c.rc++
+				if j, ok := pos.get(Key{Kind: BackwardInput, Micro: in.Micro, Part: in.Part, Stage: in.Stage}); !ok || j > i {
+					return invalidf("dev%d: %s not preceded by its input-gradient half", d, in)
+				}
+			case Backward, BackwardInput:
+				j, ok := findForward(pos, in.Micro, in.Part, in.Stage)
+				if !ok || j > i {
+					return invalidf("dev%d: %s not preceded by its forward", d, in)
+				}
+				// A checkpointed forward requires a recompute before the
+				// backward (after remove-redundancy the forward is reverted
+				// to a plain FW, so this stays an iff).
+				ckpt := list[j].Kind == CkptForward
+				r, hasRC := pos.get(Key{Kind: Recompute, Micro: in.Micro, Part: in.Part, Stage: in.Stage})
+				if ckpt && (!hasRC || r < j || r > i) {
+					return invalidf("dev%d: %s checkpointed but recompute missing or misplaced", d, in)
+				}
+				if !ckpt && hasRC {
+					return invalidf("dev%d: %s has a recompute but its forward is not checkpointed", d, in)
+				}
 			}
 		}
 	}
-	for i, c := range seen {
+	return nil
+}
+
+// findForward locates the Forward or CkptForward for (m, part, stage).
+func findForward(pos *valScratch, m, part, stage int) (int32, bool) {
+	if j, ok := pos.get(Key{Kind: Forward, Micro: m, Part: part, Stage: stage}); ok {
+		return j, true
+	}
+	return pos.get(Key{Kind: CkptForward, Micro: m, Part: part, Stage: stage})
+}
+
+// findBackwardAnchor locates the Backward, or its input-gradient half when
+// split, for (m, part, stage) — the instruction gradient communication
+// anchors to.
+func findBackwardAnchor(pos *valScratch, m, part, stage int) (int32, bool) {
+	if j, ok := pos.get(Key{Kind: Backward, Micro: m, Part: part, Stage: stage}); ok {
+		return j, true
+	}
+	return pos.get(Key{Kind: BackwardInput, Micro: m, Part: part, Stage: stage})
+}
+
+// validateCoverageCounts checks the counters accumulated by validateDevices:
+// exactly one forward and one (whole or split) backward per (micro, stage),
+// at most one recompute.
+func validateCoverageCounts(s *Schedule, v *valScratch) error {
+	S := s.NumStages()
+	for i, c := range v.cov[:s.Micros*S] {
 		m, st := i/S, i%S
 		if c.fw != 1 {
 			return invalidf("micro %d stage %d: %d forward instructions, want 1", m, st, c.fw)
@@ -90,122 +375,22 @@ func validateCoverage(s *Schedule) error {
 	return nil
 }
 
-func validatePlacementAndOrder(s *Schedule) error {
-	pos := make(map[uint64]int)
-	for d, list := range s.Lists {
-		// pos maps a packed key to its list index for intra-device order
-		// checks; packed keys hash as plain integers, far cheaper than the
-		// four-field Key struct on this per-candidate hot path.
-		clear(pos)
-		for i, in := range list {
-			if in.Micro != NoMicro {
-				if got := s.Placement.Device(in.Part, in.Stage); got != d {
-					return invalidf("dev%d: %s belongs on dev%d per placement", d, in, got)
-				}
-			}
-			k := in.Key().Pack()
-			if _, dup := pos[k]; dup {
-				return invalidf("dev%d: duplicate instruction %s", d, in)
-			}
-			pos[k] = i
+func validateCommMatching(s *Schedule, idx *valScratch) error {
+	// A dense index of the communication instructions, valued by device,
+	// visiting only the coordinates validateDevices collected.
+	idx.bump()
+	for _, c := range idx.comm {
+		idx.set(s.Lists[c.d][c.i].Key(), c.d)
+	}
+	for _, c := range idx.comm {
+		d, in := int(c.d), s.Lists[c.d][c.i]
+		mk := s.MatchKey(in)
+		dev, ok := idx.get(mk)
+		if !ok {
+			return invalidf("dev%d: %s has no matching %s", d, in, mk.Kind)
 		}
-		for _, in := range list {
-			i := pos[in.Key().Pack()]
-			switch in.Kind {
-			case SendAct:
-				if !in.Buffered {
-					if j, ok := findForward(pos, in.Micro, in.Part, in.Stage); !ok || j > i {
-						return invalidf("dev%d: %s not preceded by its forward", d, in)
-					}
-				} else {
-					// A buffered SA reads a staging buffer written by a
-					// preposed CFW; the CFW must still precede it.
-					if j, ok := pos[Key{Kind: CkptForward, Micro: in.Micro, Part: in.Part, Stage: in.Stage}.Pack()]; !ok || j > i {
-						return invalidf("dev%d: buffered %s not preceded by its CFW", d, in)
-					}
-				}
-			case RecvAct:
-				if j, ok := findForward(pos, in.Micro, in.Part, in.Stage); !ok || j < i {
-					return invalidf("dev%d: %s not followed by its forward", d, in)
-				}
-			case RecvGrad:
-				if j, ok := findBackwardAnchor(pos, in.Micro, in.Part, in.Stage); !ok || j < i {
-					return invalidf("dev%d: %s not followed by its backward", d, in)
-				}
-			case SendGrad:
-				if j, ok := findBackwardAnchor(pos, in.Micro, in.Part, in.Stage); !ok || j > i {
-					return invalidf("dev%d: %s not preceded by its backward", d, in)
-				}
-			case BackwardWeight:
-				if j, ok := pos[Key{Kind: BackwardInput, Micro: in.Micro, Part: in.Part, Stage: in.Stage}.Pack()]; !ok || j > i {
-					return invalidf("dev%d: %s not preceded by its input-gradient half", d, in)
-				}
-			case Backward, BackwardInput:
-				j, ok := findForward(pos, in.Micro, in.Part, in.Stage)
-				if !ok || j > i {
-					return invalidf("dev%d: %s not preceded by its forward", d, in)
-				}
-				// A checkpointed forward requires a recompute before the
-				// backward (after remove-redundancy the forward is reverted
-				// to a plain FW, so this stays an iff).
-				ckpt := list[j].Kind == CkptForward
-				r, hasRC := pos[Key{Kind: Recompute, Micro: in.Micro, Part: in.Part, Stage: in.Stage}.Pack()]
-				if ckpt && (!hasRC || r < j || r > i) {
-					return invalidf("dev%d: %s checkpointed but recompute missing or misplaced", d, in)
-				}
-				if !ckpt && hasRC {
-					return invalidf("dev%d: %s has a recompute but its forward is not checkpointed", d, in)
-				}
-			}
-		}
-	}
-	return nil
-}
-
-// findForward locates the Forward or CkptForward for (m, part, stage).
-func findForward(pos map[uint64]int, m, part, stage int) (int, bool) {
-	if j, ok := pos[Key{Kind: Forward, Micro: m, Part: part, Stage: stage}.Pack()]; ok {
-		return j, true
-	}
-	j, ok := pos[Key{Kind: CkptForward, Micro: m, Part: part, Stage: stage}.Pack()]
-	return j, ok
-}
-
-// findBackwardAnchor locates the Backward, or its input-gradient half when
-// split, for (m, part, stage) — the instruction gradient communication
-// anchors to.
-func findBackwardAnchor(pos map[uint64]int, m, part, stage int) (int, bool) {
-	if j, ok := pos[Key{Kind: Backward, Micro: m, Part: part, Stage: stage}.Pack()]; ok {
-		return j, true
-	}
-	j, ok := pos[Key{Kind: BackwardInput, Micro: m, Part: part, Stage: stage}.Pack()]
-	return j, ok
-}
-
-func validateCommMatching(s *Schedule) error {
-	// A packed-key index of the communication instructions, built inline
-	// rather than through Index() to avoid hashing Key structs.
-	idx := make(map[uint64]int)
-	for d, list := range s.Lists {
-		for _, in := range list {
-			if in.Kind.IsComm() {
-				idx[in.Key().Pack()] = d
-			}
-		}
-	}
-	for d, list := range s.Lists {
-		for _, in := range list {
-			if !in.Kind.IsComm() {
-				continue
-			}
-			mk := s.MatchKey(in)
-			dev, ok := idx[mk.Pack()]
-			if !ok {
-				return invalidf("dev%d: %s has no matching %s", d, in, mk.Kind)
-			}
-			if peer := s.PeerDevice(d, in); dev != peer {
-				return invalidf("dev%d: %s matches on dev%d, want dev%d", d, in, dev, peer)
-			}
+		if peer := idx.peerOf(s, d, in); int(dev) != peer {
+			return invalidf("dev%d: %s matches on dev%d, want dev%d", d, in, dev, peer)
 		}
 	}
 	return nil

@@ -63,12 +63,20 @@ type PlanRequest struct {
 	// NoPrune disables the upper-bound prune so the trace holds the full
 	// Fig. 11 curve. It changes the trace, hence it is fingerprinted.
 	NoPrune bool `json:"no_prune,omitempty"`
+	// NoBnB replaces the branch-and-bound search with the canonical-order
+	// grid walk. The best plan is identical, but the trace and search stats
+	// differ, hence it is fingerprinted.
+	NoBnB bool `json:"no_bnb,omitempty"`
 	// Machine overrides the emulated hardware imperfections; nil uses
 	// profile.DefaultMachine.
 	Machine *profile.MachineSpec `json:"machine,omitempty"`
 	// Hardware overrides the device description; nil uses A100-40G.
 	Hardware *cost.Hardware `json:"hardware,omitempty"`
 
+	// NoDelta disables delta re-simulation inside the graph passes. Not
+	// fingerprinted: the plan is bit-identical either way (it is a speed
+	// control, like Workers).
+	NoDelta bool `json:"no_delta,omitempty"`
 	// Workers is a per-request hint for tuner parallelism, capped by the
 	// server; 0 uses the server default. Not fingerprinted: the plan is
 	// identical for every worker count.
@@ -145,6 +153,7 @@ type fingerprintKey struct {
 	MinPP        int                  `json:"min_pp"`
 	MaxPP        int                  `json:"max_pp"`
 	NoPrune      bool                 `json:"no_prune"`
+	NoBnB        bool                 `json:"no_bnb"`
 	Machine      *profile.MachineSpec `json:"machine"`
 	Hardware     *cost.Hardware       `json:"hardware"`
 }
@@ -170,6 +179,7 @@ func (r *PlanRequest) Fingerprint(model cost.ModelConfig) string {
 		MinPP:        r.MinPP,
 		MaxPP:        r.MaxPP,
 		NoPrune:      r.NoPrune,
+		NoBnB:        r.NoBnB,
 		Machine:      r.Machine,
 		Hardware:     r.Hardware,
 	}
@@ -198,6 +208,8 @@ func (r *PlanRequest) config(workers int) mario.Config {
 		MinPP:           r.MinPP,
 		MaxPP:           r.MaxPP,
 		NoPrune:         r.NoPrune,
+		NoBnB:           r.NoBnB,
+		NoDelta:         r.NoDelta,
 		Workers:         workers,
 	}
 	if r.Machine != nil {

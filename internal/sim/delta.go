@@ -1,0 +1,709 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"mario/internal/cost"
+	"mario/internal/pipeline"
+)
+
+// noConverge disables the convergence check for a device: no replay index
+// ever reaches it.
+const noConverge = math.MaxInt
+
+// fixpoint is the delta-simulation snapshot of the engine's last successful
+// propagation: which instruction lists it ran on (by identity), the
+// completion clock of every instruction, and each device's final clock.
+// Together with the per-device metadata caches this is everything a later
+// call needs to re-derive only the dirty cone of a mutated schedule and
+// splice the unchanged prefix/suffix timings instead of re-running the full
+// fixpoint.
+//
+// The snapshot references the old instruction lists so mutated devices can
+// be diffed by value against them. Buffer pools recycling candidate lists
+// must therefore treat a snapshot reference like a cache entry: Holds
+// reports it and Forget retracts it (clearing just that device's entry —
+// the rest of the snapshot stays usable, the forgotten device simply
+// replays from scratch on the next delta run).
+type fixpoint struct {
+	valid bool
+	// lists[d] is the identity the snapshot timings were computed on; nil
+	// marks a device whose entry was forgotten (replay it fully).
+	lists [][]pipeline.Instr
+	// endT[d][i] is the clock after device d completed instruction i.
+	endT [][]float64
+	// clock[d] is device d's final clock (the per-device makespan).
+	clock []float64
+	// horizon[d] bounds the trustworthy prefix of endT[d]: entries at
+	// indices >= horizon[d] were partially overwritten by a delta replay
+	// that ended in an error (a rejected candidate that deadlocks or
+	// mismatches) and no longer describe the snapshot fixpoint. Probe runs
+	// write to scratch and never poison; only an adopting replay that
+	// errors shrinks the horizon, and a successful one restores it to the
+	// full list length.
+	horizon []int
+}
+
+// DeltaStats counts what the engine's delta path did; the graph and tuner
+// layers fold them into telemetry. Plain fields — a Simulator is
+// single-goroutine by contract.
+type DeltaStats struct {
+	// Runs counts Simulate calls answered by delta re-simulation; Full
+	// counts calls that ran the complete propagation (first calls, timeline
+	// requests, rendezvous mode, NoDelta).
+	Runs, Full int64
+	// Replayed and Spliced count instructions re-propagated versus carried
+	// over from the snapshot across all delta runs.
+	Replayed, Spliced int64
+	// SwapRebuilds, WindowRebuilds, and FullRebuilds count how refresh
+	// reconstructed changed devices' metadata: a depth-2 snapshot restore
+	// (buffer swap), a permutation-window splice (re-key or windowed
+	// rebuild), or the full walk.
+	SwapRebuilds, WindowRebuilds, FullRebuilds int64
+}
+
+// deltaEligible reports whether the engine can answer this call by replaying
+// only the dirty cone. Rendezvous timing flows both ways through a match
+// (the send waits on the recv), which the one-directional cone rule does not
+// model, so it falls back to the full propagation. Timeline requests stay
+// eligible: spans never record idle time separately — an instruction's span
+// starts at its predecessor's completion (the device clock is continuous) —
+// so Simulate synthesizes them from the completion clocks after the replay.
+func (m *Simulator) deltaEligible(opt Options) bool {
+	return m.last.valid && !opt.NoDelta && !opt.Rendezvous
+}
+
+// synthTimeline reconstructs the per-device spans after a successful delta
+// run. runDevice appends a span [clock-before, clock-after] per instruction
+// in list order and the device clock starts at zero and never resets, so
+// Start[i] is End[i-1] and the timeline is fully determined by the
+// completion clocks: replayed entries from the run's write target (the
+// snapshot for adopting runs, scratch for probes), everything else from the
+// snapshot. The synthesized spans are bit-identical to a full propagation's.
+func (m *Simulator) synthTimeline(res *Result) {
+	for d := range m.devs {
+		list := m.devs[d].list
+		ends := m.last.endT[d]
+		r := m.restart[d]
+		w := -1
+		var outs []float64
+		if r < len(list) && d < len(m.outT) {
+			// Dirty device: entries in [restart, wrote) were replayed into the
+			// run's output buffer; the spliced remainder kept snapshot values.
+			outs, w = m.outT[d], m.wrote[d]
+		}
+		spans := res.Timeline[d]
+		start := 0.0
+		for i, in := range list {
+			var end float64
+			if i >= r && i < w {
+				end = outs[i]
+			} else {
+				end = ends[i]
+			}
+			spans = append(spans, Span{Instr: in, Start: start, End: end})
+			start = end
+		}
+		res.Timeline[d] = spans
+	}
+}
+
+// saveFixpoint records the just-completed full propagation as the delta
+// baseline. endT was filled by runDevice during the run.
+func (m *Simulator) saveFixpoint(opt Options) {
+	D := len(m.devs)
+	if cap(m.last.lists) >= D {
+		m.last.lists = m.last.lists[:D]
+	} else {
+		m.last.lists = make([][]pipeline.Instr, D)
+	}
+	m.last.clock = growF64(m.last.clock, D)
+	m.last.horizon = growInt(m.last.horizon, D)
+	for d := 0; d < D; d++ {
+		m.last.lists[d] = m.devs[d].list
+		m.last.clock[d] = m.clock[d]
+		m.last.horizon[d] = len(m.devs[d].list)
+	}
+	m.last.valid = !opt.Rendezvous
+}
+
+// pinBase deep-copies the current snapshot into the pinned base fixpoint.
+// Simulate calls it after the first successful adopting run following a
+// Detach or reset, capturing that run's starting fixpoint; see the base
+// field's comment for why.
+func (m *Simulator) pinBase() {
+	D := len(m.devs)
+	if cap(m.base.lists) >= D {
+		m.base.lists = m.base.lists[:D]
+	} else {
+		m.base.lists = make([][]pipeline.Instr, D)
+	}
+	if cap(m.base.endT) >= D {
+		m.base.endT = m.base.endT[:D]
+	} else {
+		grown := make([][]float64, D)
+		copy(grown, m.base.endT)
+		m.base.endT = grown
+	}
+	m.base.clock = growF64(m.base.clock, D)
+	m.base.horizon = growInt(m.base.horizon, D)
+	for d := 0; d < D; d++ {
+		l := m.last.lists[d]
+		m.base.lists[d] = l
+		m.base.endT[d] = growF64(m.base.endT[d], len(l))
+		copy(m.base.endT[d], m.last.endT[d][:len(l)])
+		m.base.clock[d] = m.last.clock[d]
+		m.base.horizon[d] = m.last.horizon[d]
+	}
+	m.base.valid = m.last.valid
+	m.basePinned = true
+}
+
+// restoreBase rewinds the active snapshot to the pinned base fixpoint, so
+// the next delta run diffs against the optimization run's starting content
+// instead of wherever the previous run's search ended up.
+func (m *Simulator) restoreBase() {
+	D := len(m.base.lists)
+	if cap(m.last.lists) >= D {
+		m.last.lists = m.last.lists[:D]
+	} else {
+		m.last.lists = make([][]pipeline.Instr, D)
+	}
+	if cap(m.last.endT) >= D {
+		m.last.endT = m.last.endT[:D]
+	} else {
+		grown := make([][]float64, D)
+		copy(grown, m.last.endT)
+		m.last.endT = grown
+	}
+	m.last.clock = growF64(m.last.clock, D)
+	m.last.horizon = growInt(m.last.horizon, D)
+	for d := 0; d < D; d++ {
+		l := m.base.lists[d]
+		m.last.lists[d] = l
+		m.last.endT[d] = growF64(m.last.endT[d], len(l))
+		copy(m.last.endT[d], m.base.endT[d][:len(l)])
+		m.last.clock[d] = m.base.clock[d]
+		m.last.horizon[d] = m.base.horizon[d]
+	}
+	m.last.valid = m.base.valid
+	m.probeOK = false
+}
+
+// ensureEndT sizes the per-device completion-clock arrays for the current
+// lists ahead of a full propagation (which rewrites every entry).
+func (m *Simulator) ensureEndT() {
+	D := len(m.devs)
+	if cap(m.last.endT) >= D {
+		m.last.endT = m.last.endT[:D]
+	} else {
+		grown := make([][]float64, D)
+		copy(grown, m.last.endT)
+		m.last.endT = grown
+	}
+	for d := 0; d < D; d++ {
+		m.last.endT[d] = growF64(m.last.endT[d], len(m.devs[d].list))
+	}
+}
+
+// setOut points runDevice's completion-clock write target at the snapshot
+// arrays (adopting runs) or at the probe scratch, sized for the current
+// lists. Must run after the snapshot arrays reached their final size for
+// the run.
+func (m *Simulator) setOut(probe bool) {
+	if !probe {
+		m.outT = m.last.endT
+		return
+	}
+	D := len(m.devs)
+	if cap(m.probeT) >= D {
+		m.probeT = m.probeT[:D]
+	} else {
+		grown := make([][]float64, D)
+		copy(grown, m.probeT)
+		m.probeT = grown
+	}
+	for d := 0; d < D; d++ {
+		m.probeT[d] = growF64(m.probeT[d], len(m.devs[d].list))
+	}
+	m.outT = m.probeT
+}
+
+// firstDiff returns the index of the first instruction where the two lists
+// disagree (comparing by value), which is len(a) == len(b) when they are
+// equal element-wise.
+func firstDiff(a, b []pipeline.Instr) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	if len(a) == len(b) {
+		return n
+	}
+	return n
+}
+
+// propagateDelta re-derives the timing fixpoint after a schedule edit by
+// replaying only the affected cone of the dependency DAG:
+//
+//  1. seed a per-device restart index from the first instruction where each
+//     mutated device's new list diverges from the snapshot;
+//  2. close the dirty set through the comm-match index — a send at or past
+//     its device's restart point dirties the matched receive, and dirtiness
+//     spreads forward within a device by construction (the restart index
+//     marks a suffix) — iterating until the restart indices stabilise;
+//  3. splice every clean device (and every dirty device's clean prefix)
+//     from the snapshot: final clocks of untouched devices, the clock at
+//     the restart boundary, and the in-flight messages of clean sends whose
+//     matched receive replays (prefilled into the link FIFOs in sender
+//     order, with arrival times derived from the snapshot);
+//  4. run the ordinary event-driven propagation over the dirty devices
+//     only, splicing each device's suffix back from the snapshot as soon
+//     as its clock re-converges and all its remaining inputs are known
+//     snapshot-identical (the convergence cascade below).
+//
+// Every replayed value is computed by the same floating-point operations on
+// the same inputs a full propagation would use, and every spliced value is
+// a fixpoint value the full propagation would re-derive unchanged, so the
+// result — including deadlock and FIFO-mismatch errors — is bit-identical
+// to the full run.
+//
+// In probe mode (Options.Probe) the replayed clocks go to scratch and the
+// snapshot is left untouched, including on error: the fixpoint keeps
+// describing the accepted baseline, so a search loop's try-then-revert
+// candidates each diff against that baseline instead of against the
+// previous candidate, and rejected or illegal candidates cost nothing on
+// later runs.
+func (m *Simulator) propagateDelta(e *cost.Estimator, opt Options, res *Result) error {
+	probe := opt.Probe
+	D := len(m.devs)
+	m.restart = growInt(m.restart, D)
+	stack := m.coneStack[:0]
+	for d := 0; d < D; d++ {
+		ds := &m.devs[d]
+		old := m.last.lists[d]
+		switch {
+		case old == nil:
+			// Forgotten snapshot entry: replay the device from scratch.
+			m.restart[d] = 0
+		case len(old) == len(ds.list) && (len(old) == 0 || &old[0] == &ds.list[0]):
+			m.restart[d] = len(ds.list)
+		default:
+			m.restart[d] = firstDiff(old, ds.list)
+		}
+		if h := m.last.horizon[d]; m.restart[d] > h {
+			m.restart[d] = h
+		}
+		if m.restart[d] < len(ds.list) {
+			stack = append(stack, int32(d))
+		}
+		if !probe {
+			// Completion clocks of the clean prefix stay valid; grow the
+			// array preserving them so replay can extend past the old length.
+			m.last.endT[d] = growF64Keep(m.last.endT[d], len(ds.list))
+		}
+	}
+
+	// Close the cone: a dirty send dirties its matched receive. Re-pushing a
+	// device rescans its (tiny) comm list from the lowered restart index;
+	// restart indices only decrease, so the loop terminates.
+	for len(stack) > 0 {
+		s := int(stack[len(stack)-1])
+		stack = stack[:len(stack)-1]
+		ds := &m.devs[s]
+		rs := m.restart[s]
+		for _, ci := range ds.comm {
+			if int(ci) < rs {
+				continue
+			}
+			mt := &ds.metas[ci]
+			if mt.class != classSend {
+				continue
+			}
+			if int(mt.matchIdx) < m.restart[mt.matchDev] {
+				m.restart[mt.matchDev] = int(mt.matchIdx)
+				stack = append(stack, mt.matchDev)
+			}
+		}
+	}
+	m.coneStack = stack[:0]
+
+	// Initialise the propagation state: dirty devices resume at their
+	// restart boundary with the snapshot clock, clean devices are already
+	// done (and count as resolved senders — their in-flight messages carry
+	// snapshot timings by construction).
+	m.clock = growF64(m.clock, D)
+	m.pc = growInt(m.pc, D)
+	m.inQueue = growBool(m.inQueue, D)
+	m.queue = m.queue[:0]
+	m.convIdx = growInt(m.convIdx, D)
+	m.convSuf = growInt(m.convSuf, D)
+	m.resolved = growBool(m.resolved, D)
+	m.lastDiffSend = growInt(m.lastDiffSend, D)
+	m.wrote = growInt(m.wrote, D)
+	anyDirty := false
+	for d := 0; d < D; d++ {
+		ds := &m.devs[d]
+		r := m.restart[d]
+		m.convIdx[d] = noConverge
+		m.convSuf[d] = noConverge
+		if r >= len(ds.list) {
+			m.pc[d] = len(ds.list)
+			m.resolved[d] = true
+			switch {
+			case m.last.lists[d] != nil && len(m.last.lists[d]) == len(ds.list):
+				m.clock[d] = m.last.clock[d]
+			case r > 0:
+				// Prefix-equal truncation: the final clock is the completion
+				// time of the (unchanged) last surviving instruction, not the
+				// snapshot clock, which included the removed suffix.
+				m.clock[d] = m.last.endT[d][r-1]
+			default:
+				m.clock[d] = 0
+			}
+			continue
+		}
+		anyDirty = true
+		m.pc[d] = r
+		if r > 0 {
+			m.clock[d] = m.last.endT[d][r-1]
+		} else {
+			m.clock[d] = 0
+		}
+		m.resolved[d] = false
+		m.lastDiffSend[d] = -1
+		m.wrote[d] = len(ds.list)
+		m.inQueue[d] = true
+		m.queue = append(m.queue, int32(d))
+		m.stats.Replayed += int64(len(ds.list) - r)
+		m.stats.Spliced += int64(r)
+	}
+	// Convergence eligibility. A replaying device may abandon its replay at
+	// instruction i and splice the remaining suffix from the snapshot when
+	// (a) every instruction after i is snapshot-identical content at the
+	// same index (convSuf, from a backward content scan), (b) every receive
+	// after i has a snapshot-identical input — no remaining message from a
+	// sender whose arrivals are undetermined or known to differ (convIdx,
+	// recomputed as senders resolve so convergence cascades outward from
+	// the edit), and (c) its replayed clock bit-equals the snapshot clock
+	// at i (checked in runDevice). Devices with a poisoned endT tail or a
+	// resized list never converge.
+	for d := 0; d < D; d++ {
+		ds := &m.devs[d]
+		if m.restart[d] >= len(ds.list) {
+			continue
+		}
+		old := m.last.lists[d]
+		if old == nil || len(old) != len(ds.list) || m.last.horizon[d] < len(ds.list) {
+			continue
+		}
+		if &old[0] == &ds.list[0] {
+			m.convSuf[d] = -1 // identical content; only inputs constrain
+			continue
+		}
+		suf := len(ds.list) - 1
+		for suf >= 0 && old[suf] == ds.list[suf] {
+			suf--
+		}
+		m.convSuf[d] = suf
+	}
+	for d := 0; d < D; d++ {
+		if m.convSuf[d] != noConverge {
+			m.recomputeConv(d)
+		}
+	}
+	m.stats.Runs++
+	if !anyDirty {
+		// Identical schedule (or only identity moves): the snapshot is the
+		// answer.
+		for d := 0; d < D; d++ {
+			m.stats.Spliced += int64(len(m.devs[d].list))
+			if m.clock[d] > res.Total {
+				res.Total = m.clock[d]
+			}
+		}
+		if !probe {
+			m.refreshSnapshotLists()
+		} else {
+			m.probeOK = true
+		}
+		return nil
+	}
+	m.setOut(probe)
+	m.inDelta = true
+
+	// Reset the link state and prefill each FIFO with the snapshot messages
+	// of clean sends whose matched receive replays. Devices are walked in
+	// ascending order and comm lists in list order; each link has a single
+	// sender, so the prefill lands in send order, and every replayed send is
+	// appended after its device's clean prefix — FIFO order is exactly the
+	// full run's.
+	nLinks := m.nLinks
+	if cap(m.fifos) >= nLinks {
+		m.fifos = m.fifos[:nLinks]
+	} else {
+		grown := make([][]fifoMsg, nLinks)
+		copy(grown, m.fifos)
+		m.fifos = grown
+	}
+	m.fifoHead = growInt(m.fifoHead, nLinks)
+	m.linkWait = growInt32(m.linkWait, nLinks)
+	for l := 0; l < nLinks; l++ {
+		m.fifos[l] = m.fifos[l][:0]
+		m.fifoHead[l] = 0
+		m.linkWait[l] = -1
+	}
+	for d := 0; d < D; d++ {
+		ds := &m.devs[d]
+		rs := m.restart[d]
+		if rs == 0 || !anyDirtyPeer(m.restart, m.devs, ds.peers) {
+			continue
+		}
+		old := m.last.endT[d]
+		for _, ci := range ds.comm {
+			if int(ci) >= rs {
+				break // comm is in list order; the rest replays
+			}
+			mt := &ds.metas[ci]
+			if mt.class != classSend {
+				continue
+			}
+			if int(mt.matchIdx) < m.restart[mt.matchDev] {
+				continue // the receive already consumed it in the snapshot
+			}
+			m.fifos[mt.link] = append(m.fifos[mt.link], fifoMsg{
+				dev: mt.matchDev, idx: mt.matchIdx,
+				arrive: old[ci] + mt.comm,
+			})
+		}
+	}
+
+	for head := 0; head < len(m.queue); head++ {
+		d := int(m.queue[head])
+		m.inQueue[d] = false
+		if err := m.runDevice(d, e, opt, res); err != nil {
+			m.inDelta = false
+			if !probe {
+				m.poisonReplayed()
+			}
+			return err
+		}
+		if !m.resolved[d] && m.pc[d] >= len(m.devs[d].list) {
+			// The device finished its replay: every arrival it delivers is
+			// now determined, so receivers' convergence thresholds may drop
+			// to its last genuinely differing send.
+			m.resolved[d] = true
+			for _, p := range m.devs[d].peers {
+				if m.convSuf[p] != noConverge {
+					m.recomputeConv(int(p))
+				}
+			}
+		}
+	}
+	m.inDelta = false
+	for d := 0; d < D; d++ {
+		if m.pc[d] < len(m.devs[d].list) {
+			if !probe {
+				m.poisonReplayed()
+			}
+			return fmt.Errorf("%w: device %d blocked at %s", ErrDeadlock, d, m.devs[d].list[m.pc[d]])
+		}
+		if m.clock[d] > res.Total {
+			res.Total = m.clock[d]
+		}
+	}
+	if !probe {
+		// The spliced prefixes plus the replayed suffixes are the new
+		// fixpoint.
+		m.refreshSnapshotLists()
+		for d := 0; d < D; d++ {
+			m.last.clock[d] = m.clock[d]
+			m.last.horizon[d] = len(m.devs[d].list)
+		}
+	} else {
+		m.probeOK = true
+	}
+	return nil
+}
+
+// Commit adopts the engine's most recent simulation as the delta baseline
+// when that call was a successful probe run of exactly the given schedule:
+// the probe's replayed clocks are copied over the snapshot entries and the
+// snapshot re-keys onto the schedule's lists. This turns a search loop's
+// winning probe into the next baseline for the cost of a memcpy instead of
+// an extra adopting re-simulation. Returns false — leaving the baseline
+// untouched — when the conditions do not hold (the last call was not a
+// probe, it failed, or it simulated a different schedule); the caller then
+// falls back to a plain (non-probe) Simulate of the accepted schedule.
+func (m *Simulator) Commit(s *pipeline.Schedule) bool {
+	if !m.probeOK || !m.last.valid || len(m.devs) != s.NumDevices() {
+		return false
+	}
+	for d := range m.devs {
+		dl := m.devs[d].list
+		l := s.Lists[d]
+		if len(dl) != len(l) || (len(l) > 0 && &dl[0] != &l[0]) {
+			return false
+		}
+	}
+	for d := range m.devs {
+		ds := &m.devs[d]
+		n := len(ds.list)
+		if r := m.restart[d]; r < n {
+			// Replayed region from the probe scratch; entries past wrote[d]
+			// were spliced and already hold the (identical) snapshot values.
+			m.last.endT[d] = growF64Keep(m.last.endT[d], n)
+			copy(m.last.endT[d][r:m.wrote[d]], m.probeT[d][r:m.wrote[d]])
+		}
+		m.last.lists[d] = ds.list
+		m.last.clock[d] = m.clock[d]
+		m.last.horizon[d] = n
+	}
+	m.probeOK = false
+	return true
+}
+
+// poisonReplayed records, after an adopting delta replay ended in an error,
+// that the replayed regions of endT no longer describe the snapshot
+// fixpoint: the trustworthy horizon of every dirty device shrinks to its
+// restart index. The snapshot itself stays valid — the next run diffs
+// against the same old lists and simply replays past the horizon.
+func (m *Simulator) poisonReplayed() {
+	for d := range m.devs {
+		if r := m.restart[d]; r < m.last.horizon[d] {
+			m.last.horizon[d] = r
+		}
+	}
+}
+
+// spliceSuffix finishes device d's replay from the snapshot after the
+// convergence check in runDevice fired at instruction i: the remaining
+// sends whose receiver is replaying are delivered with their snapshot
+// timings, and the device jumps to its snapshot final clock. Snapshot endT
+// entries past i hold the (identical) values the skipped replay would have
+// produced; an adopting run keeps them as its fixpoint entries, a probe run
+// never copies them.
+func (m *Simulator) spliceSuffix(d, i int) float64 {
+	ds := &m.devs[d]
+	ends := m.last.endT[d]
+	m.resolved[d] = true
+	m.wrote[d] = i // entries from i on keep their snapshot values
+	for _, ci := range ds.comm {
+		if int(ci) <= i {
+			continue
+		}
+		mt := &ds.metas[ci]
+		if mt.class != classSend || int(mt.matchIdx) < m.restart[mt.matchDev] {
+			continue
+		}
+		m.fifos[mt.link] = append(m.fifos[mt.link], fifoMsg{
+			dev: mt.matchDev, idx: mt.matchIdx,
+			arrive: ends[ci] + mt.comm,
+		})
+		if w := m.linkWait[mt.link]; w >= 0 {
+			m.linkWait[mt.link] = -1
+			m.enqueue(w)
+		}
+	}
+	// This device's remaining sends now deliver snapshot timings, so its
+	// receivers' convergence thresholds may drop — the cascade that lets
+	// the whole cone collapse back onto the snapshot.
+	for _, p := range ds.peers {
+		if m.convSuf[p] != noConverge {
+			m.recomputeConv(int(p))
+		}
+	}
+	skipped := int64(len(ds.list) - 1 - i)
+	m.stats.Replayed -= skipped
+	m.stats.Spliced += skipped
+	return ends[len(ds.list)-1]
+}
+
+// recomputeConv re-derives device d's convergence threshold: the larger of
+// its content threshold (convSuf) and the index of its last receive whose
+// matched send is not yet known to deliver a snapshot-identical arrival —
+// either the sender is still replaying (undetermined), or it resolved and
+// this send's completion genuinely differed from the snapshot. The comm list
+// is ascending, so walking it backward finds that last receive at the first
+// constraining entry and stops.
+func (m *Simulator) recomputeConv(d int) {
+	ds := &m.devs[d]
+	c := m.convSuf[d]
+	r := m.restart[d]
+	for k := len(ds.comm) - 1; k >= 0; k-- {
+		ci := int(ds.comm[k])
+		if ci <= c || ci < r {
+			break // everything earlier is below the floor
+		}
+		mt := &ds.metas[ci]
+		if mt.class != classRecv {
+			continue
+		}
+		s := int(mt.matchDev)
+		si := int(mt.matchIdx)
+		if si < m.restart[s] {
+			continue // clean-prefix send: snapshot timing by construction
+		}
+		if m.resolved[s] && si > m.lastDiffSend[s] {
+			continue // determined and bit-equal to the snapshot
+		}
+		c = ci
+		break
+	}
+	m.convIdx[d] = c
+}
+
+// refreshSnapshotLists re-keys the snapshot on the current list identities
+// after a successful adopting delta run.
+func (m *Simulator) refreshSnapshotLists() {
+	for d := range m.devs {
+		m.last.lists[d] = m.devs[d].list
+	}
+}
+
+// anyDirtyPeer reports whether any of the listed peer devices replays.
+func anyDirtyPeer(restart []int, devs []devState, peers []int32) bool {
+	for _, p := range peers {
+		if restart[p] < len(devs[p].list) {
+			return true
+		}
+	}
+	return false
+}
+
+// growF64Keep grows s to n entries preserving the existing prefix (unlike
+// growF64, which may discard it).
+func growF64Keep(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	grown := make([]float64, n)
+	copy(grown, s)
+	return grown
+}
+
+// DeltaStats returns the engine's delta-simulation counters.
+func (m *Simulator) DeltaStats() DeltaStats { return m.stats }
+
+// EndTimes returns a copy of the completion clock of every instruction of
+// device dev from the engine's snapshot fixpoint (the last adopting
+// simulation — probe runs leave it untouched), or nil when the engine holds
+// no valid fixpoint for the device. It exists for the differential test
+// harness (internal/sim/difftest), which byte-compares delta-simulated
+// timings against a fresh full run.
+func (m *Simulator) EndTimes(dev int) []float64 {
+	if !m.last.valid || dev < 0 || dev >= len(m.last.lists) || dev >= len(m.last.endT) {
+		return nil
+	}
+	old := m.last.lists[dev]
+	if old == nil || len(m.last.endT[dev]) < len(old) {
+		return nil
+	}
+	return append([]float64(nil), m.last.endT[dev][:len(old)]...)
+}

@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"testing"
+
+	"mario/internal/cost"
+	"mario/internal/pipeline"
+	"mario/internal/scheme"
+)
+
+// editDevice returns a copy-on-write clone of parent with the n-th adjacent
+// compute pair of device d swapped — the graph tuner's candidate shape, and a
+// distinct identity per (d, n).
+func editDevice(t *testing.T, parent *pipeline.Schedule, d, n int) *pipeline.Schedule {
+	t.Helper()
+	c := parent.Clone()
+	list := c.MutableList(d)
+	seen := 0
+	for i := 0; i+1 < len(list); i++ {
+		if list[i].Kind.IsCompute() && list[i+1].Kind.IsCompute() {
+			if seen == n {
+				list[i], list[i+1] = list[i+1], list[i]
+				return c
+			}
+			seen++
+		}
+	}
+	t.Fatalf("device %d has fewer than %d adjacent compute pairs", d, n+1)
+	return nil
+}
+
+// reverseList scrambles a buffer in place, standing in for a pool handing the
+// recycled memory to an unrelated user.
+func reverseList(l []pipeline.Instr) {
+	for i, j := 0, len(l)-1; i < j; i, j = i+1, j-1 {
+		l[i], l[j] = l[j], l[i]
+	}
+}
+
+// TestHoldsCoversDeltaState pins the full identity matrix Holds must report
+// after delta simulation: the active metadata entry, the depth-2 revert
+// snapshot, the delta-snapshot lists, and the pinned base fixpoint — every
+// buffer the engine may later read by value. A recycling pool consults Holds
+// before reusing a buffer, so a missing class here is an aliasing hole.
+func TestHoldsCoversDeltaState(t *testing.T) {
+	parent := build(t, pipeline.Scheme1F1B, scheme.Config{Devices: 4, Micros: 8})
+	e := cost.Uniform(4, 1, 2, 0.25)
+	opt := Options{NoTimeline: true}
+	eng := &Simulator{}
+
+	assertSameOutcome(t, "parent", eng, parent, e, opt)
+	pl := parent.Lists[0]
+	if !eng.Holds(0, pl) {
+		t.Fatal("active list not held after the first adopting run")
+	}
+
+	child := editDevice(t, parent, 0, 0)
+	assertSameOutcome(t, "child", eng, child, e, opt)
+	chl := child.Lists[0]
+	if !eng.Holds(0, chl) {
+		t.Error("candidate list (active entry + delta snapshot) not held")
+	}
+	if !eng.Holds(0, pl) {
+		t.Error("parent list (depth-2 snapshot + pinned base) not held")
+	}
+
+	// A second, different edit retires the first candidate into the depth-2
+	// slot; the parent list now survives only inside the pinned base.
+	child2 := editDevice(t, parent, 0, 1)
+	assertSameOutcome(t, "child2", eng, child2, e, opt)
+	if !eng.Holds(0, chl) {
+		t.Error("retired candidate (depth-2 snapshot) not held")
+	}
+	if !eng.Holds(0, pl) {
+		t.Error("base-only identity not held: restoreBase would read a recycled buffer")
+	}
+
+	// Negative space: wrong device, unrelated list, empty list.
+	if eng.Holds(1, pl) {
+		t.Error("device 0's list reported held on device 1")
+	}
+	if eng.Holds(0, parent.Lists[1]) {
+		t.Error("device 1's list reported held on device 0")
+	}
+	if eng.Holds(0, nil) {
+		t.Error("nil list reported held")
+	}
+}
+
+// TestForgetRecycledBufferSafety drives the pool-recycling protocol through
+// the dirty-cone caches: after Forget releases a retired candidate buffer,
+// overwriting it in place must not perturb any simulation — neither of the
+// current schedule (whose delta run would otherwise diff against the poisoned
+// contents) nor of a new schedule reusing the buffer's identity.
+func TestForgetRecycledBufferSafety(t *testing.T) {
+	parent := build(t, pipeline.Scheme1F1B, scheme.Config{Devices: 4, Micros: 8})
+	e := cost.Uniform(4, 1, 2, 0.25)
+	opt := Options{NoTimeline: true}
+	eng := &Simulator{}
+
+	assertSameOutcome(t, "parent", eng, parent, e, opt)
+	child := editDevice(t, parent, 0, 0)
+	assertSameOutcome(t, "child", eng, child, e, opt)
+	// Reverting to the parent exercises the depth-2 swap restore and leaves
+	// the candidate list only in the revert snapshot.
+	assertSameOutcome(t, "parent-again", eng, parent, e, opt)
+
+	chl := child.Lists[0]
+	if !eng.Holds(0, chl) {
+		t.Fatal("retired candidate list not held before Forget")
+	}
+	eng.Forget(0, chl)
+	if eng.Holds(0, chl) {
+		t.Fatal("candidate list still held after Forget")
+	}
+
+	// The pool hands the buffer to an unrelated user.
+	reverseList(chl)
+
+	// The engine must neither read the poisoned buffer when re-simulating the
+	// current schedule, nor confuse the new content with the old identity.
+	assertSameOutcome(t, "parent-after-poison", eng, parent, e, opt)
+	assertSameOutcome(t, "poisoned-content", eng, child, e, opt)
+	assertSameOutcome(t, "parent-recovered", eng, parent, e, opt)
+}
+
+// TestDetachBasePinAndForget covers the engine-pooling hand-off: Detach
+// re-keys identity-matching state onto engine-owned copies, but a base entry
+// pinned on a list the search walked away from stays referenced — Holds must
+// say so, Forget must release it, and the post-Detach restore must still be
+// bit-exact after the caller reclaims and overwrites every released buffer.
+func TestDetachBasePinAndForget(t *testing.T) {
+	parent := build(t, pipeline.Scheme1F1B, scheme.Config{Devices: 4, Micros: 8})
+	e := cost.Uniform(4, 1, 2, 0.25)
+	opt := Options{NoTimeline: true}
+	eng := &Simulator{}
+
+	assertSameOutcome(t, "parent", eng, parent, e, opt) // pins base on parent
+	child := editDevice(t, parent, 0, 0)
+	assertSameOutcome(t, "child", eng, child, e, opt)
+	child2 := editDevice(t, parent, 0, 1)
+	assertSameOutcome(t, "child2", eng, child2, e, opt)
+
+	pl := parent.Lists[0]
+	eng.Detach()
+	// Devices whose identity never changed were re-keyed onto owned copies
+	// and their caller buffers are free.
+	for d := 1; d < len(parent.Lists); d++ {
+		if eng.Holds(d, parent.Lists[d]) {
+			t.Errorf("device %d: caller buffer still held after Detach", d)
+		}
+	}
+	if eng.Holds(0, child2.Lists[0]) {
+		t.Error("detached active list still held under the caller's identity")
+	}
+	// Device 0's base entry could not be re-keyed (the search left the
+	// starting list behind); it is still read by the armed base restore.
+	if !eng.Holds(0, pl) {
+		t.Fatal("pinned base identity not reported held after Detach")
+	}
+	eng.Forget(0, pl)
+	if eng.Holds(0, pl) {
+		t.Fatal("pinned base identity still held after Forget")
+	}
+
+	// The caller reclaims everything the engine released.
+	for d := range parent.Lists {
+		reverseList(parent.Lists[d])
+	}
+	reverseList(child2.Lists[0])
+
+	// A fresh build of the same starting content (the tuner's next run over
+	// the same grid point) must simulate bit-identically: the restore splices
+	// the surviving base devices and fully replays the forgotten one.
+	fresh := build(t, pipeline.Scheme1F1B, scheme.Config{Devices: 4, Micros: 8})
+	assertSameOutcome(t, "fresh-after-detach", eng, fresh, e, opt)
+	assertSameOutcome(t, "fresh-again", eng, fresh, e, opt)
+}
+
+// TestForgetInvalidatesProbeCommit: a successful probe whose schedule buffer
+// is forgotten (recycled) before adoption must not Commit — the memcpy
+// shortcut would re-key the snapshot onto a buffer the pool may already have
+// reused. The caller's fallback, a plain adopting simulation, stays exact.
+func TestForgetInvalidatesProbeCommit(t *testing.T) {
+	parent := build(t, pipeline.Scheme1F1B, scheme.Config{Devices: 4, Micros: 8})
+	e := cost.Uniform(4, 1, 2, 0.25)
+	opt := Options{NoTimeline: true}
+	eng := &Simulator{}
+
+	if _, err := eng.Simulate(parent, e, opt); err != nil {
+		t.Fatal(err)
+	}
+	child := editDevice(t, parent, 0, 0)
+	popt := opt
+	popt.Probe = true
+	assertSameOutcome(t, "probe", eng, child, e, popt)
+
+	eng.Forget(0, child.Lists[0])
+	if eng.Commit(child) {
+		t.Fatal("Commit adopted a schedule whose list identity was forgotten")
+	}
+	assertSameOutcome(t, "adopt-after-forget", eng, child, e, opt)
+}

@@ -32,6 +32,7 @@ type MemSim struct {
 	e          *cost.Estimator
 	stages     int
 	cur, peak  float64
+	inst       float64 // instantaneous high-water of the last Step
 	bufferedSA []bool
 	ckpted     []bool
 }
@@ -64,10 +65,8 @@ func (m *MemSim) rebind(e *cost.Estimator, micros, stages int, static float64, l
 	if cap(m.bufferedSA) >= cells {
 		m.bufferedSA = m.bufferedSA[:cells]
 		m.ckpted = m.ckpted[:cells]
-		for i := 0; i < cells; i++ {
-			m.bufferedSA[i] = false
-			m.ckpted[i] = false
-		}
+		clear(m.bufferedSA)
+		clear(m.ckpted)
 	} else {
 		m.bufferedSA = make([]bool, cells)
 		m.ckpted = make([]bool, cells)
@@ -83,6 +82,9 @@ func (m *MemSim) cell(in pipeline.Instr) int { return in.Micro*m.stages + in.Sta
 
 func (m *MemSim) bump(v float64) {
 	m.cur += v
+	if m.cur > m.inst {
+		m.inst = m.cur
+	}
 	if m.cur > m.peak {
 		m.peak = m.cur
 	}
@@ -90,6 +92,9 @@ func (m *MemSim) bump(v float64) {
 
 // transient records a working set live only while the instruction runs.
 func (m *MemSim) transient(v float64) {
+	if m.cur+v > m.inst {
+		m.inst = m.cur + v
+	}
 	if m.cur+v > m.peak {
 		m.peak = m.cur + v
 	}
@@ -100,6 +105,7 @@ func (m *MemSim) transient(v float64) {
 // not toward the returned value).
 func (m *MemSim) Step(in pipeline.Instr) float64 {
 	e := m.e
+	m.inst = m.cur
 	switch in.Kind {
 	case pipeline.Forward:
 		m.bump(e.ActFull[in.Stage])

@@ -92,6 +92,7 @@ func goldenRegistry() *Registry {
 	m.Searches.Inc()
 	m.PointsExplored.Add(2)
 	m.PointsBoundPruned.Inc()
+	m.PointsMemPruned.Inc()
 	m.PointsImproved.Inc()
 	m.BuildMisses.Add(3)
 	m.GraphHits.Inc()

@@ -12,11 +12,12 @@ package telemetry
 // every field, so instrumented code updates unconditionally.
 type SearchMetrics struct {
 	// PointsExplored counts grid points fully evaluated (simulated or
-	// graph-optimized); PointsOOM, PointsPruned and PointsBoundPruned
-	// count points rejected by memory fit, structural infeasibility and
-	// the admissible upper bound respectively; PointsImproved counts
-	// evaluations that improved the incumbent.
-	PointsExplored, PointsOOM, PointsPruned, PointsBoundPruned, PointsImproved *Counter
+	// graph-optimized); PointsOOM, PointsPruned, PointsBoundPruned and
+	// PointsMemPruned count points rejected by memory fit, structural
+	// infeasibility, the admissible throughput upper bound, and the
+	// branch-and-bound memory lower bound respectively; PointsImproved
+	// counts evaluations that improved the incumbent.
+	PointsExplored, PointsOOM, PointsPruned, PointsBoundPruned, PointsMemPruned, PointsImproved *Counter
 	// BuildHits/BuildMisses and GraphHits/GraphMisses count the schedule
 	// and graph-result memo caches.
 	BuildHits, BuildMisses, GraphHits, GraphMisses *Counter
@@ -65,6 +66,7 @@ func NewSearchMetrics(r *Registry) *SearchMetrics {
 		PointsOOM:         r.LabeledCounter("mario_search_points_total", "Grid points by outcome.", "outcome", "oom"),
 		PointsPruned:      r.LabeledCounter("mario_search_points_total", "Grid points by outcome.", "outcome", "infeasible"),
 		PointsBoundPruned: r.LabeledCounter("mario_search_points_total", "Grid points by outcome.", "outcome", "bound_pruned"),
+		PointsMemPruned:   r.LabeledCounter("mario_search_points_total", "Grid points by outcome.", "outcome", "memory_pruned"),
 		PointsImproved:    r.Counter("mario_search_improved_total", "Evaluations that improved the incumbent."),
 		BuildHits:         r.LabeledCounter("mario_search_build_memo_total", "Schedule-build memo lookups.", "result", "hit"),
 		BuildMisses:       r.LabeledCounter("mario_search_build_memo_total", "Schedule-build memo lookups.", "result", "miss"),

@@ -1,0 +1,538 @@
+package tuner
+
+import (
+	"context"
+	"math"
+	"sort"
+	"sync"
+
+	"mario/internal/cost"
+	"mario/internal/pipeline"
+	"mario/internal/sim"
+	"mario/internal/telemetry"
+)
+
+// This file implements the branch-and-bound search strategy (the default):
+// instead of walking the grid in canonical order and pruning only against the
+// canonical best-so-far, it probes every point cheaply first — structural
+// checks, memoized schedule build, a tightened admissible throughput upper
+// bound, and an admissible memory lower bound — and then expands the feasible
+// points in best-first order (highest bound first, provably-OOM points last).
+// The best candidates surface early, so the bound prune fires on most of the
+// remaining grid, and points whose memory lower bound already exceeds the
+// device budget are skipped entirely once any positive-throughput incumbent
+// exists (their simulated throughput is provably zero under Equation 1's OOM
+// penalty).
+//
+// The strategy is exact: it returns the byte-identical best candidate the
+// grid walk returns, with the same canonical tie-break (highest throughput,
+// earliest grid index among ties). The equivalence is pinned by differential
+// tests against searchGrid with Space.NoPrune. Only the exploration order —
+// and with it the subset of points that get simulated, the trace contents and
+// the ordering-variant stats counters — differs; the ordering-invariant
+// digest (SearchStats.invariant) is preserved.
+
+// bnbNode is one probed, structurally feasible grid point awaiting
+// expansion.
+type bnbNode struct {
+	// idx is the point's canonical grid index (its enumerate position).
+	idx int
+	p   gridPoint
+	// ub is the admissible throughput upper bound from bnbBound; the true
+	// simulated throughput of the point can never exceed it.
+	ub float64
+	// memLB is the admissible per-device memory lower bound from
+	// memLowerBound; the true simulated peak can never be below it.
+	memLB float64
+	// doomed marks points whose memLB already exceeds Space.DeviceMem:
+	// their simulation is guaranteed OOM, hence zero throughput.
+	doomed bool
+}
+
+// effUB is the expansion priority: doomed points sort last (their true
+// throughput is zero regardless of ub), everything else by bound.
+func (n bnbNode) effUB() float64 {
+	if n.doomed {
+		return 0
+	}
+	return n.ub
+}
+
+// Merge-time outcomes of a bnb node.
+const (
+	exploreNode = iota
+	memPruneNode
+	boundPruneNode
+)
+
+// probePoint runs the cheap prefix of evalPoint — the structural feasibility
+// checks, the memoized schedule build and the estimator fit — and computes
+// the branch-and-bound bounds. It reports ok=false for structurally
+// infeasible points (the same set evalPoint rejects: indivisible batch,
+// scheme constraints, too few layers). It records no telemetry; the caller
+// synthesizes the canonical spans.
+func (t *Tuner) probePoint(space Space, p gridPoint) (nd bnbNode, ok bool) {
+	nd = bnbNode{p: p, ub: math.Inf(1)}
+	if space.GlobalBatch%(p.mbs*p.dp) != 0 {
+		return nd, false
+	}
+	micros := space.GlobalBatch / (p.mbs * p.dp)
+	if micros < 1 {
+		return nd, false
+	}
+	stages := p.pp
+	if p.scheme == pipeline.SchemeInterleave {
+		stages = p.pp * space.Chunks
+	}
+	if t.Prof.Model.Layers < stages {
+		return nd, false
+	}
+	sched, err := t.buildFor(space, p, micros)
+	if err != nil {
+		return nd, false
+	}
+	est, err := t.Prof.EstimatorFor(stages, p.mbs, space.TP)
+	if err != nil {
+		return nd, false
+	}
+	nd.ub = t.bnbBound(sched, est, p)
+	nd.memLB = memLowerBound(sched, est)
+	nd.doomed = space.DeviceMem > 0 && nd.memLB > space.DeviceMem
+	return nd, true
+}
+
+// bnbBound returns an admissible throughput upper bound for the point,
+// tighter than upperBound: the makespan lower bound is the maximum of
+//
+//   - the busiest device's serial occupancy over the built list, where every
+//     instruction contributes at least its launch overhead and compute
+//     instructions their full latency (forwards, backwards, the cool-down
+//     all-reduce and optimizer step). Every transformation the tuner may
+//     apply afterwards only adds device work (checkpointing inserts
+//     recomputes; split backward splits one backward into two halves whose
+//     durations sum to more than the original; prepose only reorders; no
+//     pass ever deletes a communication, all-reduce or optimizer
+//     instruction), and
+//
+//   - the single-micro dependency chain: one micro-batch must traverse every
+//     stage's forward, then every stage's backward (only the input-gradient
+//     fraction when the split-backward pass may defer the weight half), plus
+//     one launch-overhead + transfer latency per device-crossing stage
+//     boundary in each direction (the simulator's eager sends deliver no
+//     earlier than send start + overhead + transfer), plus the cool-down
+//     launch overheads and optimizer step that follow the final backward on
+//     its device. Multi-part placements take the cheapest part's crossing
+//     count, which lower-bounds whichever part the micro actually rides.
+func (t *Tuner) bnbBound(sched *pipeline.Schedule, est *cost.Estimator, p gridPoint) float64 {
+	lo := est.LaunchOverhead
+	var lb float64
+	var stagesBuf []int
+	for d, list := range sched.Lists {
+		var busy float64
+		for _, in := range list {
+			switch in.Kind {
+			case pipeline.Forward, pipeline.CkptForward:
+				busy += lo + est.FwTime[in.Stage]
+			case pipeline.Backward:
+				busy += lo + est.BwTime[in.Stage]
+			case pipeline.SendAct, pipeline.RecvAct, pipeline.SendGrad, pipeline.RecvGrad:
+				busy += lo
+			case pipeline.AllReduce:
+				stagesBuf = appendPlacementStages(stagesBuf[:0], sched.Placement, d)
+				busy += lo + est.AllReduceTime(p.dp, stagesBuf)
+			case pipeline.OptimizerStep:
+				busy += lo + est.OptTime
+			}
+		}
+		if busy > lb {
+			lb = busy
+		}
+	}
+	if chain := t.chainBound(sched, est, p); chain > lb {
+		lb = chain
+	}
+	if lb <= 0 {
+		return math.Inf(1)
+	}
+	samples := float64(sched.Micros * p.mbs * p.dp)
+	return samples / lb * t.dpEff(p.dp)
+}
+
+// chainBound is the single-micro dependency-chain half of bnbBound.
+func (t *Tuner) chainBound(sched *pipeline.Schedule, est *cost.Estimator, p gridPoint) float64 {
+	lo := est.LaunchOverhead
+	S := sched.NumStages()
+	// The chain only needs the input-gradient half of each backward when the
+	// split pass may defer the weight half; that pass runs on checkpointed
+	// candidates only.
+	r := 1.0
+	if t.SplitBackward && p.ckpt {
+		r = est.BwSplitRatio
+		if r < 0 {
+			r = 0
+		}
+		if r > 1 {
+			r = 1
+		}
+	}
+	var chain float64
+	for st := 0; st < S; st++ {
+		chain += (lo + est.FwTime[st]) + (lo + r*est.BwTime[st])
+	}
+	pl := sched.Placement
+	actHop := lo + est.CommTime(est.ActP2PBytes)
+	gradHop := lo + est.CommTime(est.GradP2PBytes)
+	minComm := math.Inf(1)
+	for part := 0; part < pl.NumParts(); part++ {
+		crossings := 0
+		for st := 0; st+1 < S; st++ {
+			if stageDevice(pl, part, st) != stageDevice(pl, part, st+1) {
+				crossings++
+			}
+		}
+		if c := float64(crossings) * (actHop + gradHop); c < minComm {
+			minComm = c
+		}
+	}
+	if !math.IsInf(minComm, 1) {
+		chain += minComm
+	}
+	// After the chain's final backward, its device still runs the cool-down
+	// AllReduce (payload lower-bounded at zero) and OptimizerStep.
+	chain += 2*lo + est.OptTime
+	return chain
+}
+
+// stageDevice resolves the device owning a stage along one partition's
+// chain, resolving interleaved chunk ids from the stage (a micro-batch
+// changes partition at chunk boundaries there).
+func stageDevice(pl pipeline.Placement, part, st int) int {
+	if ip, ok := pl.(pipeline.InterleavedPlacement); ok {
+		return pl.Device(ip.PartOfStage(st), st)
+	}
+	return pl.Device(part, st)
+}
+
+// appendPlacementStages appends the distinct stages whose weights the device
+// holds (the sim package's deviceStages, replicated for bound computation).
+func appendPlacementStages(out []int, pl pipeline.Placement, dev int) []int {
+	for st := 0; st < pl.NumStages(); st++ {
+		for p := 0; p < pl.NumParts(); p++ {
+			if pl.Device(p, st) == dev {
+				out = append(out, st)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// memLowerBound returns an admissible lower bound on the worst device's peak
+// memory: static memory (framework + owned training state) plus the
+// smallest allocation the device's first forward-like instruction can make
+// (the smaller of the full and stashed footprint over its stages). Memory
+// simulation starts at the static level, nothing releases below it before
+// the first forward, and no graph pass removes every forward from a device,
+// so the true simulated peak can never be below the bound.
+func memLowerBound(sched *pipeline.Schedule, est *cost.Estimator) float64 {
+	var worst float64
+	var stagesBuf []int
+	for d := range sched.Lists {
+		stagesBuf = appendPlacementStages(stagesBuf[:0], sched.Placement, d)
+		static := est.FrameworkMem
+		first := math.Inf(1)
+		for _, st := range stagesBuf {
+			static += est.WeightBytes[st]
+			a := est.ActFull[st]
+			if est.ActStash[st] < a {
+				a = est.ActStash[st]
+			}
+			if a < first {
+				first = a
+			}
+		}
+		if math.IsInf(first, 1) {
+			first = 0
+		}
+		if v := static + first; v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// searchBnB is the branch-and-bound strategy. Phase 1 probes every grid
+// point sequentially in canonical order, attaching the structural-prune
+// spans exactly as the grid walk would. Phase 2 sorts the feasible nodes
+// best-first (descending bound, canonical index among ties, provably-OOM
+// points last). Phase 3 expands the sorted nodes through the worker pool and
+// merges results in sorted order, pruning against the incumbent with the
+// canonical tie-break, so the returned best candidate is byte-identical to
+// the grid walk's for every worker count.
+//
+// Worker-side skips are sound for the same reason as in the grid walk:
+// mergedBest only grows and never exceeds the merge loop's incumbent, so any
+// bound or doom the worker observed still holds when the merge loop decides
+// the node. Prune spans are always synthesized at merge time (a speculative
+// worker evaluation that lost the race is discarded wholesale), so the
+// canonical telemetry never depends on scheduling.
+func (t *Tuner) searchBnB(ctx context.Context, space Space, points []gridPoint, tracer *telemetry.Tracer, search telemetry.Span, stats *SearchStats) (*Candidate, []Candidate, error) {
+	pruneInfeasible := func(idx int, p gridPoint) {
+		stats.Pruned++
+		t.publishStats(*stats)
+		if m := t.Metrics; m != nil {
+			m.PointsPruned.Inc()
+		}
+		ps := tracer.Detached(telemetry.PhasePoint, pointKey(idx, p))
+		ps.SetStr("result", "infeasible")
+		ps.End()
+		ps.AttachTo(search)
+	}
+
+	nodes := make([]bnbNode, 0, len(points))
+	for i, p := range points {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		nd, ok := t.probePoint(space, p)
+		if !ok {
+			pruneInfeasible(i, p)
+			continue
+		}
+		nd.idx = i
+		nodes = append(nodes, nd)
+	}
+	sort.Slice(nodes, func(a, b int) bool {
+		ua, ub := nodes[a].effUB(), nodes[b].effUB()
+		if ua != ub {
+			return ua > ub
+		}
+		return nodes[a].idx < nodes[b].idx
+	})
+
+	var best *Candidate
+	bestIdx := -1
+	mb := &mergedBest{}
+	type traceEnt struct {
+		idx int
+		c   Candidate
+	}
+	var ents []traceEnt
+
+	// decide classifies a node against the incumbent. Runs on the merge
+	// goroutine only.
+	decide := func(nd bnbNode) int {
+		if best == nil {
+			return exploreNode
+		}
+		if nd.doomed && best.Throughput > 0 {
+			return memPruneNode
+		}
+		// A node whose bound cannot beat the incumbent — or can at most tie
+		// it from a later canonical index, losing the tie-break — never
+		// changes the result.
+		if nd.ub < best.Throughput || (nd.ub == best.Throughput && nd.idx > bestIdx) {
+			return boundPruneNode
+		}
+		return exploreNode
+	}
+
+	synthPrune := func(nd bnbNode, result string) telemetry.Span {
+		ps := tracer.Detached(telemetry.PhasePoint, pointKey(nd.idx, nd.p))
+		ps.SetStr("result", result)
+		return ps
+	}
+
+	merge := func(nd bnbNode, pr pointResult) error {
+		sp := pr.span
+		// Workers that skipped every remaining node (the incumbent already
+		// dominates them) never observe a cancellation, so the merge loop
+		// checks it directly: a cancelled search must abort, not complete.
+		if cerr := ctx.Err(); cerr != nil {
+			sp.Discard()
+			return cerr
+		}
+		if pr.err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				sp.Discard()
+				return cerr
+			}
+			// Stale cancellation from a memo entry another (cancelled) search
+			// computed: drop it and fall through as a skip; the explore path
+			// below re-evaluates under our live context.
+			sp.Discard()
+			sp = telemetry.Span{}
+			pr = pointResult{feasible: true, skipped: true}
+		}
+		if !pr.feasible {
+			// The probe's structural prefix passed but the full evaluation
+			// still failed (a graph-pass error): the grid walk counts that as
+			// a structural prune, so the bnb path does too.
+			sp.Discard()
+			pruneInfeasible(nd.idx, nd.p)
+			return nil
+		}
+		switch decide(nd) {
+		case memPruneNode:
+			sp.Discard()
+			stats.MemPruned++
+			t.publishStats(*stats)
+			if m := t.Metrics; m != nil {
+				m.PointsMemPruned.Inc()
+			}
+			ps := synthPrune(nd, "memory_pruned")
+			ps.SetFloat("mem_lb", nd.memLB)
+			ps.End()
+			ps.AttachTo(search)
+			return nil
+		case boundPruneNode:
+			sp.Discard()
+			stats.BoundPruned++
+			t.publishStats(*stats)
+			if m := t.Metrics; m != nil {
+				m.PointsBoundPruned.Inc()
+			}
+			ps := synthPrune(nd, "bound_pruned")
+			ps.SetFloat("ub", nd.ub)
+			ps.End()
+			ps.AttachTo(search)
+			return nil
+		}
+		c := pr.cand
+		if c == nil {
+			// The worker skipped but the incumbent cannot justify the prune
+			// (e.g. a bound tie from an earlier canonical index): evaluate
+			// inline so the result stays exact.
+			sp.Discard()
+			forced := t.evalTraced(ctx, space, nd.idx, nd.p, nil, nil, tracer)
+			sp = forced.span
+			if forced.err != nil {
+				sp.Discard()
+				return forced.err
+			}
+			c = forced.cand
+			if c == nil {
+				sp.Discard()
+				pruneInfeasible(nd.idx, nd.p)
+				return nil
+			}
+		}
+		stats.Explored++
+		if c.OOM {
+			stats.OOMRejected++
+		}
+		ents = append(ents, traceEnt{idx: nd.idx, c: *c})
+		improved := best == nil || c.Throughput > best.Throughput ||
+			(c.Throughput == best.Throughput && nd.idx < bestIdx)
+		if improved {
+			cc := *c
+			best = &cc
+			bestIdx = nd.idx
+			stats.Improved++
+			mb.store(best.Throughput)
+		}
+		t.publishStats(*stats)
+		if m := t.Metrics; m != nil {
+			m.PointsExplored.Inc()
+			if c.OOM {
+				m.PointsOOM.Inc()
+			}
+			if improved {
+				m.PointsImproved.Inc()
+			}
+		}
+		if c.OOM {
+			sp.SetStr("result", "oom")
+		} else {
+			sp.SetStr("result", "explored")
+		}
+		sp.SetFloat("throughput", c.Throughput)
+		if improved {
+			sp.SetBool("improved", true)
+		}
+		sp.AttachTo(search)
+		if t.Progress != nil {
+			t.Progress(*c, *best)
+		}
+		return nil
+	}
+
+	var searchErr error
+	if space.Workers <= 1 || len(nodes) <= 1 {
+		eng := &sim.Simulator{}
+		sims0 := eng.Sims
+		for _, nd := range nodes {
+			if err := ctx.Err(); err != nil {
+				searchErr = err
+				break
+			}
+			pr := pointResult{feasible: true, skipped: true}
+			if decide(nd) == exploreNode {
+				pr = t.evalTraced(ctx, space, nd.idx, nd.p, mb, eng, tracer)
+			}
+			if err := merge(nd, pr); err != nil {
+				searchErr = err
+				break
+			}
+		}
+		t.Metrics.AddSims(eng.Sims - sims0)
+	} else {
+		workers := space.Workers
+		if workers > len(nodes) {
+			workers = len(nodes)
+		}
+		results := make([]pointResult, len(nodes))
+		ready := make([]chan struct{}, len(nodes))
+		for i := range ready {
+			ready[i] = make(chan struct{})
+		}
+		jobs := make(chan int, len(nodes))
+		for i := range nodes {
+			jobs <- i
+		}
+		close(jobs)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				eng := &sim.Simulator{} // per-worker engine: a Simulator is not goroutine-safe
+				for j := range jobs {
+					if err := ctx.Err(); err != nil {
+						results[j] = pointResult{err: err}
+						close(ready[j])
+						continue
+					}
+					nd := nodes[j]
+					if v, ok := mb.load(); ok && (nd.ub < v || (nd.doomed && v > 0)) {
+						// mergedBest only grows, so the merge loop's own
+						// decide() is guaranteed to confirm this skip.
+						results[j] = pointResult{feasible: true, skipped: true}
+						close(ready[j])
+						continue
+					}
+					results[j] = t.evalTraced(ctx, space, nd.idx, nd.p, mb, eng, tracer)
+					close(ready[j])
+				}
+				t.Metrics.AddSims(eng.Sims)
+			}()
+		}
+		for j := range nodes {
+			<-ready[j]
+			if searchErr == nil {
+				searchErr = merge(nodes[j], results[j])
+			}
+		}
+		wg.Wait()
+	}
+
+	sort.Slice(ents, func(a, b int) bool { return ents[a].idx < ents[b].idx })
+	var trace []Candidate
+	if len(ents) > 0 {
+		trace = make([]Candidate, len(ents))
+		for i := range ents {
+			trace[i] = ents[i].c
+		}
+	}
+	return best, trace, searchErr
+}

@@ -1,0 +1,37 @@
+package tuner
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestSearchStatsJSONFields pins the wire names of SearchStats. The struct
+// rides inside the marshaled mario.Plan, which the planning service caches
+// and clients decode with LoadPlan — renaming a field (or forgetting to add
+// a new counter here) silently zeroes it for every consumer.
+func TestSearchStatsJSONFields(t *testing.T) {
+	st := SearchStats{
+		Explored:    1,
+		OOMRejected: 2,
+		Pruned:      3,
+		BoundPruned: 4,
+		MemPruned:   5,
+		Improved:    6,
+	}
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"Explored":1,"OOMRejected":2,"Pruned":3,"BoundPruned":4,"MemPruned":5,"Improved":6}`
+	if string(data) != want {
+		t.Errorf("SearchStats JSON = %s, want %s", data, want)
+	}
+
+	var back SearchStats
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != st {
+		t.Errorf("round trip = %+v, want %+v", back, st)
+	}
+}

@@ -67,8 +67,14 @@ type Space struct {
 	// NoPrune disables the admissible upper-bound prune so every
 	// structurally feasible point is simulated — the trace then contains
 	// the full Fig. 11 curve. Benchmarks also use it to compare equal
-	// amounts of work across worker counts.
+	// amounts of work across worker counts. NoPrune implies NoBnB.
 	NoPrune bool
+	// NoBnB falls back to the canonical-order grid walk instead of the
+	// branch-and-bound search (best-first expansion with throughput upper
+	// bounds and memory-feasibility lower bounds). Both strategies return
+	// the same best candidate; branch-and-bound typically simulates far
+	// fewer points.
+	NoBnB bool
 }
 
 func (s Space) withDefaults() Space {
@@ -149,8 +155,26 @@ type SearchStats struct {
 	// upper bound could not beat the best already found, so their
 	// simulation was skipped. Zero when Space.NoPrune is set.
 	BoundPruned int
-	// Improved counts how many times the best-so-far advanced.
+	// MemPruned counts feasible grid points whose admissible memory lower
+	// bound already exceeds Space.DeviceMem while the incumbent throughput
+	// is positive: their simulated throughput is provably zero (Equation
+	// 1's OOM penalty), so the branch-and-bound search skips their
+	// simulation. Always zero on the grid path (Space.NoPrune or
+	// Space.NoBnB).
+	MemPruned int
+	// Improved counts how many times the best-so-far advanced. On the
+	// branch-and-bound path candidates arrive in bound order rather than
+	// grid order, so the count differs from the grid walk's (the final
+	// best does not).
 	Improved int
+}
+
+// invariant reports the expansion-order-invariant digest of the stats: the
+// structural-prune count and the total number of feasible points, which every
+// search strategy (grid, branch-and-bound) partitions the same way between
+// explored and pruned. Equivalence tests compare this across strategies.
+func (s SearchStats) invariant() (pruned, feasible int) {
+	return s.Pruned, s.Explored + s.BoundPruned + s.MemPruned
 }
 
 // Tuner runs the grid search using a profiler as the estimator source E and
@@ -173,6 +197,13 @@ type Tuner struct {
 	// transformation on each checkpointed candidate, keeping it when the
 	// simulator confirms an improvement within the memory budget.
 	SplitBackward bool
+	// NoDelta disables delta re-simulation inside the graph-pass candidate
+	// loop (sim.Options.NoDelta): every accepted-candidate re-sim runs the
+	// full fixpoint instead of recomputing only the dirty cone. Results are
+	// bit-identical either way — internal/sim/difftest pins that — so the
+	// flag is an escape hatch and a benchmarking control, and it
+	// deliberately does not enter the memo keys.
+	NoDelta bool
 	// Progress, when non-nil, is invoked after every explored candidate
 	// with that candidate and the best found so far (Fig. 11's curve,
 	// streamed). It runs on the merging goroutine in canonical grid order,
@@ -330,13 +361,16 @@ func (t *Tuner) SearchContext(ctx context.Context, space Space) (*Candidate, []C
 	points := enumerate(space)
 	var stats SearchStats
 	t.publishStats(stats)
-	var trace []Candidate
-	var best *Candidate
-	mb := &mergedBest{}
 
 	tracer := t.Span.Tracer()
 	search := t.Span.Child(telemetry.PhaseSearch, "")
 	search.SetInt("points", int64(len(points)))
+	bnb := !space.NoPrune && !space.NoBnB
+	if bnb {
+		search.SetStr("strategy", "bnb")
+	} else {
+		search.SetStr("strategy", "grid")
+	}
 	searchStart := time.Now()
 	buildH0, buildM0 := t.builds.hits.Load(), t.builds.misses.Load()
 	graphH0, graphM0 := t.graphs.hits.Load(), t.graphs.misses.Load()
@@ -353,6 +387,34 @@ func (t *Tuner) SearchContext(ctx context.Context, space Space) (*Candidate, []C
 			m.GraphMisses.Add(t.graphs.misses.Load() - graphM0)
 		}
 	}()
+
+	var best *Candidate
+	var trace []Candidate
+	var searchErr error
+	if bnb {
+		best, trace, searchErr = t.searchBnB(ctx, space, points, tracer, search, &stats)
+	} else {
+		best, trace, searchErr = t.searchGrid(ctx, space, points, tracer, search, &stats)
+	}
+	t.publishStats(stats)
+	if searchErr != nil {
+		return nil, nil, searchErr
+	}
+	if best == nil {
+		return nil, nil, fmt.Errorf("tuner: no feasible configuration in the search space")
+	}
+	return best, trace, nil
+}
+
+// searchGrid is the canonical-order grid walk: every point is evaluated (or
+// worker-skipped and confirmed pruned at merge time) in enumeration order.
+// It runs when Space.NoPrune or Space.NoBnB disables the branch-and-bound
+// strategy, and it is the reference the bnb path is differentially tested
+// against.
+func (t *Tuner) searchGrid(ctx context.Context, space Space, points []gridPoint, tracer *telemetry.Tracer, search telemetry.Span, stats *SearchStats) (*Candidate, []Candidate, error) {
+	var trace []Candidate
+	var best *Candidate
+	mb := &mergedBest{}
 
 	// merge folds one point's result into the search state, in canonical
 	// order. The prune decision is made here, against the canonical
@@ -382,7 +444,7 @@ func (t *Tuner) SearchContext(ctx context.Context, space Space) (*Candidate, []C
 		}
 		prune := func() {
 			stats.Pruned++
-			t.publishStats(stats)
+			t.publishStats(*stats)
 			if m := t.Metrics; m != nil {
 				m.PointsPruned.Inc()
 			}
@@ -395,7 +457,7 @@ func (t *Tuner) SearchContext(ctx context.Context, space Space) (*Candidate, []C
 		}
 		if best != nil && pr.ub <= best.Throughput {
 			stats.BoundPruned++
-			t.publishStats(stats)
+			t.publishStats(*stats)
 			if m := t.Metrics; m != nil {
 				m.PointsBoundPruned.Inc()
 			}
@@ -438,7 +500,7 @@ func (t *Tuner) SearchContext(ctx context.Context, space Space) (*Candidate, []C
 			stats.Improved++
 			mb.store(best.Throughput)
 		}
-		t.publishStats(stats)
+		t.publishStats(*stats)
 		if m := t.Metrics; m != nil {
 			m.PointsExplored.Inc()
 			if c.OOM {
@@ -525,14 +587,7 @@ func (t *Tuner) SearchContext(ctx context.Context, space Space) (*Candidate, []C
 		wg.Wait()
 	}
 
-	t.publishStats(stats)
-	if searchErr != nil {
-		return nil, nil, searchErr
-	}
-	if best == nil {
-		return nil, nil, fmt.Errorf("tuner: no feasible configuration in the search space")
-	}
-	return best, trace, nil
+	return best, trace, searchErr
 }
 
 // pointKey renders a grid point's canonical span key: the zero-padded
@@ -545,6 +600,24 @@ func pointKey(i int, p gridPoint) string {
 		tag = "mario"
 	}
 	return fmt.Sprintf("%04d %s-%d-%d(%s)", i, p.scheme.Shape(), p.pp, p.mbs, tag)
+}
+
+// buildFor memoizes (and freezes) the base schedule of a grid point; both
+// the full evaluation and the branch-and-bound probe go through it, so a
+// point is built at most once per Tuner regardless of strategy.
+func (t *Tuner) buildFor(space Space, p gridPoint, micros int) (*pipeline.Schedule, error) {
+	bk := buildKey{scheme: p.scheme, devices: p.pp, micros: micros, chunks: space.Chunks}
+	return t.builds.do(bk, func() (*pipeline.Schedule, error) {
+		s, err := scheme.Build(p.scheme, scheme.Config{Devices: p.pp, Micros: micros, Chunks: space.Chunks})
+		if err != nil {
+			return nil, err
+		}
+		// The memoized schedule is cloned by many grid points, possibly
+		// concurrently; freezing it makes those first Clones read-only on
+		// the shared copy-on-write marks.
+		s.Freeze()
+		return s, nil
+	})
 }
 
 // evalTraced wraps evalPoint with a detached point span that the canonical
@@ -603,17 +676,7 @@ func (t *Tuner) evalPoint(ctx context.Context, space Space, p gridPoint, mb *mer
 	bk := buildKey{scheme: p.scheme, devices: p.pp, micros: micros, chunks: space.Chunks}
 	bs := sp.Child(telemetry.PhaseBuild, "")
 	bs.Memo(fmt.Sprintf("%s|pp%d|u%d|c%d", p.scheme.Shape(), p.pp, micros, space.Chunks))
-	sched, err := t.builds.do(bk, func() (*pipeline.Schedule, error) {
-		s, err := scheme.Build(p.scheme, scheme.Config{Devices: p.pp, Micros: micros, Chunks: space.Chunks})
-		if err != nil {
-			return nil, err
-		}
-		// The memoized schedule is cloned by many grid points, possibly
-		// concurrently; freezing it makes those first Clones read-only on
-		// the shared copy-on-write marks.
-		s.Freeze()
-		return s, nil
-	})
+	sched, err := t.buildFor(space, p, micros)
 	bs.End()
 	if err != nil {
 		return infeasible // scheme constraint (odd Chimera, indivisible Interleave, …)
@@ -637,7 +700,7 @@ func (t *Tuner) evalPoint(ctx context.Context, space Space, p gridPoint, mb *mer
 		}
 	}
 
-	simOpts := sim.Options{DP: p.dp, MemLimit: space.DeviceMem}
+	simOpts := sim.Options{DP: p.dp, MemLimit: space.DeviceMem, NoDelta: t.NoDelta}
 	cand := &Candidate{Scheme: p.scheme, Ckpt: p.ckpt, PP: p.pp, DP: p.dp, MicroBatch: p.mbs, Micros: micros}
 	var res *sim.Result
 	if p.ckpt {

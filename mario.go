@@ -86,6 +86,16 @@ type Config struct {
 	// NoPrune disables the tuner's admissible upper-bound prune so every
 	// feasible configuration is simulated and appears in the trace.
 	NoPrune bool
+	// NoBnB falls back to the canonical-order grid walk instead of the
+	// branch-and-bound search. Both strategies return the byte-identical
+	// best plan; branch-and-bound typically simulates far fewer grid points,
+	// so the trace and the search stats differ. Implied by NoPrune.
+	NoBnB bool
+	// NoDelta disables delta re-simulation inside the graph passes: every
+	// candidate re-sim runs the full fixpoint instead of recomputing only
+	// the dirty cone. The plan is bit-identical either way; this is an
+	// escape hatch and a benchmarking control.
+	NoDelta bool
 	// Tracer, when non-nil, records the search's own telemetry: a
 	// PhaseOptimize root span with the tuner grid, graph-pass, simulator
 	// and robustness work nested under it (see internal/telemetry). The
@@ -230,7 +240,7 @@ func OptimizeContext(ctx context.Context, conf Config, model ModelConfig) (*Plan
 		metrics = conf.Tracer.Metrics()
 	}
 	tn := &tuner.Tuner{Prof: prof, SplitBackward: conf.SplitBackward, GraphWorkers: conf.GraphWorkers,
-		Span: root, Metrics: metrics}
+		NoDelta: conf.NoDelta, Span: root, Metrics: metrics}
 	if cb := conf.Progress; cb != nil {
 		explored := 0
 		tn.Progress = func(_ tuner.Candidate, best tuner.Candidate) {
@@ -250,6 +260,7 @@ func OptimizeContext(ctx context.Context, conf Config, model ModelConfig) (*Plan
 		DeviceMem:    memLimit,
 		Workers:      conf.Workers,
 		NoPrune:      conf.NoPrune,
+		NoBnB:        conf.NoBnB,
 	})
 	if err != nil {
 		return nil, err
