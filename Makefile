@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-gate bench-serve-json check fmt fuzz lint docs-check serve-smoke telemetry-smoke
+.PHONY: all build vet test race bench bench-json bench-gate bench-serve-json check fmt fuzz lint docs-check serve-smoke fleet-smoke telemetry-smoke
 
 all: check
 
@@ -46,7 +46,9 @@ bench-gate:
 
 # Service-layer latency artifact: the mariod request path (cache hit, fresh
 # run, traced run, /metrics scrape) against an instant run stub, so the
-# numbers isolate serve/telemetry overhead from tuner work.
+# numbers isolate serve/telemetry overhead from tuner work, plus the loadgen
+# bursts (single member and routed 3-member fleet) whose p50/p99/req-s land
+# under "extra".
 bench-serve-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkServe' -benchtime $(BENCHTIME) -benchmem ./internal/serve \
 		| $(GO) run ./cmd/benchjson > BENCH_serve.json
@@ -65,7 +67,7 @@ fuzz:
 # schedule rules) and the planning service's public surface (internal/serve
 # and its client). Dependency-free (cmd/exportlint, go/ast).
 lint:
-	$(GO) run ./cmd/exportlint ./internal/sim ./internal/pipeline ./internal/serve ./internal/serve/client ./internal/telemetry
+	$(GO) run ./cmd/exportlint ./internal/sim ./internal/pipeline ./internal/serve ./internal/serve/api ./internal/serve/client ./internal/serve/loadgen ./internal/telemetry
 
 # End-to-end smoke of the mariod planning service: boots the daemon on a
 # loopback port, plans a small workload through the Go client (fresh run,
@@ -73,6 +75,14 @@ lint:
 # the SIGTERM drain path. Exits non-zero on any failure.
 serve-smoke:
 	$(GO) run ./cmd/mariod -selfcheck
+
+# Fleet smoke: boots a loopback three-member mesh (every member is
+# coordinator + shard worker + router), proves the distributed search
+# byte-identical to an in-process Optimize, proves peer-routed cache hits
+# from every member, pushes a loadgen burst through (no errors, no 429/503),
+# and drains. Exits non-zero on any failure.
+fleet-smoke:
+	$(GO) run ./cmd/mariod -fleet-selfcheck
 
 # Telemetry smoke: the span-tree determinism tests under the race detector
 # (canonical exports byte-identical for Workers ∈ {1,4,GOMAXPROCS}), the
@@ -94,7 +104,7 @@ docs-check:
 	$(GO) run ./cmd/docscheck README.md DESIGN.md EXPERIMENTS.md ROADMAP.md PAPER.md docs
 	$(GO) test -run TestGoldenDocs ./internal/experiments
 
-check: vet build race fuzz lint docs-check serve-smoke telemetry-smoke
+check: vet build race fuzz lint docs-check serve-smoke fleet-smoke telemetry-smoke
 
 fmt:
 	gofmt -l -w .

@@ -9,11 +9,19 @@
 //	mariod [-addr :8347] [-cache 64] [-workers 2] [-queue 16]
 //	       [-timeout 5m] [-max-timeout 15m] [-tuner-workers 0]
 //	       [-drain-timeout 30s] [-debug-addr ""] [-flight-ring 64]
-//	       [-selfcheck]
+//	       [-fleet url1,url2] [-self url] [-shards 0] [-shard-chunk 0]
+//	       [-selfcheck] [-fleet-selfcheck]
 //
 // Endpoints: POST /v1/plan (?trace=1 embeds the search trace),
-// POST /v1/plan/stream, GET /v1/models, GET /healthz, GET /metrics,
-// GET /debug/flight.
+// POST /v1/plan/stream, POST /v1/shard (fleet shard batches),
+// GET /v1/models, GET /healthz, GET /metrics, GET /debug/flight.
+//
+// -fleet lists the other members of a planning fleet: branch-and-bound
+// searches dispatch shard batches to them over /v1/shard, and with -self
+// set (this member's URL as peers see it) blocking plan requests are
+// routed to each workload's consistent-hash owner so the fleet computes
+// every plan once. The merged plan is byte-identical to a single-node run
+// for any fleet size. See DESIGN.md §11 and docs/TUNING.md for the knobs.
 //
 // -debug-addr starts a second listener with the net/http/pprof profiling
 // endpoints plus /debug/flight and /metrics — keep it loopback-only in
@@ -62,24 +70,55 @@ func main() {
 		debugAddr    = flag.String("debug-addr", "", "optional second listener with pprof + /debug/flight + /metrics (keep loopback-only)")
 		flightRing   = flag.Int("flight-ring", 64, "recent request traces the flight recorder keeps")
 		flightSlow   = flag.Int("flight-slow", 8, "slowest-requests log size")
+		maxBody      = flag.Int64("max-body", 0, "request-body byte limit, 413 beyond it (0 = 1 MiB default)")
+		fleetList    = flag.String("fleet", "", "comma-separated base URLs of the other fleet members")
+		self         = flag.String("self", "", "this member's base URL as peers reach it (enables plan routing)")
+		shards       = flag.Int("shards", 0, "shards per search wave (0 = one per fleet peer)")
+		shardChunk   = flag.Int("shard-chunk", 0, "grid points per shard batch (0 = tuner default)")
+		fleetRetries = flag.Int("fleet-retries", 2, "retries for fleet-internal requests (shard dispatch, routing)")
+		fleetBackoff = flag.Duration("fleet-backoff", 50*time.Millisecond, "base backoff between fleet-internal retries")
+		noShare      = flag.Bool("no-share-incumbent", false, "do not ship the global incumbent with shard batches (workers skip less; plans identical)")
+		workerCache  = flag.Int("worker-cache", 0, "shard-worker cache size, workloads memoized for /v1/shard (0 = default)")
 		selfcheck    = flag.Bool("selfcheck", false, "start on loopback, exercise the service end to end, then shut down")
+		fleetCheck   = flag.Bool("fleet-selfcheck", false, "boot a loopback 3-member fleet, prove byte-identity + peer caching + a loadgen burst, then drain")
 	)
 	flag.Parse()
 
+	var fleet []string
+	for _, u := range strings.Split(*fleetList, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			fleet = append(fleet, u)
+		}
+	}
 	opts := serve.Options{
-		CacheSize:      *cacheSize,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		TunerWorkers:   *tunerWorkers,
-		NoDelta:        *noDelta,
-		FlightRing:     *flightRing,
-		FlightSlow:     *flightSlow,
+		CacheSize:        *cacheSize,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		TunerWorkers:     *tunerWorkers,
+		NoDelta:          *noDelta,
+		FlightRing:       *flightRing,
+		FlightSlow:       *flightSlow,
+		MaxBodyBytes:     *maxBody,
+		Fleet:            fleet,
+		Self:             *self,
+		Shards:           *shards,
+		ShardChunk:       *shardChunk,
+		FleetRetries:     *fleetRetries,
+		FleetBackoff:     *fleetBackoff,
+		NoShareIncumbent: *noShare,
+		WorkerCache:      *workerCache,
 	}
 
 	if *selfcheck {
 		os.Exit(runSelfcheck(opts, *drainTimeout))
+	}
+	if *fleetCheck {
+		// The selfcheck boots its own loopback mesh; a configured fleet
+		// would fight it.
+		opts.Fleet, opts.Self = nil, ""
+		os.Exit(runFleetSelfcheck(opts, *drainTimeout))
 	}
 
 	ln, err := net.Listen("tcp", *addr)

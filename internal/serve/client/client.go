@@ -11,12 +11,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"time"
 
 	"mario"
-	"mario/internal/serve"
+	"mario/internal/serve/api"
 )
 
 // Client talks to one mariod instance.
@@ -30,6 +31,15 @@ type Client struct {
 	// (?trace=1); when the request is answered by a tuner run, the
 	// response's Trace field carries it.
 	Trace bool
+	// Retries is how many times a POST is re-sent after a transient
+	// failure (a transport error, or a 429/502/503/504 status). 0 — the
+	// default — disables retries entirely; requests are deterministic and
+	// idempotent, so retrying is always safe, just not always wanted.
+	Retries int
+	// Backoff is the base delay of the exponential backoff between
+	// retries (doubled per attempt, with ±50% jitter); 0 means 50ms when
+	// Retries is set.
+	Backoff time.Duration
 }
 
 // New returns a client for the server at baseURL.
@@ -56,7 +66,70 @@ func apiError(resp *http.Response) error {
 	return fmt.Errorf("client: server returned %s", resp.Status)
 }
 
-func (c *Client) post(ctx context.Context, path string, req serve.PlanRequest) (*http.Response, error) {
+// retryableStatus reports whether a response status is worth re-sending
+// the request for: admission pushback and gateway-style transient errors.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// backoffDelay is the sleep before retry attempt n (0-based): the base
+// doubled per attempt, with ±50% jitter so a fleet of clients does not
+// retry in lockstep.
+func (c *Client) backoffDelay(attempt int) time.Duration {
+	base := c.Backoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	d := base << uint(attempt)
+	jitter := 0.5 + rand.Float64() // [0.5, 1.5)
+	return time.Duration(float64(d) * jitter)
+}
+
+// postJSON sends one JSON body to path, retrying transient failures up to
+// c.Retries times. The caller owns the returned response body. hdr holds
+// extra header key/value pairs.
+func (c *Client) postJSON(ctx context.Context, url string, body []byte, hdr ...string) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		for i := 0; i+1 < len(hdr); i += 2 {
+			hreq.Header.Set(hdr[i], hdr[i+1])
+		}
+		resp, err := c.http().Do(hreq)
+		switch {
+		case err != nil:
+			lastErr = err
+		case resp.StatusCode == http.StatusOK:
+			return resp, nil
+		default:
+			apiErr := apiError(resp)
+			resp.Body.Close()
+			if !retryableStatus(resp.StatusCode) {
+				return nil, apiErr
+			}
+			lastErr = apiErr
+		}
+		if attempt >= c.Retries {
+			return nil, lastErr
+		}
+		select {
+		case <-time.After(c.backoffDelay(attempt)):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func (c *Client) post(ctx context.Context, path string, req api.PlanRequest, hdr ...string) (*http.Response, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: encoding request: %w", err)
@@ -65,32 +138,56 @@ func (c *Client) post(ctx context.Context, path string, req serve.PlanRequest) (
 	if c.Trace {
 		url += "?trace=1"
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	return c.postJSON(ctx, url, body, hdr...)
+}
+
+// PlanRouted is Plan with the fleet routing guard set: the receiving
+// member answers locally instead of consulting its hash ring again. Fleet
+// members use it to forward a request to the workload's owner exactly
+// once.
+func (c *Client) PlanRouted(ctx context.Context, req api.PlanRequest) (*api.PlanResponse, error) {
+	resp, err := c.post(ctx, "/v1/plan", req, api.RoutedHeader, "1")
 	if err != nil {
 		return nil, err
 	}
-	hreq.Header.Set("Content-Type", "application/json")
-	resp, err := c.http().Do(hreq)
+	defer resp.Body.Close()
+	var pr api.PlanResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return nil, fmt.Errorf("client: decoding response: %w", err)
+	}
+	return &pr, nil
+}
+
+// Shard dispatches one fleet shard batch (POST /v1/shard) and returns the
+// worker's outcomes. Coordinators use it through the fleet dispatcher;
+// protocol-version mismatches surface as the server's 400 error.
+func (c *Client) Shard(ctx context.Context, req api.ShardRequest) (*api.ShardResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding shard request: %w", err)
+	}
+	resp, err := c.postJSON(ctx, c.BaseURL+"/v1/shard", body)
 	if err != nil {
 		return nil, err
 	}
-	if resp.StatusCode != http.StatusOK {
-		defer resp.Body.Close()
-		return nil, apiError(resp)
+	defer resp.Body.Close()
+	var sr api.ShardResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("client: decoding shard response: %w", err)
 	}
-	return resp, nil
+	return &sr, nil
 }
 
 // Plan submits a blocking plan request and returns the raw response. Use
 // Decode (or mario.LoadPlan) to turn the response's Plan bytes into a
 // *mario.Plan.
-func (c *Client) Plan(ctx context.Context, req serve.PlanRequest) (*serve.PlanResponse, error) {
+func (c *Client) Plan(ctx context.Context, req api.PlanRequest) (*api.PlanResponse, error) {
 	resp, err := c.post(ctx, "/v1/plan", req)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	var pr serve.PlanResponse
+	var pr api.PlanResponse
 	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
 		return nil, fmt.Errorf("client: decoding response: %w", err)
 	}
@@ -100,7 +197,7 @@ func (c *Client) Plan(ctx context.Context, req serve.PlanRequest) (*serve.PlanRe
 // PlanStream submits a streaming plan request, invoking onProgress (when
 // non-nil) for every progress record, and returns the terminal plan
 // response.
-func (c *Client) PlanStream(ctx context.Context, req serve.PlanRequest, onProgress func(serve.ProgressEvent)) (*serve.PlanResponse, error) {
+func (c *Client) PlanStream(ctx context.Context, req api.PlanRequest, onProgress func(api.ProgressEvent)) (*api.PlanResponse, error) {
 	resp, err := c.post(ctx, "/v1/plan/stream", req)
 	if err != nil {
 		return nil, err
@@ -131,10 +228,10 @@ func (c *Client) PlanStream(ctx context.Context, req serve.PlanRequest, onProgre
 		switch rec.Type {
 		case "progress":
 			if onProgress != nil {
-				onProgress(serve.ProgressEvent{Explored: rec.Explored, Best: rec.Best, BestThroughput: rec.BestThroughput})
+				onProgress(api.ProgressEvent{Explored: rec.Explored, Best: rec.Best, BestThroughput: rec.BestThroughput})
 			}
 		case "plan":
-			return &serve.PlanResponse{Fingerprint: rec.Fingerprint, Cached: rec.Cached, Shared: rec.Shared, Plan: rec.Plan, Trace: rec.Trace}, nil
+			return &api.PlanResponse{Fingerprint: rec.Fingerprint, Cached: rec.Cached, Shared: rec.Shared, Plan: rec.Plan, Trace: rec.Trace}, nil
 		case "error":
 			return nil, fmt.Errorf("client: server error: %s", rec.Error)
 		default:
@@ -148,13 +245,13 @@ func (c *Client) PlanStream(ctx context.Context, req serve.PlanRequest, onProgre
 }
 
 // Decode turns a plan response's raw bytes into a *mario.Plan.
-func Decode(pr *serve.PlanResponse) (*mario.Plan, error) {
+func Decode(pr *api.PlanResponse) (*mario.Plan, error) {
 	return mario.LoadPlan(pr.Plan)
 }
 
 // Health fetches /healthz. The returned Health is valid even when the
 // server reports 503 (draining); other statuses are errors.
-func (c *Client) Health(ctx context.Context) (*serve.Health, error) {
+func (c *Client) Health(ctx context.Context) (*api.Health, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
 	if err != nil {
 		return nil, err
@@ -167,7 +264,7 @@ func (c *Client) Health(ctx context.Context) (*serve.Health, error) {
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
 		return nil, apiError(resp)
 	}
-	var h serve.Health
+	var h api.Health
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
 		return nil, fmt.Errorf("client: decoding health: %w", err)
 	}

@@ -5,19 +5,6 @@ import (
 	"sync"
 )
 
-// ProgressEvent is one tuner progress update, streamed to every subscriber
-// of a flight as it searches. Events arrive in canonical grid order (the
-// tuner's merge-loop contract); a slow subscriber may observe gaps — each
-// event is a complete snapshot, so dropping intermediate ones loses nothing
-// but granularity.
-type ProgressEvent struct {
-	// Explored is the number of candidates merged so far.
-	Explored int `json:"explored"`
-	// Best and BestThroughput describe the best configuration found so far.
-	Best           string  `json:"best"`
-	BestThroughput float64 `json:"throughput"`
-}
-
 // flight is one in-progress tuner run that any number of identical requests
 // share (singleflight). The first request creates it and enqueues it on the
 // worker pool; later identical requests join as waiters. When the last

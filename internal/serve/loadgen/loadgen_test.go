@@ -1,0 +1,104 @@
+package loadgen_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"mario/internal/serve/api"
+	"mario/internal/serve/loadgen"
+)
+
+// TestRunClassifiesOutcomes drives the generator against a scripted server
+// and checks every outcome bucket: fresh 200s, cached 200s, peer-routed
+// 200s, 429 and 503 pushback, and hard failures.
+func TestRunClassifiesOutcomes(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch n.Add(1) % 6 {
+		case 1:
+			json.NewEncoder(w).Encode(api.PlanResponse{Plan: json.RawMessage(`{}`)})
+		case 2:
+			json.NewEncoder(w).Encode(api.PlanResponse{Cached: true, Plan: json.RawMessage(`{}`)})
+		case 3:
+			json.NewEncoder(w).Encode(api.PlanResponse{Cached: true, Peer: "http://other", Plan: json.RawMessage(`{}`)})
+		case 4:
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"queue full"}`)
+		case 5:
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"draining"}`)
+		case 0:
+			w.WriteHeader(http.StatusInternalServerError)
+		}
+	}))
+	defer ts.Close()
+
+	const total = 60 // 10 full cycles of the 6-outcome script
+	res, err := loadgen.Run(context.Background(), loadgen.Options{
+		Targets:     []string{ts.URL},
+		Workloads:   []api.PlanRequest{{Model: "LLaMA2-3B", Devices: 4, GlobalBatch: 16}},
+		Requests:    total,
+		Concurrency: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != total {
+		t.Fatalf("total = %d, want %d", res.Total, total)
+	}
+	want := map[string]int{"ok": 30, "cached": 20, "peer": 10, "429": 10, "503": 10, "err": 10}
+	got := map[string]int{"ok": res.OK, "cached": res.Cached, "peer": res.Peer,
+		"429": res.Rej429, "503": res.Rej503, "err": res.Errors}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("%s = %d, want %d (full: %+v)", k, got[k], w, res)
+		}
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 || res.Max < res.P99 {
+		t.Errorf("quantiles not ordered: p50=%v p99=%v max=%v", res.P50, res.P99, res.Max)
+	}
+	if res.ReqPerSec <= 0 {
+		t.Error("zero throughput")
+	}
+}
+
+func TestRunOptionValidation(t *testing.T) {
+	ctx := context.Background()
+	w := []api.PlanRequest{{Model: "LLaMA2-3B"}}
+	if _, err := loadgen.Run(ctx, loadgen.Options{Workloads: w, Requests: 1}); err == nil {
+		t.Error("no targets accepted")
+	}
+	if _, err := loadgen.Run(ctx, loadgen.Options{Targets: []string{"http://x"}, Requests: 1}); err == nil {
+		t.Error("no workloads accepted")
+	}
+	if _, err := loadgen.Run(ctx, loadgen.Options{Targets: []string{"http://x"}, Workloads: w}); err == nil {
+		t.Error("zero requests accepted")
+	}
+}
+
+// TestMixedWorkloads pins that every variant gets a distinct fingerprint —
+// otherwise the "mix" silently collapses to one cache entry.
+func TestMixedWorkloads(t *testing.T) {
+	base := api.PlanRequest{Model: "LLaMA2-3B", Devices: 4, GlobalBatch: 16, MicroBatches: []int{1, 2}}
+	ws := loadgen.MixedWorkloads(base, 4)
+	if len(ws) != 4 {
+		t.Fatalf("got %d workloads", len(ws))
+	}
+	seen := map[string]bool{}
+	for _, w := range ws {
+		model, err := w.Validate()
+		if err != nil {
+			t.Fatalf("variant gbs=%d invalid: %v", w.GlobalBatch, err)
+		}
+		fp := w.Fingerprint(model)
+		if seen[fp] {
+			t.Fatalf("duplicate fingerprint for gbs=%d", w.GlobalBatch)
+		}
+		seen[fp] = true
+	}
+}

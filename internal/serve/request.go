@@ -4,6 +4,10 @@
 // identical requests onto one tuner run (singleflight), bounds concurrent
 // tuner work with a worker pool plus admission control, streams tuner
 // progress as newline-delimited JSON, and drains gracefully on shutdown.
+// Configured with fleet peers, a server also acts as a distributed-planning
+// member: it routes plan requests to each workload's consistent-hash owner,
+// answers shard batches other coordinators dispatch, and distributes its own
+// branch-and-bound searches across the fleet (see fleet.go).
 //
 // The cache contract leans on the determinism the tuner already guarantees:
 // the same fingerprint always produces byte-identical plan JSON, so a cache
@@ -11,225 +15,22 @@
 // zero-cost" move applied to planning itself.
 package serve
 
-import (
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
-	"fmt"
-	"strings"
-	"time"
+import "mario/internal/serve/api"
 
-	"mario"
-	"mario/internal/cost"
-	"mario/internal/pipeline"
-	"mario/internal/profile"
+// The wire types live in mario/internal/serve/api so the server and the
+// client can share them without importing each other; these aliases keep
+// the historical serve.* names working.
+type (
+	// PlanRequest is the body of POST /v1/plan and /v1/plan/stream.
+	PlanRequest = api.PlanRequest
+	// PlanResponse is the body of a successful POST /v1/plan.
+	PlanResponse = api.PlanResponse
+	// ProgressEvent is one streamed tuner progress update.
+	ProgressEvent = api.ProgressEvent
+	// Health is the /healthz body.
+	Health = api.Health
+	// ShardRequest is one fleet shard batch (POST /v1/shard).
+	ShardRequest = api.ShardRequest
+	// ShardResponse is a worker's answer to one shard batch.
+	ShardResponse = api.ShardResponse
 )
-
-// PlanRequest is the body of POST /v1/plan and /v1/plan/stream: a JSON
-// mirror of mario.Config plus a model reference. Fields that steer the plan
-// (model, cluster shape, search space, machine spec, tuner knobs) enter the
-// workload fingerprint; resource hints (Workers, TimeoutSec) do not — by the
-// tuner's determinism contract they cannot change the result, only how fast
-// or how long the server is willing to chase it.
-type PlanRequest struct {
-	// Model names a built-in preset (GPT3-13B, LLaMA2-3B, …). Exactly one
-	// of Model and ModelConfig must be set.
-	Model string `json:"model,omitempty"`
-	// ModelConfig describes a custom model inline.
-	ModelConfig *cost.ModelConfig `json:"model_config,omitempty"`
-	// Scheme is "Auto" (default), a scheme name or a shape alias, as in
-	// mario.Config.PipelineScheme.
-	Scheme string `json:"scheme,omitempty"`
-	// GlobalBatch and Devices shape the job (both required).
-	GlobalBatch int `json:"global_batch"`
-	Devices     int `json:"devices"`
-	// Memory is the per-device budget ("40G", "512M", bytes); empty keeps
-	// the hardware default.
-	Memory string `json:"memory,omitempty"`
-	// TP is the fixed tensor-parallel degree; 0 means 1.
-	TP int `json:"tp,omitempty"`
-	// Checkpoint forces Mario's checkpointing on or off; nil lets the
-	// tuner decide.
-	Checkpoint *bool `json:"checkpoint,omitempty"`
-	// SplitBackward additionally tries the ZB-H1 split-backward pass.
-	SplitBackward bool `json:"split_backward,omitempty"`
-	// MicroBatches restricts the candidate micro-batch sizes; nil means
-	// powers of two. Order matters (it is the grid iteration order), so it
-	// is fingerprinted as given.
-	MicroBatches []int `json:"micro_batches,omitempty"`
-	// MinPP and MaxPP bound the pipeline dimension.
-	MinPP int `json:"min_pp,omitempty"`
-	MaxPP int `json:"max_pp,omitempty"`
-	// NoPrune disables the upper-bound prune so the trace holds the full
-	// Fig. 11 curve. It changes the trace, hence it is fingerprinted.
-	NoPrune bool `json:"no_prune,omitempty"`
-	// NoBnB replaces the branch-and-bound search with the canonical-order
-	// grid walk. The best plan is identical, but the trace and search stats
-	// differ, hence it is fingerprinted.
-	NoBnB bool `json:"no_bnb,omitempty"`
-	// Machine overrides the emulated hardware imperfections; nil uses
-	// profile.DefaultMachine.
-	Machine *profile.MachineSpec `json:"machine,omitempty"`
-	// Hardware overrides the device description; nil uses A100-40G.
-	Hardware *cost.Hardware `json:"hardware,omitempty"`
-
-	// NoDelta disables delta re-simulation inside the graph passes. Not
-	// fingerprinted: the plan is bit-identical either way (it is a speed
-	// control, like Workers).
-	NoDelta bool `json:"no_delta,omitempty"`
-	// Workers is a per-request hint for tuner parallelism, capped by the
-	// server; 0 uses the server default. Not fingerprinted: the plan is
-	// identical for every worker count.
-	Workers int `json:"workers,omitempty"`
-	// TimeoutSec overrides the server's default per-request deadline,
-	// capped by the server's maximum. Not fingerprinted.
-	TimeoutSec float64 `json:"timeout_sec,omitempty"`
-}
-
-// Validate checks the request and canonicalizes the fields the fingerprint
-// depends on: the scheme is resolved to its canonical name, the memory spec
-// to bytes, and the model reference to a concrete configuration. It returns
-// the resolved model.
-func (r *PlanRequest) Validate() (cost.ModelConfig, error) {
-	var model cost.ModelConfig
-	switch {
-	case r.Model != "" && r.ModelConfig != nil:
-		return model, fmt.Errorf("serve: set model or model_config, not both")
-	case r.ModelConfig != nil:
-		model = *r.ModelConfig
-	case r.Model != "":
-		m, ok := mario.Models()[r.Model]
-		if !ok {
-			return model, fmt.Errorf("serve: unknown model %q", r.Model)
-		}
-		model = m
-	default:
-		return model, fmt.Errorf("serve: model or model_config is required")
-	}
-	if err := model.Validate(); err != nil {
-		return model, err
-	}
-	if r.Devices <= 0 || r.GlobalBatch <= 0 {
-		return model, fmt.Errorf("serve: devices (%d) and global_batch (%d) must be positive", r.Devices, r.GlobalBatch)
-	}
-	if name := strings.TrimSpace(r.Scheme); name == "" || strings.EqualFold(name, "auto") {
-		r.Scheme = "Auto"
-	} else {
-		s, err := pipeline.ParseScheme(name)
-		if err != nil {
-			return model, err
-		}
-		r.Scheme = string(s)
-	}
-	if r.Memory != "" {
-		if _, err := mario.ParseMemory(r.Memory); err != nil {
-			return model, err
-		}
-	}
-	for _, m := range r.MicroBatches {
-		if m <= 0 {
-			return model, fmt.Errorf("serve: micro_batches entries must be positive (got %d)", m)
-		}
-	}
-	if r.TimeoutSec < 0 {
-		return model, fmt.Errorf("serve: timeout_sec must not be negative")
-	}
-	return model, nil
-}
-
-// fingerprintKey is the canonical identity of a planning workload. Field
-// order is fixed and every field is either a value or a canonicalized
-// pointer, so encoding/json renders identical requests to identical bytes.
-type fingerprintKey struct {
-	Model        cost.ModelConfig     `json:"model"`
-	Scheme       string               `json:"scheme"`
-	GlobalBatch  int                  `json:"global_batch"`
-	Devices      int                  `json:"devices"`
-	MemoryBytes  float64              `json:"memory_bytes"`
-	TP           int                  `json:"tp"`
-	Checkpoint   *bool                `json:"checkpoint"`
-	Split        bool                 `json:"split"`
-	MicroBatches []int                `json:"micro_batches"`
-	MinPP        int                  `json:"min_pp"`
-	MaxPP        int                  `json:"max_pp"`
-	NoPrune      bool                 `json:"no_prune"`
-	NoBnB        bool                 `json:"no_bnb"`
-	Machine      *profile.MachineSpec `json:"machine"`
-	Hardware     *cost.Hardware       `json:"hardware"`
-}
-
-// Fingerprint returns the workload fingerprint: a hex SHA-256 over the
-// canonical JSON of every plan-steering field. Call Validate first — the
-// fingerprint assumes canonicalized scheme and memory fields.
-func (r *PlanRequest) Fingerprint(model cost.ModelConfig) string {
-	memBytes := 0.0
-	if r.Memory != "" {
-		memBytes, _ = mario.ParseMemory(r.Memory) // validated already
-	}
-	key := fingerprintKey{
-		Model:        model,
-		Scheme:       r.Scheme,
-		GlobalBatch:  r.GlobalBatch,
-		Devices:      r.Devices,
-		MemoryBytes:  memBytes,
-		TP:           r.TP,
-		Checkpoint:   r.Checkpoint,
-		Split:        r.SplitBackward,
-		MicroBatches: r.MicroBatches,
-		MinPP:        r.MinPP,
-		MaxPP:        r.MaxPP,
-		NoPrune:      r.NoPrune,
-		NoBnB:        r.NoBnB,
-		Machine:      r.Machine,
-		Hardware:     r.Hardware,
-	}
-	data, err := json.Marshal(key)
-	if err != nil {
-		// Unreachable: every field is a plain value. Fail closed with a
-		// never-matching fingerprint rather than panicking a server.
-		return fmt.Sprintf("unfingerprintable:%v", err)
-	}
-	sum := sha256.Sum256(data)
-	return hex.EncodeToString(sum[:])
-}
-
-// config translates the request into a mario.Config. workers is the resolved
-// tuner parallelism (the server caps the request's hint).
-func (r *PlanRequest) config(workers int) mario.Config {
-	conf := mario.Config{
-		PipelineScheme:  r.Scheme,
-		GlobalBatchSize: r.GlobalBatch,
-		NumDevices:      r.Devices,
-		MemoryPerDevice: r.Memory,
-		TP:              r.TP,
-		Checkpoint:      r.Checkpoint,
-		SplitBackward:   r.SplitBackward,
-		MicroBatchSizes: r.MicroBatches,
-		MinPP:           r.MinPP,
-		MaxPP:           r.MaxPP,
-		NoPrune:         r.NoPrune,
-		NoBnB:           r.NoBnB,
-		NoDelta:         r.NoDelta,
-		Workers:         workers,
-	}
-	if r.Machine != nil {
-		conf.Machine = *r.Machine
-	}
-	if r.Hardware != nil {
-		conf.Hardware = r.Hardware
-	}
-	return conf
-}
-
-// timeout resolves the request's deadline against the server's default and
-// ceiling.
-func (r *PlanRequest) timeout(def, max time.Duration) time.Duration {
-	d := def
-	if r.TimeoutSec > 0 {
-		d = time.Duration(r.TimeoutSec * float64(time.Second))
-	}
-	if max > 0 && d > max {
-		d = max
-	}
-	return d
-}

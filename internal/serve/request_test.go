@@ -99,7 +99,7 @@ func TestRequestConfigPlumbing(t *testing.T) {
 	if _, err := r.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	conf := r.config(3)
+	conf := r.Config(3)
 	if !conf.NoPrune || !conf.NoBnB || !conf.NoDelta {
 		t.Errorf("config dropped a strategy knob: NoPrune=%v NoBnB=%v NoDelta=%v", conf.NoPrune, conf.NoBnB, conf.NoDelta)
 	}

@@ -45,6 +45,39 @@ type Options struct {
 	// keeps; 0 means 64. FlightSlow is the slow-log size; 0 means 8.
 	FlightRing int
 	FlightSlow int
+	// MaxBodyBytes bounds request bodies on the plan, stream and shard
+	// endpoints (oversized bodies get 413); 0 means 1 MiB.
+	MaxBodyBytes int64
+
+	// Fleet lists the base URLs of the other planning-fleet members. A
+	// non-empty fleet makes this server a coordinator: its branch-and-bound
+	// searches are dispatched across the members in shard waves, and (when
+	// Self is also set) plan requests are routed to each workload's
+	// consistent-hash owner.
+	Fleet []string
+	// Self is this member's own advertised base URL. Required for peer
+	// routing (it places this member on the hash ring); optional for shard
+	// dispatch.
+	Self string
+	// Shards is the number of shard partitions per dispatch wave; 0 means
+	// one per fleet member.
+	Shards int
+	// ShardChunk is the number of sorted grid points per shard per wave; 0
+	// means tuner.DefaultShardChunk.
+	ShardChunk int
+	// FleetRetries and FleetBackoff configure the shard clients' bounded
+	// retry (client.Client Retries/Backoff); zero means no retries — the
+	// coordinator's local fallback already keeps results exact.
+	FleetRetries int
+	FleetBackoff time.Duration
+	// NoShareIncumbent stops the coordinator from broadcasting its
+	// incumbent to workers. Results are identical; workers just simulate
+	// points the incumbent would have skipped. It exists as the
+	// benchmarking control for the incumbent-sharing win.
+	NoShareIncumbent bool
+	// WorkerCache bounds the per-workload shard-worker cache (memoized
+	// tuners serving /v1/shard); 0 means 8.
+	WorkerCache int
 }
 
 func (o Options) withDefaults() Options {
@@ -72,6 +105,12 @@ func (o Options) withDefaults() Options {
 	if o.FlightSlow <= 0 {
 		o.FlightSlow = 8
 	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.WorkerCache <= 0 {
+		o.WorkerCache = 8
+	}
 	return o
 }
 
@@ -90,6 +129,7 @@ type Server struct {
 	search    *telemetry.SearchMetrics
 	flightRec *telemetry.FlightRecorder
 	cache     *planCache
+	fleet     *fleetState // peer routing, shard dispatch and the shard-worker cache
 
 	mu       sync.Mutex
 	flights  map[string]*flight
@@ -117,6 +157,7 @@ func New(opts Options) *Server {
 		jobs:      make(chan *flight, opts.QueueDepth),
 	}
 	s.sm.cacheCapacity.Set(int64(opts.CacheSize))
+	s.fleet = newFleetState(opts)
 	s.run = s.optimize
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
@@ -136,6 +177,7 @@ func (s *Server) FlightRecorder() *telemetry.FlightRecorder { return s.flightRec
 //
 //	POST /v1/plan         blocking plan request → PlanResponse JSON
 //	POST /v1/plan/stream  same request, NDJSON progress stream + final plan
+//	POST /v1/shard        fleet shard batch → ShardResponse JSON
 //	GET  /v1/models       built-in model presets
 //	GET  /healthz         readiness (503 while draining)
 //	GET  /metrics         Prometheus text exposition
@@ -147,6 +189,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/plan", s.handlePlan)
 	mux.HandleFunc("POST /v1/plan/stream", s.handleStream)
+	mux.HandleFunc("POST /v1/shard", s.handleShard)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -315,10 +358,15 @@ func (s *Server) optimize(ctx context.Context, req PlanRequest, tracer *telemetr
 	if s.opts.TunerWorkers > 0 && (workers <= 0 || workers > s.opts.TunerWorkers) {
 		workers = s.opts.TunerWorkers
 	}
-	conf := req.config(workers)
+	conf := req.Config(workers)
 	if s.opts.NoDelta {
 		conf.NoDelta = true
 	}
+	// A configured fleet turns this run into a coordinator search: probe
+	// locally, dispatch shard waves to the peers. The tuner guarantees the
+	// plan bytes are identical to a local run (and falls back locally on
+	// any dispatch failure), so nothing downstream can tell.
+	conf.Sharder = s.sharderFor(req)
 	conf.Tracer = tracer
 	conf.Progress = func(n int, best string, throughput float64) {
 		progress(ProgressEvent{Explored: n, Best: best, BestThroughput: throughput})
@@ -330,28 +378,6 @@ func (s *Server) optimize(ctx context.Context, req PlanRequest, tracer *telemetr
 	return json.Marshal(plan)
 }
 
-// PlanResponse is the body of a successful POST /v1/plan (and the terminal
-// record of the streaming endpoint carries the same fields).
-type PlanResponse struct {
-	// Fingerprint is the canonical workload identity the plan is cached
-	// under.
-	Fingerprint string `json:"fingerprint"`
-	// Cached reports that the plan came from the LRU cache; Shared that the
-	// request joined an already-running identical flight. Both false means
-	// this request's flight computed the plan.
-	Cached bool `json:"cached"`
-	Shared bool `json:"shared,omitempty"`
-	// Plan is the plan JSON (mario.LoadPlan decodes it). Byte-identical to
-	// json.Marshal of the mario.Optimize result for the same inputs,
-	// whether cached, shared or fresh.
-	Plan json.RawMessage `json:"plan"`
-	// Trace is the canonical search trace ({"fingerprint":..,"spans":[..]}),
-	// present when the request asked for ?trace=1 and a tuner run answered
-	// it (cache hits carry no trace — the original run's trace lives in the
-	// flight recorder). Byte-identical across worker counts.
-	Trace json.RawMessage `json:"trace,omitempty"`
-}
-
 // errorJSON writes a JSON error body with the given status.
 func errorJSON(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
@@ -359,19 +385,39 @@ func errorJSON(w http.ResponseWriter, status int, err error) {
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
-// decodeRequest parses and validates the request body.
-func decodeRequest(r *http.Request) (PlanRequest, string, error) {
+// decodeRequest parses and validates the request body. The body is bounded
+// by Options.MaxBodyBytes: an oversized request surfaces as
+// *http.MaxBytesError, which the handlers map to 413.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (PlanRequest, string, error) {
 	var req PlanRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		return req, "", fmt.Errorf("serve: decoding request: %w", err)
+	if err := decodeInto(w, r, s.opts.MaxBodyBytes, &req); err != nil {
+		return req, "", err
 	}
 	model, err := req.Validate()
 	if err != nil {
 		return req, "", err
 	}
 	return req, req.Fingerprint(model), nil
+}
+
+// decodeInto strictly decodes a JSON body bounded to max bytes.
+func decodeInto(w http.ResponseWriter, r *http.Request, max int64, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, max))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("serve: decoding request: %w", err)
+	}
+	return nil
+}
+
+// decodeStatus maps a request-decoding failure to its HTTP status: 413 for
+// a body over the MaxBodyBytes cap, 400 otherwise.
+func decodeStatus(err error) int {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 // wantTrace reports whether the request asked for the search trace.
@@ -397,9 +443,15 @@ func admissionStatus(err error) int {
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	req, fp, err := decodeRequest(r)
+	req, fp, err := s.decodeRequest(w, r)
 	if err != nil {
-		errorJSON(w, http.StatusBadRequest, err)
+		errorJSON(w, decodeStatus(err), err)
+		return
+	}
+	if resp, ok := s.routeToPeer(r, fp, req); ok {
+		s.sm.requests.Inc()
+		s.sm.latency.ObserveDuration(time.Since(start))
+		writeJSON(w, *resp)
 		return
 	}
 	s.sm.requests.Inc()
@@ -426,7 +478,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		s.sm.flightsShared.Inc()
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), req.timeout(s.opts.DefaultTimeout, s.opts.MaxTimeout))
+	ctx, cancel := context.WithTimeout(r.Context(), req.Timeout(s.opts.DefaultTimeout, s.opts.MaxTimeout))
 	defer cancel()
 	select {
 	case <-f.done:
@@ -469,9 +521,9 @@ type streamRecord struct {
 
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	req, fp, err := decodeRequest(r)
+	req, fp, err := s.decodeRequest(w, r)
 	if err != nil {
-		errorJSON(w, http.StatusBadRequest, err)
+		errorJSON(w, decodeStatus(err), err)
 		return
 	}
 	s.sm.requests.Inc()
@@ -510,7 +562,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 
 	sub := f.subscribe()
-	ctx, cancel := context.WithTimeout(r.Context(), req.timeout(s.opts.DefaultTimeout, s.opts.MaxTimeout))
+	ctx, cancel := context.WithTimeout(r.Context(), req.Timeout(s.opts.DefaultTimeout, s.opts.MaxTimeout))
 	defer cancel()
 	for {
 		select {
@@ -546,19 +598,6 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-}
-
-// Health is the /healthz body.
-type Health struct {
-	// OK is false while the server is draining.
-	OK bool `json:"ok"`
-	// Draining reports that shutdown has begun (new plan requests are
-	// refused; in-flight ones are finishing).
-	Draining bool `json:"draining"`
-	// InFlight and Queued describe current load; CachedPlans the LRU fill.
-	InFlight    int64 `json:"in_flight"`
-	Queued      int   `json:"queued"`
-	CachedPlans int   `json:"cached_plans"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -261,42 +261,38 @@ func memLowerBound(sched *pipeline.Schedule, est *cost.Estimator) float64 {
 	return worst
 }
 
-// searchBnB is the branch-and-bound strategy. Phase 1 probes every grid
-// point sequentially in canonical order, attaching the structural-prune
-// spans exactly as the grid walk would. Phase 2 sorts the feasible nodes
-// best-first (descending bound, canonical index among ties, provably-OOM
-// points last). Phase 3 expands the sorted nodes through the worker pool and
-// merges results in sorted order, pruning against the incumbent with the
-// canonical tie-break, so the returned best candidate is byte-identical to
-// the grid walk's for every worker count.
-//
-// Worker-side skips are sound for the same reason as in the grid walk:
-// mergedBest only grows and never exceeds the merge loop's incumbent, so any
-// bound or doom the worker observed still holds when the merge loop decides
-// the node. Prune spans are always synthesized at merge time (a speculative
-// worker evaluation that lost the race is discarded wholesale), so the
-// canonical telemetry never depends on scheduling.
-func (t *Tuner) searchBnB(ctx context.Context, space Space, points []gridPoint, tracer *telemetry.Tracer, search telemetry.Span, stats *SearchStats) (*Candidate, []Candidate, error) {
-	pruneInfeasible := func(idx int, p gridPoint) {
-		stats.Pruned++
-		t.publishStats(*stats)
-		if m := t.Metrics; m != nil {
-			m.PointsPruned.Inc()
-		}
-		ps := tracer.Detached(telemetry.PhasePoint, pointKey(idx, p))
-		ps.SetStr("result", "infeasible")
-		ps.End()
-		ps.AttachTo(search)
+// pruneInfeasible records one structurally infeasible grid point: the
+// stats/metrics counters plus the canonical prune span. Every search
+// strategy (grid merge insurance, bnb probe and merge, fleet merge) funnels
+// structural prunes through it so the telemetry is strategy-independent.
+func (t *Tuner) pruneInfeasible(idx int, p gridPoint, tracer *telemetry.Tracer, search telemetry.Span, stats *SearchStats) {
+	stats.Pruned++
+	t.publishStats(*stats)
+	if m := t.Metrics; m != nil {
+		m.PointsPruned.Inc()
 	}
+	ps := tracer.Detached(telemetry.PhasePoint, pointKey(idx, p))
+	ps.SetStr("result", "infeasible")
+	ps.End()
+	ps.AttachTo(search)
+}
 
+// probeAll runs the branch-and-bound probe pass: every grid point is probed
+// sequentially in canonical order (attaching the structural-prune spans
+// exactly as the grid walk would), and the feasible nodes come back sorted
+// best-first — descending bound, canonical index among ties, provably-OOM
+// points last. Both the local bnb strategy and the fleet coordinator start
+// here, which is what keeps their probe telemetry and expansion order
+// identical.
+func (t *Tuner) probeAll(ctx context.Context, space Space, points []gridPoint, tracer *telemetry.Tracer, search telemetry.Span, stats *SearchStats) ([]bnbNode, error) {
 	nodes := make([]bnbNode, 0, len(points))
 	for i, p := range points {
 		if err := ctx.Err(); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		nd, ok := t.probePoint(space, p)
 		if !ok {
-			pruneInfeasible(i, p)
+			t.pruneInfeasible(i, p, tracer, search, stats)
 			continue
 		}
 		nd.idx = i
@@ -309,6 +305,31 @@ func (t *Tuner) searchBnB(ctx context.Context, space Space, points []gridPoint, 
 		}
 		return nodes[a].idx < nodes[b].idx
 	})
+	return nodes, nil
+}
+
+// searchBnB is the branch-and-bound strategy. Phase 1 and 2 are probeAll:
+// probe every point in canonical order, sort the feasible nodes best-first.
+// Phase 3 expands the sorted nodes through the worker pool and
+// merges results in sorted order, pruning against the incumbent with the
+// canonical tie-break, so the returned best candidate is byte-identical to
+// the grid walk's for every worker count.
+//
+// Worker-side skips are sound for the same reason as in the grid walk:
+// mergedBest only grows and never exceeds the merge loop's incumbent, so any
+// bound or doom the worker observed still holds when the merge loop decides
+// the node. Prune spans are always synthesized at merge time (a speculative
+// worker evaluation that lost the race is discarded wholesale), so the
+// canonical telemetry never depends on scheduling.
+func (t *Tuner) searchBnB(ctx context.Context, space Space, points []gridPoint, tracer *telemetry.Tracer, search telemetry.Span, stats *SearchStats) (*Candidate, []Candidate, error) {
+	pruneInfeasible := func(idx int, p gridPoint) {
+		t.pruneInfeasible(idx, p, tracer, search, stats)
+	}
+
+	nodes, err := t.probeAll(ctx, space, points, tracer, search, stats)
+	if err != nil {
+		return nil, nil, err
+	}
 
 	var best *Candidate
 	bestIdx := -1

@@ -223,11 +223,22 @@ type Tuner struct {
 	// and simulation counts are folded in as deltas and — like CacheStats —
 	// are not deterministic under Workers > 1.
 	Metrics *telemetry.SearchMetrics
+	// Sharder, when non-nil, distributes the branch-and-bound expansion
+	// across a planning fleet (see fleet.go): the probe pass runs locally,
+	// the sorted nodes are dispatched in shard waves, and the merge replays
+	// the canonical decisions, so the plan is byte-identical to a local
+	// search. Ignored when Space.NoPrune or Space.NoBnB selects the grid
+	// walk (those strategies ship no bounds to prune against).
+	Sharder ShardDispatcher
 
 	// Stats describes the most recent Search call. It is updated as
 	// candidates merge; reading it from another goroutine while Search is
 	// running must go through StatsSnapshot.
 	Stats SearchStats
+	// Fleet describes how the most recent fleet search divided its work
+	// (all zero for local searches); read it through FleetSnapshot while a
+	// search is running. It is deliberately not part of the plan.
+	Fleet FleetStats
 
 	statsMu sync.Mutex
 	builds  memo[buildKey, *pipeline.Schedule]
@@ -361,14 +372,19 @@ func (t *Tuner) SearchContext(ctx context.Context, space Space) (*Candidate, []C
 	points := enumerate(space)
 	var stats SearchStats
 	t.publishStats(stats)
+	t.publishFleet(FleetStats{})
 
 	tracer := t.Span.Tracer()
 	search := t.Span.Child(telemetry.PhaseSearch, "")
 	search.SetInt("points", int64(len(points)))
 	bnb := !space.NoPrune && !space.NoBnB
-	if bnb {
+	fleet := bnb && t.Sharder != nil
+	switch {
+	case fleet:
+		search.SetStr("strategy", "fleet")
+	case bnb:
 		search.SetStr("strategy", "bnb")
-	} else {
+	default:
 		search.SetStr("strategy", "grid")
 	}
 	searchStart := time.Now()
@@ -391,9 +407,12 @@ func (t *Tuner) SearchContext(ctx context.Context, space Space) (*Candidate, []C
 	var best *Candidate
 	var trace []Candidate
 	var searchErr error
-	if bnb {
+	switch {
+	case fleet:
+		best, trace, searchErr = t.searchFleet(ctx, space, points, tracer, search, &stats)
+	case bnb:
 		best, trace, searchErr = t.searchBnB(ctx, space, points, tracer, search, &stats)
-	} else {
+	default:
 		best, trace, searchErr = t.searchGrid(ctx, space, points, tracer, search, &stats)
 	}
 	t.publishStats(stats)

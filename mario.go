@@ -105,6 +105,13 @@ type Config struct {
 	// Metrics, when non-nil, receives the search counters (grid outcomes,
 	// memoization, simulator executions) as registry series.
 	Metrics *telemetry.SearchMetrics
+	// Sharder, when non-nil, distributes the branch-and-bound expansion
+	// across a planning fleet (tuner.ShardDispatcher): the probe pass runs
+	// locally and the sorted grid points are dispatched in shard waves with
+	// incumbent-bound sharing. The plan is byte-identical to a local search
+	// for every fleet shape. Ignored when NoPrune/NoBnB selects the grid
+	// walk.
+	Sharder tuner.ShardDispatcher
 }
 
 // ModelConfig is the model_conf of Listing 1.
@@ -192,11 +199,46 @@ func Optimize(conf Config, model ModelConfig) (*Plan, error) {
 // plan byte-identical to Optimize for the same inputs and any worker count —
 // the property the planning service's cache relies on.
 func OptimizeContext(ctx context.Context, conf Config, model ModelConfig) (*Plan, error) {
-	if err := model.Validate(); err != nil {
+	tn, space, memLimit, tp, err := searchSetup(conf, model)
+	if err != nil {
 		return nil, err
 	}
+	root := conf.Tracer.Root(telemetry.PhaseOptimize, "")
+	root.SetInt("devices", int64(conf.NumDevices))
+	root.SetInt("global_batch", int64(conf.GlobalBatchSize))
+	defer root.End()
+	metrics := conf.Metrics
+	if metrics == nil {
+		metrics = conf.Tracer.Metrics()
+	}
+	tn.Span = root
+	tn.Metrics = metrics
+	tn.Sharder = conf.Sharder
+	if cb := conf.Progress; cb != nil {
+		explored := 0
+		tn.Progress = func(_ tuner.Candidate, best tuner.Candidate) {
+			explored++
+			cb(explored, best.Label(), best.Throughput)
+		}
+	}
+	best, trace, err := tn.SearchContext(ctx, space)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Best: *best, Trace: trace, Profiler: tn.Prof, SearchStats: tn.Stats, memLimit: memLimit, tp: tp}, nil
+}
+
+// searchSetup resolves a Config + model pair into a ready Tuner and its
+// search Space — the shared front half of OptimizeContext and the fleet
+// worker path (NewShardWorker), which must construct the byte-identical
+// search a coordinator probes in order to evaluate shards of it.
+func searchSetup(conf Config, model ModelConfig) (*tuner.Tuner, tuner.Space, float64, int, error) {
+	var space tuner.Space
+	if err := model.Validate(); err != nil {
+		return nil, space, 0, 0, err
+	}
 	if conf.NumDevices <= 0 || conf.GlobalBatchSize <= 0 {
-		return nil, fmt.Errorf("mario: NumDevices (%d) and GlobalBatchSize (%d) must be positive",
+		return nil, space, 0, 0, fmt.Errorf("mario: NumDevices (%d) and GlobalBatchSize (%d) must be positive",
 			conf.NumDevices, conf.GlobalBatchSize)
 	}
 	hw := cost.A100_40G
@@ -207,7 +249,7 @@ func OptimizeContext(ctx context.Context, conf Config, model ModelConfig) (*Plan
 	if conf.MemoryPerDevice != "" {
 		v, err := ParseMemory(conf.MemoryPerDevice)
 		if err != nil {
-			return nil, err
+			return nil, space, 0, 0, err
 		}
 		memLimit = v
 		hw.MemBytes = v
@@ -221,7 +263,7 @@ func OptimizeContext(ctx context.Context, conf Config, model ModelConfig) (*Plan
 	if name := strings.TrimSpace(conf.PipelineScheme); name != "" && !strings.EqualFold(name, "auto") {
 		s, err := pipeline.ParseScheme(name)
 		if err != nil {
-			return nil, err
+			return nil, space, 0, 0, err
 		}
 		schemes = []pipeline.Scheme{s}
 	}
@@ -231,24 +273,9 @@ func OptimizeContext(ctx context.Context, conf Config, model ModelConfig) (*Plan
 	}
 
 	prof := &profile.Profiler{Model: model, HW: hw, Spec: spec, Devices: 4, Iters: 10}
-	root := conf.Tracer.Root(telemetry.PhaseOptimize, "")
-	root.SetInt("devices", int64(conf.NumDevices))
-	root.SetInt("global_batch", int64(conf.GlobalBatchSize))
-	defer root.End()
-	metrics := conf.Metrics
-	if metrics == nil {
-		metrics = conf.Tracer.Metrics()
-	}
 	tn := &tuner.Tuner{Prof: prof, SplitBackward: conf.SplitBackward, GraphWorkers: conf.GraphWorkers,
-		NoDelta: conf.NoDelta, Span: root, Metrics: metrics}
-	if cb := conf.Progress; cb != nil {
-		explored := 0
-		tn.Progress = func(_ tuner.Candidate, best tuner.Candidate) {
-			explored++
-			cb(explored, best.Label(), best.Throughput)
-		}
-	}
-	best, trace, err := tn.SearchContext(ctx, tuner.Space{
+		NoDelta: conf.NoDelta}
+	space = tuner.Space{
 		Devices:      conf.NumDevices,
 		GlobalBatch:  conf.GlobalBatchSize,
 		Schemes:      schemes,
@@ -261,15 +288,47 @@ func OptimizeContext(ctx context.Context, conf Config, model ModelConfig) (*Plan
 		Workers:      conf.Workers,
 		NoPrune:      conf.NoPrune,
 		NoBnB:        conf.NoBnB,
-	})
-	if err != nil {
-		return nil, err
 	}
 	tp := conf.TP
 	if tp <= 0 {
 		tp = 1
 	}
-	return &Plan{Best: *best, Trace: trace, Profiler: prof, SearchStats: tn.Stats, memLimit: memLimit, tp: tp}, nil
+	return tn, space, memLimit, tp, nil
+}
+
+// ShardWorker is the worker half of the distributed planning fleet: it
+// holds the profiler-backed tuner for one workload (one Config + model
+// pair) and evaluates shard batches a coordinator dispatches. Schedule
+// builds and graph-pass results are memoized on the worker across calls,
+// so evaluating many shards of the same workload shares work exactly like
+// a local search does. Methods are safe for concurrent use.
+type ShardWorker struct {
+	tn    *tuner.Tuner
+	space tuner.Space
+}
+
+// NewShardWorker resolves the workload like OptimizeContext does and
+// returns the reusable worker. Metrics, when non-nil, receives the
+// worker's simulation counts.
+func NewShardWorker(conf Config, model ModelConfig, metrics *telemetry.SearchMetrics) (*ShardWorker, error) {
+	tn, space, _, _, err := searchSetup(conf, model)
+	if err != nil {
+		return nil, err
+	}
+	tn.Metrics = metrics
+	return &ShardWorker{tn: tn, space: space}, nil
+}
+
+// EvalShard evaluates one dispatched shard batch in order, skipping points
+// the incumbent dooms (nil means no incumbent yet). The outcomes are
+// exactly what a coordinator's local evaluation of the batch would
+// produce — the contract the fleet's byte-identity rests on.
+func (w *ShardWorker) EvalShard(ctx context.Context, points []tuner.ShardPoint, incumbent *float64) ([]tuner.ShardOutcome, error) {
+	inc, hasInc := 0.0, false
+	if incumbent != nil {
+		inc, hasInc = *incumbent, true
+	}
+	return w.tn.EvalShard(ctx, w.space, points, inc, hasInc)
 }
 
 // Sink receives one Event per executed instruction of a measured run; see
