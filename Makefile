@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-gate bench-serve-json check fmt fuzz lint docs-check serve-smoke fleet-smoke telemetry-smoke
+.PHONY: all build vet test race bench bench-json bench-gate bench-serve-json check fmt fuzz lint docs-check schemes-smoke serve-smoke fleet-smoke telemetry-smoke
 
 all: check
 
@@ -64,10 +64,11 @@ fuzz:
 
 # Doc-comment lint for the packages whose contracts must live in the source:
 # internal/sim (engine identity/caching rules), internal/pipeline (COW
-# schedule rules) and the planning service's public surface (internal/serve
-# and its client). Dependency-free (cmd/exportlint, go/ast).
+# schedule rules), internal/scheme (the generator registry contract) and the
+# planning service's public surface (internal/serve and its client).
+# Dependency-free (cmd/exportlint, go/ast).
 lint:
-	$(GO) run ./cmd/exportlint ./internal/sim ./internal/pipeline ./internal/serve ./internal/serve/api ./internal/serve/client ./internal/serve/loadgen ./internal/telemetry
+	$(GO) run ./cmd/exportlint ./internal/sim ./internal/pipeline ./internal/scheme ./internal/serve ./internal/serve/api ./internal/serve/client ./internal/serve/loadgen ./internal/telemetry
 
 # End-to-end smoke of the mariod planning service: boots the daemon on a
 # loopback port, plans a small workload through the Go client (fresh run,
@@ -97,14 +98,25 @@ telemetry-smoke:
 		-search-trace-measured "$$tmp/measured.json" -search-summary >/dev/null && \
 	test -s "$$tmp/trace.json" && test -s "$$tmp/spans.jsonl" && test -s "$$tmp/measured.json"
 
-# Markdown link check over the repo docs plus the golden EXPERIMENTS.md
-# snippets (TestGoldenDocs re-runs the fast-mode drift/faults experiments and
-# byte-compares their output against the documented blocks).
+# Markdown link + heading-anchor check over the repo docs plus the golden
+# snippets in EXPERIMENTS.md and docs/SCHEMES.md (TestGoldenDocs re-runs the
+# fast-mode experiments and the scheme-catalogue renderer and byte-compares
+# their output against the documented blocks).
 docs-check:
 	$(GO) run ./cmd/docscheck README.md DESIGN.md EXPERIMENTS.md ROADMAP.md PAPER.md docs
 	$(GO) test -run TestGoldenDocs ./internal/experiments
 
-check: vet build race fuzz lint docs-check serve-smoke fleet-smoke telemetry-smoke
+# Scheme-family smoke: every registered generator (incl. the split-backward
+# ZB-H1 and DualPipe-D) builds and validates on the demo grid, the list
+# scheduler is deterministic under the race detector, the zero-bubble
+# comparison runs end to end, and the docs/SCHEMES.md diagrams match the
+# renderer byte-for-byte.
+schemes-smoke:
+	$(GO) test -race -run 'TestAllSchemesValidate|TestSplitSchemesValidate|TestSchemeBuildDeterministic' ./internal/scheme
+	$(GO) run ./cmd/experiments -fast -run zerobubble >/dev/null
+	$(GO) test -run 'TestGoldenDocs|TestZeroBubbleFast' ./internal/experiments
+
+check: vet build race fuzz lint docs-check schemes-smoke serve-smoke fleet-smoke telemetry-smoke
 
 fmt:
 	gofmt -l -w .

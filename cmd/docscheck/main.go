@@ -2,8 +2,9 @@
 // given markdown files (and directories, recursively) for inline links,
 // images and reference definitions, and verifies that every relative target
 // exists on disk. External links (http, https, mailto) are not fetched.
-// Fragment-only links (#section) and fragments on existing files are accepted
-// without anchor resolution.
+// Fragment links are resolved against the target document's headings using
+// GitHub's anchor-slug rules: #section must name a heading in the same file,
+// and file.md#section a heading in the linked file.
 //
 // Usage:
 //
@@ -19,6 +20,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"unicode"
 )
 
 // linkRE matches inline links and images: [text](target) / ![alt](target).
@@ -66,10 +68,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "docscheck: %d dangling links\n", dangling)
 		os.Exit(1)
 	}
-	fmt.Printf("docscheck: %d files, all links resolve\n", len(files))
+	fmt.Printf("docscheck: %d files, all links and anchors resolve\n", len(files))
 }
 
-// checkFile scans one markdown file and reports dangling relative targets.
+// checkFile scans one markdown file and reports dangling relative targets
+// and unresolved heading anchors.
 func checkFile(path string) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -98,17 +101,84 @@ func checkFile(path string) int {
 			if skippable(tgt) {
 				continue
 			}
-			tgt = strings.SplitN(tgt, "#", 2)[0]
-			if tgt == "" {
-				continue // fragment-only link into the same file
+			file, frag, _ := strings.Cut(tgt, "#")
+			resolved := path // fragment-only links point into this file
+			if file != "" {
+				resolved = filepath.Join(dir, file)
+				if _, err := os.Stat(resolved); err != nil {
+					fmt.Printf("%s:%d: dangling link target %q\n", path, i+1, file)
+					bad++
+					continue
+				}
 			}
-			if _, err := os.Stat(filepath.Join(dir, tgt)); err != nil {
-				fmt.Printf("%s:%d: dangling link target %q\n", path, i+1, tgt)
+			if frag == "" || !strings.HasSuffix(resolved, ".md") {
+				continue
+			}
+			if !anchorsOf(resolved)[strings.ToLower(frag)] {
+				fmt.Printf("%s:%d: no heading for anchor %q in %s\n", path, i+1, frag, resolved)
 				bad++
 			}
 		}
 	}
 	return bad
+}
+
+// anchorCache memoizes per-file heading anchors across the run.
+var anchorCache = map[string]map[string]bool{}
+
+// anchorsOf returns the set of GitHub-style heading slugs of a markdown
+// file, applying the duplicate -1/-2… suffix rule.
+func anchorsOf(path string) map[string]bool {
+	if a, ok := anchorCache[path]; ok {
+		return a
+	}
+	anchors := map[string]bool{}
+	data, err := os.ReadFile(path)
+	if err == nil {
+		seen := map[string]int{}
+		inFence := false
+		for _, line := range strings.Split(string(data), "\n") {
+			trim := strings.TrimSpace(line)
+			if strings.HasPrefix(trim, "```") {
+				inFence = !inFence
+				continue
+			}
+			if inFence {
+				continue
+			}
+			hashes := 0
+			for hashes < len(trim) && trim[hashes] == '#' {
+				hashes++
+			}
+			if hashes == 0 || hashes > 6 || hashes == len(trim) || trim[hashes] != ' ' {
+				continue
+			}
+			s := slugify(trim[hashes+1:])
+			if n := seen[s]; n > 0 {
+				anchors[fmt.Sprintf("%s-%d", s, n)] = true
+			} else {
+				anchors[s] = true
+			}
+			seen[s]++
+		}
+	}
+	anchorCache[path] = anchors
+	return anchors
+}
+
+// slugify converts a heading to its GitHub anchor: lowercase, punctuation
+// stripped, spaces become hyphens (hyphens and underscores survive).
+func slugify(h string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(h)) {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '-' || r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
 }
 
 // skippable reports whether the target is external (not a relative path).

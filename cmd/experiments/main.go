@@ -6,8 +6,8 @@
 //	experiments [-fast] [-run name] [-workers n]
 //
 // where name is one of: table1, figure2, figure5, figure6, table5, figure7,
-// figure8, figure9, figure10, figure11, drift, faults, extension, summary,
-// all (default).
+// figure8, figure9, figure10, figure11, drift, faults, extension, zerobubble,
+// summary, all (default).
 package main
 
 import (
@@ -22,7 +22,7 @@ import (
 
 func main() {
 	fast := flag.Bool("fast", false, "run reduced-size experiments")
-	run := flag.String("run", "all", "experiment to run (table1, figure2, figure5, figure6, table5, figure7, figure8, figure9, figure10, figure11, drift, faults, searchtrace, extension, summary, all)")
+	run := flag.String("run", "all", "experiment to run (table1, figure2, figure5, figure6, table5, figure7, figure8, figure9, figure10, figure11, drift, faults, searchtrace, extension, zerobubble, summary, all)")
 	workers := flag.Int("workers", 0, "concurrent tuner evaluations in figure11 (0 = GOMAXPROCS; output is identical)")
 	flag.Parse()
 
@@ -152,6 +152,14 @@ func main() {
 			fail("extension", err)
 		}
 		experiments.PrintExtensionZB(w, rows)
+	}
+	if want("zerobubble") {
+		header("Zero bubble", "native split-backward schemes vs 1F1B (bubble ratio and peak memory)")
+		rows, err := experiments.ZeroBubble(opt)
+		if err != nil {
+			fail("zerobubble", err)
+		}
+		experiments.PrintZeroBubble(w, rows)
 	}
 	if want("summary") {
 		header("Speedup summary", "aggregate claims of §6.1/§6.2")

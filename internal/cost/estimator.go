@@ -65,9 +65,18 @@ type Estimator struct {
 	OptTime float64
 	// BwSplitRatio is the fraction of BwTime attributable to computing the
 	// input gradient (the "B" part of ZB-H1's B/W split); the remaining
-	// fraction computes weight gradients and can be deferred. Used only by
-	// the experimental split-backward pass.
+	// fraction computes weight gradients and can be deferred. Used by the
+	// split-backward schemes (ZB-H1, DualPipe-D) and the split-backward
+	// graph pass.
 	BwSplitRatio float64
+	// WGradBytes is the per-stage stash a BackwardInput leaves behind for its
+	// deferred BackwardWeight half: the linear-layer inputs and output
+	// gradients the weight-gradient matmuls still need after the input
+	// gradient released the full activations. When nil, the memory simulation
+	// falls back to holding the full activations (and checkpoint stash) until
+	// the weight-gradient half runs, which reproduces the fused-backward
+	// accounting exactly.
+	WGradBytes []float64
 }
 
 // CommTime returns the latency of a p2p transfer of the given size.
@@ -176,6 +185,7 @@ func Analytic(cfg AnalyticConfig) (*Estimator, error) {
 		ActFull:        make([]float64, cfg.Stages),
 		ActStash:       make([]float64, cfg.Stages),
 		ActWork:        make([]float64, cfg.Stages),
+		WGradBytes:     make([]float64, cfg.Stages),
 		WeightBytes:    make([]float64, cfg.Stages),
 		ActP2PBytes:    s * b * h * BytesPerActElem / ftp,
 		GradP2PBytes:   s * b * h * BytesPerActElem / ftp,
@@ -202,6 +212,13 @@ func Analytic(cfg AnalyticConfig) (*Estimator, error) {
 		e.ActFull[st] = layerActBytes * fl
 		e.ActStash[st] = stashBytes
 		e.ActWork[st] = layerActBytes
+		// After the input gradient releases the full activations, the
+		// deferred weight-gradient matmuls only need each linear layer's
+		// input and output gradient — roughly a third of the Korthikanti
+		// per-layer footprint (the attention scores, softmax outputs and
+		// dropout masks are consumed by the input gradient).
+		e.WGradBytes[st] = layerActBytes * fl / 3
+
 		e.WeightBytes[st] = (m.ParamsPerLayer()*fl + extraParams) / ftp * BytesPerParamTraining
 	}
 	// Optimizer step: elementwise Adam over the device's parameters,

@@ -327,3 +327,57 @@ func TestExtensionZB(t *testing.T) {
 		t.Error("printer lost labels")
 	}
 }
+
+// TestZeroBubbleFullScale pins the zero-bubble acceptance numbers on the
+// paper-scale workload (GPT3-13B, 64 A100s, 128 micro-batches): ZB-H1's
+// worst-device bubble ratio must be strictly below 1F1B's, and DualPipe-D
+// must be faster still while paying for a second weight replica in memory.
+func TestZeroBubbleFullScale(t *testing.T) {
+	rows, err := ZeroBubble(Opts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ZeroBubbleRow{}
+	for _, r := range rows {
+		byName[r.Scheme] = r
+	}
+	base, zb, dp := byName["1F1B"], byName["ZB-H1"], byName["DualPipe-D"]
+	if zb.Bubble >= base.Bubble {
+		t.Errorf("ZB-H1 bubble %v not strictly below 1F1B %v", zb.Bubble, base.Bubble)
+	}
+	if zb.Time >= base.Time {
+		t.Errorf("ZB-H1 makespan %v not below 1F1B %v", zb.Time, base.Time)
+	}
+	if dp.Bubble >= zb.Bubble {
+		t.Errorf("DualPipe-D bubble %v not below ZB-H1 %v", dp.Bubble, zb.Bubble)
+	}
+	if dp.PeakMem <= base.PeakMem {
+		t.Errorf("DualPipe-D peak %vGB should exceed 1F1B %vGB (second weight replica)", dp.PeakMem, base.PeakMem)
+	}
+	var sb strings.Builder
+	PrintZeroBubble(&sb, rows)
+	for _, want := range []string{"1F1B", "ZB-H1", "DualPipe-D", "Chimera"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("printer lost %s row", want)
+		}
+	}
+}
+
+// TestZeroBubbleFast: the reduced shape used for the golden block preserves
+// the headline ordering.
+func TestZeroBubbleFast(t *testing.T) {
+	rows, err := ZeroBubble(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 rows, got %d", len(rows))
+	}
+	byName := map[string]ZeroBubbleRow{}
+	for _, r := range rows {
+		byName[r.Scheme] = r
+	}
+	if byName["ZB-H1"].Bubble >= byName["1F1B"].Bubble {
+		t.Errorf("fast shape: ZB-H1 bubble %v not below 1F1B %v", byName["ZB-H1"].Bubble, byName["1F1B"].Bubble)
+	}
+}

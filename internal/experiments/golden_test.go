@@ -10,9 +10,10 @@ import (
 	"testing"
 )
 
-// updateGolden regenerates the golden fenced blocks in EXPERIMENTS.md in
-// place: go test ./internal/experiments -run Golden -update-golden
-var updateGolden = flag.Bool("update-golden", false, "rewrite EXPERIMENTS.md golden snippets from current output")
+// updateGolden regenerates the golden fenced blocks in EXPERIMENTS.md and
+// docs/SCHEMES.md in place:
+// go test ./internal/experiments -run Golden -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite EXPERIMENTS.md and docs/SCHEMES.md golden snippets from current output")
 
 // goldenOutputs generates the deterministic fast-mode outputs documented in
 // EXPERIMENTS.md, keyed by their <!-- golden:NAME --> marker.
@@ -43,12 +44,40 @@ func goldenOutputs(t *testing.T) map[string]string {
 	b.Reset()
 	PrintSearchTrace(&b, st)
 	out["searchtrace-fast"] = b.String()
+
+	zb, err := ZeroBubble(Opts{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	PrintZeroBubble(&b, zb)
+	out["zerobubble-fast"] = b.String()
+	return out
+}
+
+// schemeGoldenOutputs renders the scheme-catalogue diagrams pinned in
+// docs/SCHEMES.md, keyed by their <!-- golden:scheme-NAME --> marker.
+func schemeGoldenOutputs(t *testing.T) map[string]string {
+	t.Helper()
+	entries, err := SchemeCatalogue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]string, len(entries))
+	for _, e := range entries {
+		out["scheme-"+string(e.Scheme)] = e.Diagram
+	}
 	return out
 }
 
 // experimentsPath locates the repo-root EXPERIMENTS.md from the package dir.
 func experimentsPath() string {
 	return filepath.Join("..", "..", "EXPERIMENTS.md")
+}
+
+// schemesPath locates docs/SCHEMES.md from the package dir.
+func schemesPath() string {
+	return filepath.Join("..", "..", "docs", "SCHEMES.md")
 }
 
 // extractGolden returns the contents of the fenced code block that follows
@@ -94,39 +123,49 @@ func replaceGolden(doc, name, content string) (string, error) {
 	return doc[:pos] + content + doc[pos+len(old):], nil
 }
 
-// TestGoldenDocs pins the expected-output snippets in EXPERIMENTS.md to the
-// actual deterministic fast-mode output of `cmd/experiments -run drift` and
-// `-run faults`, so the documentation cannot drift from the code.
+// TestGoldenDocs pins the expected-output snippets in EXPERIMENTS.md and the
+// scheme-catalogue diagrams in docs/SCHEMES.md to the actual deterministic
+// output of the corresponding renderers, so the documentation cannot drift
+// from the code.
 func TestGoldenDocs(t *testing.T) {
-	data, err := os.ReadFile(experimentsPath())
-	if err != nil {
-		t.Fatalf("reading EXPERIMENTS.md: %v", err)
+	docs := []struct {
+		path    string
+		outputs map[string]string
+	}{
+		{experimentsPath(), goldenOutputs(t)},
+		{schemesPath(), schemeGoldenOutputs(t)},
 	}
-	doc := string(data)
-	outputs := goldenOutputs(t)
-
-	if *updateGolden {
-		for name, want := range outputs {
-			doc, err = replaceGolden(doc, name, want)
-			if err != nil {
-				t.Fatal(err)
-			}
-		}
-		if err := os.WriteFile(experimentsPath(), []byte(doc), 0o644); err != nil {
-			t.Fatal(err)
-		}
-		t.Logf("rewrote golden snippets in %s", experimentsPath())
-		return
-	}
-
-	for name, want := range outputs {
-		got, err := extractGolden(doc, name)
+	for _, d := range docs {
+		data, err := os.ReadFile(d.path)
 		if err != nil {
-			t.Errorf("%v (run `go test ./internal/experiments -run Golden -update-golden` after adding the marker)", err)
+			t.Errorf("reading %s: %v", d.path, err)
 			continue
 		}
-		if got != want {
-			t.Errorf("EXPERIMENTS.md golden snippet %q is stale.\n--- documented ---\n%s\n--- actual ---\n%s\nRegenerate with: go test ./internal/experiments -run Golden -update-golden", name, got, want)
+		doc := string(data)
+
+		if *updateGolden {
+			for name, want := range d.outputs {
+				doc, err = replaceGolden(doc, name, want)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := os.WriteFile(d.path, []byte(doc), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("rewrote golden snippets in %s", d.path)
+			continue
+		}
+
+		for name, want := range d.outputs {
+			got, err := extractGolden(doc, name)
+			if err != nil {
+				t.Errorf("%s: %v (run `go test ./internal/experiments -run Golden -update-golden` after adding the marker)", d.path, err)
+				continue
+			}
+			if got != want {
+				t.Errorf("%s golden snippet %q is stale.\n--- documented ---\n%s\n--- actual ---\n%s\nRegenerate with: go test ./internal/experiments -run Golden -update-golden", d.path, name, got, want)
+			}
 		}
 	}
 }

@@ -35,12 +35,16 @@ func FuzzGraphPassInvariants(f *testing.F) {
 	f.Add(uint8(2), uint8(6), uint8(12), uint8(2))
 	f.Add(uint8(3), uint8(4), uint8(8), uint8(2))
 	f.Add(uint8(1), uint8(8), uint8(3), uint8(1))
+	f.Add(uint8(4), uint8(4), uint8(8), uint8(2))
+	f.Add(uint8(5), uint8(4), uint8(8), uint8(2))
 	f.Fuzz(func(t *testing.T, sel, devices, micros, chunks uint8) {
 		schemes := []pipeline.Scheme{
 			pipeline.SchemeGPipe,
 			pipeline.Scheme1F1B,
 			pipeline.SchemeChimera,
 			pipeline.SchemeInterleave,
+			pipeline.SchemeZBH1,
+			pipeline.SchemeDualPipeD,
 		}
 		s := schemes[int(sel)%len(schemes)]
 		d := int(devices)%10 + 1
@@ -63,8 +67,10 @@ func FuzzGraphPassInvariants(f *testing.F) {
 			before[pipeline.Forward]; got != want {
 			t.Fatalf("%s d=%d n=%d v=%d: forward-like count %d, want %d", s, d, n, v, got, want)
 		}
-		if got, want := after[pipeline.Backward], before[pipeline.Backward]; got != want {
-			t.Fatalf("%s d=%d n=%d v=%d: backward count %d, want %d", s, d, n, v, got, want)
+		for _, k := range []pipeline.Kind{pipeline.Backward, pipeline.BackwardInput, pipeline.BackwardWeight} {
+			if got, want := after[k], before[k]; got != want {
+				t.Fatalf("%s d=%d n=%d v=%d: %v count %d, want %d", s, d, n, v, k, got, want)
+			}
 		}
 		if got, want := after[pipeline.Recompute], after[pipeline.CkptForward]; got != want {
 			t.Fatalf("%s d=%d n=%d v=%d: %d recomputes for %d checkpointed forwards", s, d, n, v, got, want)

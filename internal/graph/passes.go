@@ -34,7 +34,7 @@ func ApplyCheckpointStages(s *pipeline.Schedule, keep func(stage int) bool) {
 		// per-call path, where append regrowth is measurable GC pressure.
 		extra := 0
 		for _, in := range list {
-			if in.Kind == pipeline.Backward && keep(in.Stage) {
+			if (in.Kind == pipeline.Backward || in.Kind == pipeline.BackwardInput) && keep(in.Stage) {
 				extra++
 			}
 		}
@@ -44,7 +44,11 @@ func ApplyCheckpointStages(s *pipeline.Schedule, keep func(stage int) bool) {
 			case in.Kind == pipeline.Forward && keep(in.Stage):
 				in.Kind = pipeline.CkptForward
 				out = append(out, in)
-			case in.Kind == pipeline.Backward && keep(in.Stage):
+			case (in.Kind == pipeline.Backward || in.Kind == pipeline.BackwardInput) && keep(in.Stage):
+				// On split-backward schedules the recompute precedes the
+				// input-gradient half — the B/W boundary is a legal split
+				// point, and the deferred weight-gradient half reads only the
+				// stash its BI left, never the recomputed activations.
 				out = append(out,
 					pipeline.Instr{Kind: pipeline.Recompute, Micro: in.Micro, Part: in.Part, Stage: in.Stage},
 					in,
@@ -109,7 +113,9 @@ func RemoveRedundancy(s *pipeline.Schedule) {
 				continue
 			}
 			switch in.Kind {
-			case pipeline.Backward:
+			case pipeline.Backward, pipeline.BackwardInput:
+				// The input-gradient half is the backward anchor on split
+				// schedules: it is what consumes the (re)computed activations.
 				bwPos[in.Micro*S+in.Stage] = int32(i)
 			case pipeline.Recompute:
 				rcPos[in.Micro*S+in.Stage] = int32(i)

@@ -15,7 +15,10 @@ import (
 // full pass pipeline always yields a schedule that (a) passes structural
 // validation and (b) simulates without FIFO mismatches or deadlocks.
 func TestOptimizeValidityProperty(t *testing.T) {
-	schemes := []pipeline.Scheme{pipeline.Scheme1F1B, pipeline.SchemeGPipe, pipeline.SchemeChimera, pipeline.SchemeInterleave}
+	schemes := []pipeline.Scheme{
+		pipeline.Scheme1F1B, pipeline.SchemeGPipe, pipeline.SchemeChimera,
+		pipeline.SchemeInterleave, pipeline.SchemeZBH1, pipeline.SchemeDualPipeD,
+	}
 	f := func(schRaw, dRaw, nRaw uint8) bool {
 		sch := schemes[int(schRaw)%len(schemes)]
 		d := 2 * (int(dRaw)%3 + 1) // 2, 4, 6

@@ -91,12 +91,20 @@ func (a *Attention) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
 
 // Backward implements Layer.
 func (a *Attention) Backward(c Cache, dy *tensor.Tensor) *tensor.Tensor {
+	dx, w := a.BackwardInput(c, dy)
+	w()
+	return dx
+}
+
+// BackwardInput implements Layer. The projection gradients dWo = oᵀ·dy and
+// dW{q,k,v} = xᵀ·d{q,k,v} are deferred; the work closes over the cache, the
+// output gradient and the intermediate d{q,k,v} tensors.
+func (a *Attention) BackwardInput(c Cache, dy *tensor.Tensor) (*tensor.Tensor, WeightWork) {
 	ac := c.(*attnCache)
 	T := a.SeqLen
 	B := ac.x.Shape[0] / T
 	invSqrt := 1 / math.Sqrt(float64(a.dim))
 
-	a.Wo.accumulate(tensor.MatMulT1(ac.o, dy))
 	do := tensor.MatMulT2(dy, a.Wo.W)
 
 	dq := tensor.New(ac.x.Shape[0], a.dim)
@@ -130,14 +138,17 @@ func (a *Attention) Backward(c Cache, dy *tensor.Tensor) *tensor.Tensor {
 		copy(dk.Data[b*T*a.dim:(b+1)*T*a.dim], dkb.Data)
 	}
 
-	a.Wq.accumulate(tensor.MatMulT1(ac.x, dq))
-	a.Wk.accumulate(tensor.MatMulT1(ac.x, dk))
-	a.Wv.accumulate(tensor.MatMulT1(ac.x, dv))
+	w := func() {
+		a.Wo.accumulate(tensor.MatMulT1(ac.o, dy))
+		a.Wq.accumulate(tensor.MatMulT1(ac.x, dq))
+		a.Wk.accumulate(tensor.MatMulT1(ac.x, dk))
+		a.Wv.accumulate(tensor.MatMulT1(ac.x, dv))
+	}
 
 	dx := tensor.MatMulT2(dq, a.Wq.W)
 	tensor.AddInPlace(dx, tensor.MatMulT2(dk, a.Wk.W))
 	tensor.AddInPlace(dx, tensor.MatMulT2(dv, a.Wv.W))
-	return dx
+	return dx, w
 }
 
 // Params implements Layer.
@@ -195,16 +206,26 @@ func (b *Block) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
 
 // Backward implements Layer.
 func (b *Block) Backward(c Cache, dy *tensor.Tensor) *tensor.Tensor {
-	bc := c.(*blockCache)
-	df2 := b.FC2.Backward(bc.cf2, dy)
-	dg := b.Act.Backward(bc.cg, df2)
-	dh2 := b.FC1.Backward(bc.cf1, dg)
-	dr1 := b.LN2.Backward(bc.c2, dh2)
-	tensor.AddInPlace(dr1, dy) // residual
-	dat := b.Attn.Backward(bc.ca, dr1)
-	dx := b.LN1.Backward(bc.c1, dat)
-	tensor.AddInPlace(dx, dr1) // residual
+	dx, w := b.BackwardInput(c, dy)
+	w()
 	return dx
+}
+
+// BackwardInput implements Layer: the input-gradient chain runs through all
+// sub-layers immediately; their weight halves are composed in the same order
+// the fused backward accumulates them.
+func (b *Block) BackwardInput(c Cache, dy *tensor.Tensor) (*tensor.Tensor, WeightWork) {
+	bc := c.(*blockCache)
+	df2, w2 := b.FC2.BackwardInput(bc.cf2, dy)
+	dg, _ := b.Act.BackwardInput(bc.cg, df2) // GELU has no weights
+	dh2, w1 := b.FC1.BackwardInput(bc.cf1, dg)
+	dr1, wn2 := b.LN2.BackwardInput(bc.c2, dh2)
+	tensor.AddInPlace(dr1, dy) // residual
+	dat, wa := b.Attn.BackwardInput(bc.ca, dr1)
+	dx, wn1 := b.LN1.BackwardInput(bc.c1, dat)
+	tensor.AddInPlace(dx, dr1) // residual
+	w := func() { w2(); w1(); wn2(); wa(); wn1() }
+	return dx, w
 }
 
 // Params implements Layer.

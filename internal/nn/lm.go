@@ -76,9 +76,17 @@ func (h *LMHead) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
 
 // Backward consumes dlogits, accumulating dW and returning dx.
 func (h *LMHead) Backward(c Cache, dlogits *tensor.Tensor) *tensor.Tensor {
+	dx, w := h.BackwardInput(c, dlogits)
+	w()
+	return dx
+}
+
+// BackwardInput computes dx = dlogits·W immediately and defers the
+// projection gradient dW = dlogitsᵀ·x into the returned weight work.
+func (h *LMHead) BackwardInput(c Cache, dlogits *tensor.Tensor) (*tensor.Tensor, WeightWork) {
 	x := c.(*lmHeadCache).x
-	h.W.accumulate(tensor.MatMulT1(dlogits, x))
-	return tensor.MatMul(dlogits, h.W.W)
+	w := func() { h.W.accumulate(tensor.MatMulT1(dlogits, x)) }
+	return tensor.MatMul(dlogits, h.W.W), w
 }
 
 // Params returns the projection weight.

@@ -48,13 +48,28 @@ type Cache interface {
 	Bytes() int
 }
 
+// WeightWork is the deferred weight-gradient half of a split backward pass
+// (zero-bubble B/W decomposition): invoking it accumulates the parameter
+// gradients that BackwardInput postponed. It closes over the activations and
+// output gradients it needs, so those tensors stay live until it runs.
+type WeightWork func()
+
+// noWeight is the weight work of a parameterless layer.
+var noWeight WeightWork = func() {}
+
 // Layer is a differentiable module.
 type Layer interface {
 	// Forward computes y and the cache needed by Backward.
 	Forward(x *tensor.Tensor) (*tensor.Tensor, Cache)
 	// Backward consumes the cache and the output gradient, accumulates
-	// parameter gradients, and returns the input gradient.
+	// parameter gradients, and returns the input gradient. It is exactly
+	// BackwardInput followed by the returned WeightWork, so fused and
+	// split executions of the same schedule are bit-identical.
 	Backward(c Cache, dy *tensor.Tensor) *tensor.Tensor
+	// BackwardInput computes only the input gradient (the critical-path B
+	// half of a split backward) and returns the weight-gradient work as a
+	// deferred closure (the W half, free to run in a pipeline bubble).
+	BackwardInput(c Cache, dy *tensor.Tensor) (*tensor.Tensor, WeightWork)
 	// Params returns the trainable parameters.
 	Params() []*Param
 }
@@ -87,10 +102,21 @@ func (l *Linear) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
 
 // Backward implements Layer.
 func (l *Linear) Backward(c Cache, dy *tensor.Tensor) *tensor.Tensor {
+	dx, w := l.BackwardInput(c, dy)
+	w()
+	return dx
+}
+
+// BackwardInput implements Layer. dx needs only the weight; dW = xᵀ·dy and
+// dB = Σrows(dy) read the cached input and the output gradient, so both stay
+// live inside the returned work.
+func (l *Linear) BackwardInput(c Cache, dy *tensor.Tensor) (*tensor.Tensor, WeightWork) {
 	lc := c.(*linearCache)
-	l.W.accumulate(tensor.MatMulT1(lc.x, dy))
-	l.B.accumulate(tensor.SumRows(dy))
-	return tensor.MatMulT2(dy, l.W.W)
+	w := func() {
+		l.W.accumulate(tensor.MatMulT1(lc.x, dy))
+		l.B.accumulate(tensor.SumRows(dy))
+	}
+	return tensor.MatMulT2(dy, l.W.W), w
 }
 
 // Params implements Layer.
@@ -130,6 +156,12 @@ func (GELU) Backward(c Cache, dy *tensor.Tensor) *tensor.Tensor {
 		dx.Data[i] = dy.Data[i] * float32(g)
 	}
 	return dx
+}
+
+// BackwardInput implements Layer; GELU has no parameters, so the weight half
+// is empty.
+func (g GELU) BackwardInput(c Cache, dy *tensor.Tensor) (*tensor.Tensor, WeightWork) {
+	return g.Backward(c, dy), noWeight
 }
 
 // Params implements Layer.
@@ -191,21 +223,24 @@ func (l *LayerNorm) Forward(x *tensor.Tensor) (*tensor.Tensor, Cache) {
 
 // Backward implements Layer.
 func (l *LayerNorm) Backward(c Cache, dy *tensor.Tensor) *tensor.Tensor {
+	dx, w := l.BackwardInput(c, dy)
+	w()
+	return dx
+}
+
+// BackwardInput implements Layer. dx depends only on the gain, x̂ and the
+// per-row statistics; dG = Σ dy·x̂ and dB = Σ dy are deferred, keeping x̂ and
+// dy live in the returned work.
+func (l *LayerNorm) BackwardInput(c Cache, dy *tensor.Tensor) (*tensor.Tensor, WeightWork) {
 	lc := c.(*lnCache)
 	rows, d := dy.Shape[0], dy.Shape[1]
 	dx := tensor.New(dy.Shape...)
-	dg := tensor.New(d)
-	db := tensor.New(d)
 	for i := 0; i < rows; i++ {
 		var sumDh, sumDhXhat float64
 		for j := 0; j < d; j++ {
-			dyv := float64(dy.Data[i*d+j])
-			xh := float64(lc.xhat.Data[i*d+j])
-			dg.Data[j] += float32(dyv * xh)
-			db.Data[j] += float32(dyv)
-			dh := dyv * float64(l.G.W.Data[j])
+			dh := float64(dy.Data[i*d+j]) * float64(l.G.W.Data[j])
 			sumDh += dh
-			sumDhXhat += dh * xh
+			sumDhXhat += dh * float64(lc.xhat.Data[i*d+j])
 		}
 		for j := 0; j < d; j++ {
 			dh := float64(dy.Data[i*d+j]) * float64(l.G.W.Data[j])
@@ -213,9 +248,20 @@ func (l *LayerNorm) Backward(c Cache, dy *tensor.Tensor) *tensor.Tensor {
 			dx.Data[i*d+j] = float32(lc.inv[i] * (dh - sumDh/float64(d) - xh*sumDhXhat/float64(d)))
 		}
 	}
-	l.G.accumulate(dg)
-	l.B.accumulate(db)
-	return dx
+	w := func() {
+		dg := tensor.New(d)
+		db := tensor.New(d)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < d; j++ {
+				dyv := float64(dy.Data[i*d+j])
+				dg.Data[j] += float32(dyv * float64(lc.xhat.Data[i*d+j]))
+				db.Data[j] += float32(dyv)
+			}
+		}
+		l.G.accumulate(dg)
+		l.B.accumulate(db)
+	}
+	return dx, w
 }
 
 // Params implements Layer.

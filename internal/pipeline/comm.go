@@ -8,10 +8,10 @@ package pipeline
 //     on another device,
 //   - SendAct  immediately after each Forward whose stage has a successor on
 //     another device,
-//   - RecvGrad immediately before each Backward whose stage has a successor
-//     on another device,
-//   - SendGrad immediately after each Backward whose stage has a predecessor
-//     on another device,
+//   - RecvGrad immediately before each Backward (or BackwardInput, when the
+//     backward is split) whose stage has a successor on another device,
+//   - SendGrad immediately after each Backward (or BackwardInput) whose stage
+//     has a predecessor on another device,
 //
 // and appending the cool-down collective instructions (AllReduce for DP,
 // OptimizerStep) to every device.
@@ -36,7 +36,10 @@ func InsertComm(s *Schedule) {
 				if in.Stage < S-1 && crossesDevice(s, in.Part, in.Stage, in.Stage+1, d) {
 					out = append(out, Instr{Kind: SendAct, Micro: in.Micro, Part: in.Part, Stage: in.Stage})
 				}
-			case Backward:
+			case Backward, BackwardInput:
+				// The input-gradient half anchors the gradient transfers when
+				// the backward is split; the weight-gradient half has no
+				// cross-device dependents and passes through unchanged.
 				if in.Stage < S-1 && crossesDevice(s, in.Part, in.Stage, in.Stage+1, d) {
 					out = append(out, Instr{Kind: RecvGrad, Micro: in.Micro, Part: in.Part, Stage: in.Stage})
 				}

@@ -17,10 +17,13 @@ const (
 	SchemeChimera    Scheme = "Chimera"    // "X"
 	SchemeInterleave Scheme = "Interleave" // "W"
 	SchemeHanayo     Scheme = "Hanayo"     // wave-like (extension)
+	SchemeZBH1       Scheme = "ZB-H1"      // "Z": zero-bubble handcrafted-1
+	SchemeDualPipeD  Scheme = "DualPipe-D" // "D": bidirectional split-backward
 )
 
 // Shape returns the single-letter shape alias used in the paper's evaluation
-// (V, X, W); other schemes return their full name.
+// (V, X, W) and its extensions (Z for ZB-H1, D for DualPipe-D); other schemes
+// return their full name.
 func (s Scheme) Shape() string {
 	switch s {
 	case Scheme1F1B:
@@ -29,8 +32,18 @@ func (s Scheme) Shape() string {
 		return "X"
 	case SchemeInterleave:
 		return "W"
+	case SchemeZBH1:
+		return "Z"
+	case SchemeDualPipeD:
+		return "D"
 	}
 	return string(s)
+}
+
+// SplitsBackward reports whether the scheme emits split backward units
+// (BackwardInput + BackwardWeight) instead of fused Backward instructions.
+func (s Scheme) SplitsBackward() bool {
+	return s == SchemeZBH1 || s == SchemeDualPipeD
 }
 
 // ParseScheme resolves a scheme name or shape alias. It accepts both the
@@ -47,6 +60,10 @@ func ParseScheme(name string) (Scheme, error) {
 		return SchemeInterleave, nil
 	case "HANAYO":
 		return SchemeHanayo, nil
+	case "ZB-H1", "ZBH1", "Z":
+		return SchemeZBH1, nil
+	case "DUALPIPE-D", "DUALPIPED", "DUALPIPE", "D":
+		return SchemeDualPipeD, nil
 	}
 	return "", fmt.Errorf("pipeline: unknown scheme %q", name)
 }

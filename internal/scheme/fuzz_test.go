@@ -13,6 +13,8 @@ func fuzzScheme(sel uint8) pipeline.Scheme {
 		pipeline.Scheme1F1B,
 		pipeline.SchemeChimera,
 		pipeline.SchemeInterleave,
+		pipeline.SchemeZBH1,
+		pipeline.SchemeDualPipeD,
 	}
 	return schemes[int(sel)%len(schemes)]
 }
@@ -25,14 +27,19 @@ func fuzzScheme(sel uint8) pipeline.Scheme {
 //     the fuzz target stays meaningful if Build ever skips it),
 //   - instruction identities are unique — no duplicate (kind, micro, part,
 //     stage) on any device,
-//   - compute work is conserved: exactly Micros forwards and Micros
-//     backwards per global stage, and zero checkpoint kinds.
+//   - compute work is conserved: exactly Micros forwards per global stage,
+//     plus Micros fused backwards (fused-backward schemes) or Micros
+//     BackwardInput/BackwardWeight pairs (split-backward schemes), and zero
+//     checkpoint kinds.
 func FuzzSchemeBuild(f *testing.F) {
 	f.Add(uint8(0), uint8(4), uint8(8), uint8(2))
 	f.Add(uint8(1), uint8(4), uint8(4), uint8(2))
 	f.Add(uint8(2), uint8(6), uint8(12), uint8(1))
 	f.Add(uint8(3), uint8(4), uint8(8), uint8(3))
 	f.Add(uint8(3), uint8(1), uint8(1), uint8(1))
+	f.Add(uint8(4), uint8(4), uint8(8), uint8(0))
+	f.Add(uint8(5), uint8(4), uint8(8), uint8(0))
+	f.Add(uint8(5), uint8(2), uint8(2), uint8(0))
 	f.Fuzz(func(t *testing.T, sel, devices, micros, chunks uint8) {
 		d := int(devices)%12 + 1
 		n := int(micros)%24 + 1
@@ -62,8 +69,19 @@ func FuzzSchemeBuild(f *testing.F) {
 		if fw := sched.CountKind(-1, pipeline.Forward); fw != n*stages {
 			t.Fatalf("%s d=%d n=%d v=%d: %d forwards, want micros×stages = %d", s, d, n, v, fw, n*stages)
 		}
-		if bw := sched.CountKind(-1, pipeline.Backward); bw != n*stages {
-			t.Fatalf("%s d=%d n=%d v=%d: %d backwards, want micros×stages = %d", s, d, n, v, bw, n*stages)
+		bw := sched.CountKind(-1, pipeline.Backward)
+		bi := sched.CountKind(-1, pipeline.BackwardInput)
+		wg := sched.CountKind(-1, pipeline.BackwardWeight)
+		if s.SplitsBackward() {
+			if bw != 0 || bi != n*stages || wg != n*stages {
+				t.Fatalf("%s d=%d n=%d v=%d: BW=%d BI=%d WG=%d, want 0 fused and micros×stages = %d split pairs",
+					s, d, n, v, bw, bi, wg, n*stages)
+			}
+		} else {
+			if bw != n*stages || bi != 0 || wg != 0 {
+				t.Fatalf("%s d=%d n=%d v=%d: BW=%d BI=%d WG=%d, want micros×stages = %d fused and no split halves",
+					s, d, n, v, bw, bi, wg, n*stages)
+			}
 		}
 		for _, k := range []pipeline.Kind{pipeline.CkptForward, pipeline.Recompute} {
 			if c := sched.CountKind(-1, k); c != 0 {

@@ -1,0 +1,69 @@
+package scheme
+
+import (
+	"fmt"
+
+	"mario/internal/pipeline"
+)
+
+// generator composes one scheme family from orthogonal ingredients: an
+// optional structural check over the configuration and a builder that emits
+// the compute skeleton. Builders either run a closed-form emitter whose exact
+// shape is pinned by tests (GPipe, 1F1B, Interleave) or compose a depGraph —
+// placement + unit families + dependency rules — and hand it to the greedy
+// list scheduler (Chimera, ZB-H1, DualPipe-D; BuildCustom follows the same
+// path outside the registry). Build looks schemes up here, so adding a scheme
+// is one registry entry plus its ingredients.
+type generator struct {
+	check func(Config) error // scheme-specific structural constraints (nil: none)
+	build func(Config) *pipeline.Schedule
+}
+
+var generators = map[pipeline.Scheme]generator{
+	pipeline.SchemeGPipe:      {build: buildGPipe},
+	pipeline.Scheme1F1B:       {build: build1F1B},
+	pipeline.SchemeChimera:    {check: checkChimera, build: buildChimera},
+	pipeline.SchemeInterleave: {check: checkInterleave, build: buildInterleave},
+	pipeline.SchemeZBH1:       {build: buildZBH1},
+	pipeline.SchemeDualPipeD:  {check: checkDualPipeD, build: buildDualPipeD},
+}
+
+// schemeOrder fixes the deterministic catalogue order of the registry:
+// fused-backward schemes first in historical order, then the split-backward
+// family.
+var schemeOrder = []pipeline.Scheme{
+	pipeline.SchemeGPipe,
+	pipeline.Scheme1F1B,
+	pipeline.SchemeChimera,
+	pipeline.SchemeInterleave,
+	pipeline.SchemeZBH1,
+	pipeline.SchemeDualPipeD,
+}
+
+// Schemes returns every registered scheme in deterministic catalogue order.
+func Schemes() []pipeline.Scheme {
+	return append([]pipeline.Scheme(nil), schemeOrder...)
+}
+
+// checkChimera rejects odd device counts: the bidirectional placement pairs
+// each up-stream stage with a mirrored down-stream stage per device.
+func checkChimera(cfg Config) error {
+	if cfg.Devices%2 != 0 {
+		return fmt.Errorf("scheme: Chimera requires an even device count, got %d", cfg.Devices)
+	}
+	return nil
+}
+
+// checkInterleave rejects configurations Megatron's interleaved schedule
+// cannot express: the chunk count must be positive and the micro-batch count
+// divisible by the device count (micro-batches advance in groups of D per
+// chunk).
+func checkInterleave(cfg Config) error {
+	if cfg.Chunks < 1 {
+		return fmt.Errorf("scheme: Interleave chunk count %d must be positive", cfg.Chunks)
+	}
+	if cfg.Micros%cfg.Devices != 0 {
+		return fmt.Errorf("scheme: Interleave requires micros (%d) divisible by devices (%d)", cfg.Micros, cfg.Devices)
+	}
+	return nil
+}

@@ -6,7 +6,7 @@ import (
 
 // unit is one compute instruction to be placed by the greedy list scheduler.
 type unit struct {
-	kind  pipeline.Kind // Forward or Backward
+	kind  pipeline.Kind // Forward, Backward, BackwardInput or BackwardWeight
 	micro int
 	part  int
 	stage int
@@ -18,59 +18,136 @@ type unit struct {
 	ready   float64 // max finish time of resolved predecessors
 }
 
-// greedySchedule performs deterministic earliest-start list scheduling of
-// forward/backward units onto devices. It is used to merge Chimera's two
-// mirrored 1F1B pipelines into per-device instruction lists (the paper picks
-// its Chimera schedule from the released chimera_pipeline_rank.py; the greedy
-// merge reproduces its bidirectional bubble-overlap structure) and is also
-// the extension hook for exploring new pipeline shapes (§5.2,
-// "Visualization").
-//
-// Units are related by the virtual-pipeline dependencies: FW(m,s) after
-// FW(m,s-1); BW(m,s) after BW(m,s+1) and FW(m,s). Ordering decisions use the
-// canonical unit times (forward 1, backward 2) plus a small communication
-// epsilon so that cross-device transfers break ties deterministically.
-func greedySchedule(pl pipeline.Placement, micros []microAssign, fwTime, bwTime float64) [][]pipeline.Instr {
-	const commEps = 1e-3
-	S := pl.NumStages()
-	units := make([]unit, 0, 2*S*len(micros))
-	index := make(map[pipeline.Key]int)
-	for _, ma := range micros {
-		for s := 0; s < S; s++ {
-			part := ma.partAt(pl, s)
-			for _, k := range []pipeline.Kind{pipeline.Forward, pipeline.Backward} {
-				u := unit{kind: k, micro: ma.micro, part: part, stage: s, dev: pl.Device(part, s)}
-				index[pipeline.Key{Kind: k, Micro: ma.micro, Part: part, Stage: s}] = len(units)
-				units = append(units, u)
-			}
+// unitTimes weights the greedy scheduler's ordering decisions. Zero fields
+// default to the canonical unit times (forward 1, backward 2) with the
+// backward split evenly between its input-gradient and weight-gradient
+// halves.
+type unitTimes struct {
+	fw, bw, bi, wg float64
+}
+
+func (t unitTimes) withDefaults() unitTimes {
+	if t.fw <= 0 {
+		t.fw = 1
+	}
+	if t.bw <= 0 {
+		t.bw = 2
+	}
+	if t.bi <= 0 {
+		t.bi = t.bw / 2
+	}
+	if t.wg <= 0 {
+		t.wg = t.bw - t.bw/2
+	}
+	return t
+}
+
+// dur returns the scheduling weight of a unit kind.
+func (t unitTimes) dur(k pipeline.Kind) float64 {
+	switch k {
+	case pipeline.Backward:
+		return t.bw
+	case pipeline.BackwardInput:
+		return t.bi
+	case pipeline.BackwardWeight:
+		return t.wg
+	}
+	return t.fw
+}
+
+// depGraph is the composable dependency-graph program behind schedule
+// generation: a scheme generator picks a placement, adds the compute units of
+// each micro-batch (fused or split backward), layers dependency rules on top
+// (vertical chains, 1F1B injection windows, arbitrary extra edges via
+// addDep), and finally runs the deterministic earliest-start greedy list
+// scheduler over the whole graph. Chimera, ZB-H1, DualPipe-D and BuildCustom
+// all compose their schedules this way; the closed-form emitters (GPipe,
+// 1F1B, Interleave) bypass it because their exact shapes are pinned by tests.
+type depGraph struct {
+	pl    pipeline.Placement
+	times unitTimes
+	units []unit
+	index map[pipeline.Key]int
+}
+
+// newDepGraph starts an empty dependency graph over the given placement.
+func newDepGraph(pl pipeline.Placement, times unitTimes) *depGraph {
+	return &depGraph{pl: pl, times: times.withDefaults(), index: make(map[pipeline.Key]int)}
+}
+
+// addUnit registers one compute unit at its placement-assigned device.
+func (g *depGraph) addUnit(k pipeline.Kind, micro, part, stage int) {
+	u := unit{kind: k, micro: micro, part: part, stage: stage, dev: g.pl.Device(part, stage)}
+	g.index[pipeline.Key{Kind: k, Micro: micro, Part: part, Stage: stage}] = len(g.units)
+	g.units = append(g.units, u)
+}
+
+// addDep records that the unit keyed by `to` may not start before the unit
+// keyed by `from` has finished. Both units must already be registered.
+func (g *depGraph) addDep(from, to pipeline.Key) {
+	f, t := g.index[from], g.index[to]
+	g.units[f].succs = append(g.units[f].succs, t)
+	g.units[t].waiting++
+}
+
+// bwAnchor is the kind that anchors a micro-batch's backward at a stage: the
+// fused Backward, or its input-gradient half when the backward is split.
+func bwAnchor(split bool) pipeline.Kind {
+	if split {
+		return pipeline.BackwardInput
+	}
+	return pipeline.Backward
+}
+
+// addMicroUnits adds one micro-batch's per-stage compute units together with
+// the virtual-pipeline dependencies that tie them together: the forward chain
+// down the stages (FW(m,s) after FW(m,s-1)), the backward chain up the stages
+// (BW(m,s) after BW(m,s+1)), and FW(m,s) before BW(m,s). With split=true the
+// fused BW is replaced by the BackwardInput/BackwardWeight pair: the
+// input-gradient half inherits all of BW's edges (it alone sits on the
+// cross-stage critical path), and the weight-gradient half depends only on
+// its BI, which frees the scheduler to sink it into pipeline bubbles.
+func (g *depGraph) addMicroUnits(ma microAssign, split bool) {
+	S := g.pl.NumStages()
+	anchor := bwAnchor(split)
+	for s := 0; s < S; s++ {
+		part := ma.partAt(g.pl, s)
+		g.addUnit(pipeline.Forward, ma.micro, part, s)
+		g.addUnit(anchor, ma.micro, part, s)
+		if split {
+			g.addUnit(pipeline.BackwardWeight, ma.micro, part, s)
 		}
 	}
-	addDep := func(from, to pipeline.Key) {
-		f, t := index[from], index[to]
-		units[f].succs = append(units[f].succs, t)
-		units[t].waiting++
-	}
-	for _, ma := range micros {
-		for s := 0; s < S; s++ {
-			part := ma.partAt(pl, s)
-			fw := pipeline.Key{Kind: pipeline.Forward, Micro: ma.micro, Part: part, Stage: s}
-			bw := pipeline.Key{Kind: pipeline.Backward, Micro: ma.micro, Part: part, Stage: s}
-			addDep(fw, bw)
-			if s > 0 {
-				prev := pipeline.Key{Kind: pipeline.Forward, Micro: ma.micro, Part: ma.partAt(pl, s-1), Stage: s - 1}
-				addDep(prev, fw)
-				prevBW := pipeline.Key{Kind: pipeline.Backward, Micro: ma.micro, Part: ma.partAt(pl, s-1), Stage: s - 1}
-				addDep(bw, prevBW)
-			}
+	for s := 0; s < S; s++ {
+		part := ma.partAt(g.pl, s)
+		fw := pipeline.Key{Kind: pipeline.Forward, Micro: ma.micro, Part: part, Stage: s}
+		bw := pipeline.Key{Kind: anchor, Micro: ma.micro, Part: part, Stage: s}
+		g.addDep(fw, bw)
+		if split {
+			g.addDep(bw, pipeline.Key{Kind: pipeline.BackwardWeight, Micro: ma.micro, Part: part, Stage: s})
+		}
+		if s > 0 {
+			prev := pipeline.Key{Kind: pipeline.Forward, Micro: ma.micro, Part: ma.partAt(g.pl, s-1), Stage: s - 1}
+			g.addDep(prev, fw)
+			prevBW := pipeline.Key{Kind: anchor, Micro: ma.micro, Part: ma.partAt(g.pl, s-1), Stage: s - 1}
+			g.addDep(bw, prevBW)
 		}
 	}
-	// 1F1B injection windows: within each partition (pipeline direction),
-	// the forward of the k-th micro-batch at stage s may not start before
-	// the backward of the (k-(S-s))-th micro-batch of the same partition at
-	// the same stage has finished. This bounds the in-flight micro-batches
-	// per direction at stage s to S-s — exactly the memory discipline of
-	// 1F1B — so the merged bidirectional schedule stays within Table 1's
-	// ≈D·Mθ peak instead of flooding early bubbles with forwards.
+}
+
+// addInjectionWindows layers the 1F1B memory discipline over the graph:
+// within each partition (pipeline direction), the forward of the k-th
+// micro-batch at stage s may not start before the backward anchor of the
+// (k-(S-s))-th micro-batch of the same partition at the same stage has
+// finished. This bounds the in-flight micro-batches per direction at stage s
+// to S-s — exactly the memory discipline of 1F1B — so merged bidirectional
+// schedules stay within Table 1's ≈D·Mθ peak instead of flooding early
+// bubbles with forwards, and split-backward schedules hold no more live
+// activations than 1F1B (the deferred W units retain only weight-gradient
+// stashes).
+func (g *depGraph) addInjectionWindows(micros []microAssign, split bool) {
+	S := g.pl.NumStages()
+	anchor := bwAnchor(split)
 	byPart := map[int][]microAssign{}
 	for _, ma := range micros {
 		byPart[ma.part] = append(byPart[ma.part], ma)
@@ -78,22 +155,33 @@ func greedySchedule(pl pipeline.Placement, micros []microAssign, fwTime, bwTime 
 	for _, seq := range byPart {
 		for k, ma := range seq {
 			for s := 0; s < S; s++ {
-				part := ma.partAt(pl, s)
+				part := ma.partAt(g.pl, s)
 				w := S - s
 				if k-w < 0 {
 					continue
 				}
 				prev := seq[k-w]
-				addDep(
-					pipeline.Key{Kind: pipeline.Backward, Micro: prev.micro, Part: prev.partAt(pl, s), Stage: s},
+				g.addDep(
+					pipeline.Key{Kind: anchor, Micro: prev.micro, Part: prev.partAt(g.pl, s), Stage: s},
 					pipeline.Key{Kind: pipeline.Forward, Micro: ma.micro, Part: part, Stage: s},
 				)
 			}
 		}
 	}
+}
 
-	devFree := make([]float64, pl.NumDevices())
-	lists := make([][]pipeline.Instr, pl.NumDevices())
+// schedule runs deterministic earliest-start list scheduling of the graph's
+// units onto devices and returns the per-device instruction lists. Ordering
+// decisions use the graph's unit times plus a small communication epsilon so
+// that cross-device transfers break ties deterministically; the result
+// depends only on the dependency set and unit registration order, never on
+// map iteration order (ready times are maxima and the ready-queue order is a
+// strict total order over units).
+func (g *depGraph) schedule() [][]pipeline.Instr {
+	const commEps = 1e-3
+	units := g.units
+	devFree := make([]float64, g.pl.NumDevices())
+	lists := make([][]pipeline.Instr, g.pl.NumDevices())
 	rq := &readyQueue{units: units}
 	for i := range units {
 		if units[i].waiting == 0 {
@@ -107,11 +195,7 @@ func greedySchedule(pl pipeline.Placement, micros []microAssign, fwTime, bwTime 
 		if devFree[u.dev] > start {
 			start = devFree[u.dev]
 		}
-		dur := fwTime
-		if u.kind == pipeline.Backward {
-			dur = bwTime
-		}
-		finish := start + dur
+		finish := start + g.times.dur(u.kind)
 		devFree[u.dev] = finish
 		lists[u.dev] = append(lists[u.dev], pipeline.Instr{Kind: u.kind, Micro: u.micro, Part: u.part, Stage: u.stage})
 		for _, si := range u.succs {
@@ -132,6 +216,35 @@ func greedySchedule(pl pipeline.Placement, micros []microAssign, fwTime, bwTime 
 	return lists
 }
 
+// greedySchedule performs deterministic earliest-start list scheduling of
+// fused forward/backward units onto devices. It is the convenience entry for
+// fused-backward shapes: Chimera's two mirrored 1F1B pipelines (the paper
+// picks its Chimera schedule from the released chimera_pipeline_rank.py; the
+// greedy merge reproduces its bidirectional bubble-overlap structure) and
+// BuildCustom's user-defined pipelines (§5.2, "Visualization").
+func greedySchedule(pl pipeline.Placement, micros []microAssign, fwTime, bwTime float64) [][]pipeline.Instr {
+	g := newDepGraph(pl, unitTimes{fw: fwTime, bw: bwTime})
+	for _, ma := range micros {
+		g.addMicroUnits(ma, false)
+	}
+	g.addInjectionWindows(micros, false)
+	return g.schedule()
+}
+
+// greedyScheduleSplit is the split-backward variant of greedySchedule: every
+// micro-batch's backward is emitted as a BackwardInput/BackwardWeight pair,
+// the injection windows anchor on the input-gradient half, and the scheduler
+// fills device idle gaps with deferred weight-gradient units (Zero Bubble's
+// central scheduling move).
+func greedyScheduleSplit(pl pipeline.Placement, micros []microAssign, times unitTimes) [][]pipeline.Instr {
+	g := newDepGraph(pl, times)
+	for _, ma := range micros {
+		g.addMicroUnits(ma, true)
+	}
+	g.addInjectionWindows(micros, true)
+	return g.schedule()
+}
+
 // microAssign assigns a micro-batch to a partition (pipeline direction or
 // chunk sequence).
 type microAssign struct {
@@ -148,9 +261,10 @@ func (ma microAssign) partAt(pl pipeline.Placement, stage int) int {
 }
 
 // readyQueue holds the indices of schedulable units. popBest selects the
-// unit with the minimal effective start; among equals it prefers backwards
-// over forwards (bounding activation memory) and then lower micro ids for
-// determinism.
+// unit with the minimal effective start; among equals it prefers backward
+// anchors (BW/BI) over forwards (bounding activation memory), forwards over
+// deferred weight-gradient units (which exist to fill bubbles, not to delay
+// the critical path), and then lower micro ids for determinism.
 type readyQueue struct {
 	units []unit
 	idx   []int
@@ -160,8 +274,8 @@ type readyQueue struct {
 func (q *readyQueue) Len() int { return len(q.idx) }
 
 // popBest removes and returns the best schedulable unit: minimal effective
-// start time max(ready, devFree), then Backward before Forward, then lowest
-// micro, part and stage ids.
+// start time max(ready, devFree), then backward-anchor before Forward before
+// BackwardWeight, then lowest micro, part and stage ids.
 func (q *readyQueue) popBest(devFree []float64) int {
 	best := -1
 	for pos, i := range q.idx {
@@ -173,6 +287,19 @@ func (q *readyQueue) popBest(devFree []float64) int {
 	q.idx[best] = q.idx[len(q.idx)-1]
 	q.idx = q.idx[:len(q.idx)-1]
 	return i
+}
+
+// kindRank orders unit kinds at equal effective start: backward anchors
+// first (they unblock downstream devices), then forwards, then deferred
+// weight-gradient work last.
+func kindRank(k pipeline.Kind) int {
+	switch k {
+	case pipeline.Backward, pipeline.BackwardInput:
+		return 0
+	case pipeline.BackwardWeight:
+		return 2
+	}
+	return 1
 }
 
 func (q *readyQueue) better(a, b int, devFree []float64) bool {
@@ -187,8 +314,8 @@ func (q *readyQueue) better(a, b int, devFree []float64) bool {
 	if ea != eb {
 		return ea < eb
 	}
-	if (ua.kind == pipeline.Backward) != (ub.kind == pipeline.Backward) {
-		return ua.kind == pipeline.Backward
+	if ra, rb := kindRank(ua.kind), kindRank(ub.kind); ra != rb {
+		return ra < rb
 	}
 	if ua.micro != ub.micro {
 		return ua.micro < ub.micro

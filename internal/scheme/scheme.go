@@ -1,8 +1,11 @@
 // Package scheme generates the initial per-device instruction lists for the
 // pipeline parallelism schemes Mario supports: GPipe, 1F1B ("V"), Chimera
-// ("X") and Interleave ("W"). The generated schedules are the input of the
-// graph tuner (internal/graph); they carry explicit communication
-// instructions and pass pipeline.Validate.
+// ("X"), Interleave ("W"), and the split-backward family ZB-H1 ("Z") and
+// DualPipe-D ("D"). Schemes are registered as composable generators — a
+// structural check plus a builder that either emits a closed-form shape or
+// composes a dependency graph for the greedy list scheduler (see depGraph).
+// The generated schedules are the input of the graph tuner (internal/graph);
+// they carry explicit communication instructions and pass pipeline.Validate.
 package scheme
 
 import (
@@ -37,42 +40,29 @@ func (c Config) check(s pipeline.Scheme) error {
 	if c.Micros <= 0 {
 		return fmt.Errorf("scheme: %s: micro-batch count %d must be positive", s, c.Micros)
 	}
-	switch s {
-	case pipeline.SchemeChimera:
-		if c.Devices%2 != 0 {
-			return fmt.Errorf("scheme: Chimera requires an even device count, got %d", c.Devices)
-		}
-	case pipeline.SchemeInterleave:
-		if c.Chunks < 1 {
-			return fmt.Errorf("scheme: Interleave chunk count %d must be positive", c.Chunks)
-		}
-		if c.Micros%c.Devices != 0 {
-			return fmt.Errorf("scheme: Interleave requires micros (%d) divisible by devices (%d)", c.Micros, c.Devices)
-		}
-	}
 	return nil
 }
 
 // Build expands the named scheme into a validated schedule with explicit
-// communication instructions.
+// communication instructions. The scheme is resolved through the generator
+// registry; its generic and scheme-specific structural checks run first, the
+// registered builder emits the compute skeleton, and the result is completed
+// with communication instructions and validated.
 func Build(s pipeline.Scheme, cfg Config) (*pipeline.Schedule, error) {
 	cfg = cfg.withDefaults()
+	g, ok := generators[s]
+	if !ok {
+		return nil, fmt.Errorf("scheme: unsupported scheme %q", s)
+	}
 	if err := cfg.check(s); err != nil {
 		return nil, err
 	}
-	var sched *pipeline.Schedule
-	switch s {
-	case pipeline.SchemeGPipe:
-		sched = buildGPipe(cfg)
-	case pipeline.Scheme1F1B:
-		sched = build1F1B(cfg)
-	case pipeline.SchemeChimera:
-		sched = buildChimera(cfg)
-	case pipeline.SchemeInterleave:
-		sched = buildInterleave(cfg)
-	default:
-		return nil, fmt.Errorf("scheme: unsupported scheme %q", s)
+	if g.check != nil {
+		if err := g.check(cfg); err != nil {
+			return nil, err
+		}
 	}
+	sched := g.build(cfg)
 	pipeline.InsertComm(sched)
 	if err := pipeline.Validate(sched); err != nil {
 		return nil, fmt.Errorf("scheme: generated %s schedule is invalid: %w", s, err)

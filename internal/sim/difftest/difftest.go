@@ -57,11 +57,21 @@ func NewWorkload(seed int64) (*Workload, error) {
 	devs := 2 + rng.Intn(3) // 2..4
 	micros := 3 + rng.Intn(6)
 	var sch pipeline.Scheme
-	switch rng.Intn(3) {
+	switch rng.Intn(5) {
 	case 0:
 		sch = pipeline.Scheme1F1B
 	case 1:
 		sch = pipeline.SchemeChimera
+		if devs%2 != 0 {
+			devs++
+		}
+		if micros%2 != 0 {
+			micros++
+		}
+	case 2:
+		sch = pipeline.SchemeZBH1
+	case 3:
+		sch = pipeline.SchemeDualPipeD
 		if devs%2 != 0 {
 			devs++
 		}
@@ -96,6 +106,15 @@ func NewWorkload(seed int64) (*Workload, error) {
 	est.LinkLatency = rng.Float64() * 0.5
 	est.LaunchOverhead = rng.Float64() * 0.2
 	est.FrameworkMem = rng.Float64() * 4
+	// Half the workloads model the split-backward weight-gradient stash
+	// explicitly; the rest leave WGradBytes nil to exercise the fused-
+	// equivalent fallback accounting.
+	if rng.Intn(2) == 0 {
+		est.WGradBytes = make([]float64, stages)
+		for st := range est.WGradBytes {
+			est.WGradBytes[st] = est.ActFull[st] * rng.Float64()
+		}
+	}
 
 	if rng.Intn(2) == 0 {
 		graph.ApplyCheckpoint(s)

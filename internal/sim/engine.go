@@ -217,9 +217,9 @@ type Simulator struct {
 	// for device d ([restart, wrote)); a spliced device stops early and the
 	// rest stays snapshot data. probeOK marks that the engine's most recent
 	// call was a successful probe delta run, making Commit applicable.
-	wrote                    []int
-	probeOK                  bool
-	stats                    DeltaStats
+	wrote   []int
+	probeOK bool
+	stats   DeltaStats
 }
 
 // Simulate runs the dynamic-programming timeline and memory simulation,
@@ -893,28 +893,48 @@ func suffixFlipFree(list []pipeline.Instr, hi int, flips *[8][2]int32, nFlips in
 	return true
 }
 
+// pairedConsumers returns the instruction kinds whose memory effect depends
+// on state the given producer kind wrote for its (micro, stage) cell: a
+// CkptForward sets the checkpoint bit the cell's Backward or BackwardInput
+// consumes (the stash is subtracted only while the bit is set), and a
+// BackwardInput records the weight-gradient stash its BackwardWeight
+// releases. nil means the kind produces no such state.
+func pairedConsumers(k pipeline.Kind) []pipeline.Kind {
+	switch k {
+	case pipeline.CkptForward:
+		return ckptConsumerKinds
+	case pipeline.BackwardInput:
+		return wgradConsumerKinds
+	}
+	return nil
+}
+
+var (
+	ckptConsumerKinds  = []pipeline.Kind{pipeline.Backward, pipeline.BackwardInput}
+	wgradConsumerKinds = []pipeline.Kind{pipeline.BackwardWeight}
+)
+
 // windowPairingPreserved reports whether the permutation window [lo, hi)
-// keeps every CkptForward in its order relative to the Backward and
-// BackwardWeight instructions of its (micro, stage) cell. The memory walk's
-// checkpoint bitmap is set by CkptForward and consumed by the cell's backward
-// passes — the stash is subtracted only while the bit is set — so a window
-// that moves a backward across its cell's CkptForward changes the residual
-// level after the window and invalidates the spliced suffix peaks. Pairs with
-// one endpoint outside the window cannot flip, since prefix and suffix
-// positions are identical in both lists. Cells with duplicate same-kind
-// entries inside the window are rejected conservatively.
+// keeps every stateful producer (CkptForward, BackwardInput) in its order
+// relative to the consumer instructions of its (micro, stage) cell — a
+// window that moves a consumer across its cell's producer changes the
+// residual level after the window and invalidates the spliced suffix peaks.
+// Pairs with one endpoint outside the window cannot flip, since prefix and
+// suffix positions are identical in both lists. Cells with duplicate
+// same-kind entries inside the window are rejected conservatively.
 func windowPairingPreserved(old, list []pipeline.Instr, lo, hi int) bool {
 	for i := lo; i < hi; i++ {
 		in := list[i]
-		if in.Kind != pipeline.CkptForward {
+		consumers := pairedConsumers(in.Kind)
+		if consumers == nil {
 			continue
 		}
 		oi := -1
 		for j := lo; j < hi; j++ {
-			if k := list[j]; j != i && k.Kind == pipeline.CkptForward && k.Micro == in.Micro && k.Stage == in.Stage {
+			if k := list[j]; j != i && k.Kind == in.Kind && k.Micro == in.Micro && k.Stage == in.Stage {
 				return false
 			}
-			if o := old[j]; o.Kind == pipeline.CkptForward && o.Micro == in.Micro && o.Stage == in.Stage {
+			if o := old[j]; o.Kind == in.Kind && o.Micro == in.Micro && o.Stage == in.Stage {
 				oi = j
 			}
 		}
@@ -923,8 +943,7 @@ func windowPairingPreserved(old, list []pipeline.Instr, lo, hi int) bool {
 		}
 		for j := lo; j < hi; j++ {
 			b := list[j]
-			if (b.Kind != pipeline.Backward && b.Kind != pipeline.BackwardWeight) ||
-				b.Micro != in.Micro || b.Stage != in.Stage {
+			if !kindIn(b.Kind, consumers) || b.Micro != in.Micro || b.Stage != in.Stage {
 				continue
 			}
 			oj := -1
@@ -942,6 +961,16 @@ func windowPairingPreserved(old, list []pipeline.Instr, lo, hi int) bool {
 		}
 	}
 	return true
+}
+
+// kindIn reports whether k is one of the given kinds.
+func kindIn(k pipeline.Kind, kinds []pipeline.Kind) bool {
+	for _, c := range kinds {
+		if k == c {
+			return true
+		}
+	}
+	return false
 }
 
 // rebuildWindowed rebuilds device d's metadata when the new list differs from

@@ -20,6 +20,14 @@ import (
 //   - Backward    −ActFull[s] and, if the forward was checkpointed,
 //     −ActStash[s]; while it runs the ActWork[s] gradient working set is
 //     live;
+//   - BackwardInput  (the B half of a split backward) −ActFull[s] (and
+//     −ActStash[s] if checkpointed) +WGradBytes[s]: the input gradient
+//     consumes the activations and leaves behind the stash its deferred
+//     weight-gradient half still needs. When the estimator provides no
+//     WGradBytes, the stash defaults to everything the activations held, so
+//     the pair's accounting degenerates to the fused rule exactly;
+//   - BackwardWeight −(the stash its BackwardInput left); while it runs the
+//     ActWork[s] working set is live;
 //   - a Buffered SendAct holds the stage output (ActP2PBytes) from its
 //     CkptForward until the send executes (§5.1 pass 4, scenario 2).
 //
@@ -35,6 +43,9 @@ type MemSim struct {
 	inst       float64 // instantaneous high-water of the last Step
 	bufferedSA []bool
 	ckpted     []bool
+	// wgrad holds, per (micro, stage) cell, the weight-gradient stash a
+	// BackwardInput acquired and its BackwardWeight will release.
+	wgrad []float64
 }
 
 // NewMemSim builds the tracker for device d of the schedule, starting at the
@@ -65,11 +76,14 @@ func (m *MemSim) rebind(e *cost.Estimator, micros, stages int, static float64, l
 	if cap(m.bufferedSA) >= cells {
 		m.bufferedSA = m.bufferedSA[:cells]
 		m.ckpted = m.ckpted[:cells]
+		m.wgrad = m.wgrad[:cells]
 		clear(m.bufferedSA)
 		clear(m.ckpted)
+		clear(m.wgrad)
 	} else {
 		m.bufferedSA = make([]bool, cells)
 		m.ckpted = make([]bool, cells)
+		m.wgrad = make([]float64, cells)
 	}
 	for _, in := range list {
 		if in.Kind == pipeline.SendAct && in.Buffered {
@@ -118,17 +132,33 @@ func (m *MemSim) Step(in pipeline.Instr) float64 {
 		}
 	case pipeline.Recompute:
 		m.bump(e.ActFull[in.Stage])
-	case pipeline.Backward, pipeline.BackwardWeight:
-		// A whole backward releases the activations when it finishes; a
-		// split backward holds them until the deferred weight-gradient half
-		// runs (ZB-H1's memory trade-off).
+	case pipeline.Backward:
 		m.transient(e.ActWork[in.Stage])
 		m.cur -= e.ActFull[in.Stage]
 		if m.ckpted[m.cell(in)] {
 			m.cur -= e.ActStash[in.Stage]
 		}
 	case pipeline.BackwardInput:
+		// The input gradient consumes the activations and leaves behind the
+		// weight-gradient stash; without a WGradBytes model the stash keeps
+		// everything the activations held, making the BI+WG pair's
+		// accounting step-for-step identical to the fused Backward's.
 		m.transient(e.ActWork[in.Stage])
+		released := e.ActFull[in.Stage]
+		if m.ckpted[m.cell(in)] {
+			released += e.ActStash[in.Stage]
+		}
+		m.cur -= released
+		g := released
+		if e.WGradBytes != nil {
+			g = e.WGradBytes[in.Stage]
+		}
+		m.wgrad[m.cell(in)] = g
+		m.bump(g)
+	case pipeline.BackwardWeight:
+		m.transient(e.ActWork[in.Stage])
+		m.cur -= m.wgrad[m.cell(in)]
+		m.wgrad[m.cell(in)] = 0
 	case pipeline.SendAct:
 		if in.Buffered {
 			m.cur -= e.ActP2PBytes

@@ -9,12 +9,16 @@
 // fewer live activation bytes.
 //
 // All three placements are executable: linear (GPipe, 1F1B), bidirectional
-// (Chimera, with two weight replicas whose gradients are merged at the
-// AllReduce barrier, exactly like Chimera's intra-iteration synchronisation)
-// and interleaved (multiple model chunks per device). Split-backward
-// schedules are not executable here (the miniature layers do not separate
-// input and weight gradients); they are exercised by the simulator and the
-// cluster emulator.
+// (Chimera and DualPipe-D, with two weight replicas whose gradients are
+// merged at the AllReduce barrier, exactly like Chimera's intra-iteration
+// synchronisation) and interleaved (multiple model chunks per device).
+// Split-backward schedules (ZB-H1, DualPipe-D, or any schedule rewritten by
+// graph.SplitBackward) execute for real too: BackwardInput runs the
+// input-gradient chain and defers the weight-gradient work, which the
+// matching BackwardWeight instruction later applies. Because the fused
+// Backward of every nn layer is defined as exactly that composition, split
+// and fused executions of the same workload produce bit-identical losses and
+// weights.
 package train
 
 import (
@@ -28,10 +32,6 @@ import (
 	"mario/internal/pipeline"
 	"mario/internal/tensor"
 )
-
-// ErrUnsupportedSchedule is returned for schedules containing instructions
-// the miniature runtime cannot execute (split backwards).
-var ErrUnsupportedSchedule = errors.New("train: schedule contains instructions the miniature runtime cannot execute")
 
 // ErrStalled is returned when devices stop making progress (a real deadlock
 // in the schedule).
@@ -246,6 +246,13 @@ type devState struct {
 	dxs     map[cellKey]*tensor.Tensor // input grads awaiting SendGrad
 	heads   map[cellKey]nn.Cache       // LM-head caches (language-model mode)
 
+	// wgrads holds the deferred weight-gradient work a BackwardInput left
+	// for its BackwardWeight (split-backward schedules); wgradBytes is the
+	// live footprint the work pins (caches and output gradients) until it
+	// runs.
+	wgrads     map[cellKey]nn.WeightWork
+	wgradBytes map[cellKey]int64
+
 	live int64
 	peak int64
 
@@ -267,6 +274,9 @@ func newDevState() *devState {
 		dxs:     make(map[cellKey]*tensor.Tensor),
 		heads:   make(map[cellKey]nn.Cache),
 		losses:  make(map[int]float64),
+
+		wgrads:     make(map[cellKey]nn.WeightWork),
+		wgradBytes: make(map[cellKey]int64),
 	}
 }
 
@@ -287,13 +297,6 @@ func (t *Trainer) RunIteration(s *pipeline.Schedule) (*Stats, error) {
 	}
 	if s.Micros != t.cfg.Micros {
 		return nil, fmt.Errorf("train: schedule has %d micros, trainer %d", s.Micros, t.cfg.Micros)
-	}
-	for _, list := range s.Lists {
-		for _, in := range list {
-			if in.Kind == pipeline.BackwardInput || in.Kind == pipeline.BackwardWeight {
-				return nil, ErrUnsupportedSchedule
-			}
-		}
 	}
 	t.materialize(s)
 
@@ -568,37 +571,67 @@ func (t *Trainer) runDevice(
 				ds.track(int64(hc.Bytes()))
 			}
 
-		case pipeline.Backward:
+		case pipeline.Backward, pipeline.BackwardInput:
+			// One code path for fused and split backwards: the input-gradient
+			// chain runs now; the weight-gradient work either runs immediately
+			// (Backward) or is parked for the matching BackwardWeight
+			// (BackwardInput), pinning the bytes it closes over.
 			c := ds.caches[ck]
 			dy := ds.grads[ck]
 			if c == nil || dy == nil {
 				return fmt.Errorf("train: dev%d backward %s missing cache or gradient", d, in)
 			}
+			pinned := int64(c.Bytes()) + int64(dy.Bytes())
+			var headWork nn.WeightWork
 			if t.lm() && in.Stage == lastStage {
 				hc := ds.heads[ck]
 				if hc == nil {
 					return fmt.Errorf("train: dev%d backward %s missing LM-head cache", d, in)
 				}
-				dy = t.headFor(in.Part).Backward(hc, dy)
+				pinned += int64(hc.Bytes())
+				dy, headWork = t.headFor(in.Part).BackwardInput(hc, dy)
 				delete(ds.heads, ck)
-				ds.track(-int64(hc.Bytes()))
 			}
-			dx := t.stageFor(in.Part, in.Stage).Backward(c, dy)
-			if t.lm() && in.Stage == 0 {
-				ids, _ := t.tokenStream(in.Micro)
-				t.embedFor(in.Part).Backward(ids, dx)
+			dx, stageWork := t.stageFor(in.Part, in.Stage).BackwardInput(c, dy)
+			part, micro := in.Part, in.Micro
+			embeds := t.lm() && in.Stage == 0
+			work := func() {
+				if headWork != nil {
+					headWork()
+				}
+				stageWork()
+				if embeds {
+					ids, _ := t.tokenStream(micro)
+					t.embedFor(part).Backward(ids, dx)
+				}
 			}
 			delete(ds.caches, ck)
 			delete(ds.grads, ck)
-			ds.track(-int64(c.Bytes()) - int64(dy.Bytes()))
 			if x := ds.stashes[ck]; x != nil {
 				delete(ds.stashes, ck)
 				ds.track(-int64(x.Bytes()))
+			}
+			if in.Kind == pipeline.Backward {
+				work()
+				ds.track(-pinned)
+			} else {
+				ds.wgrads[ck] = work
+				ds.wgradBytes[ck] = pinned
 			}
 			if in.Stage > 0 {
 				ds.dxs[ck] = dx
 				ds.track(int64(dx.Bytes()))
 			}
+
+		case pipeline.BackwardWeight:
+			w := ds.wgrads[ck]
+			if w == nil {
+				return fmt.Errorf("train: dev%d weight-grad %s has no deferred work", d, in)
+			}
+			w()
+			delete(ds.wgrads, ck)
+			ds.track(-ds.wgradBytes[ck])
+			delete(ds.wgradBytes, ck)
 
 		case pipeline.SendGrad:
 			dx := ds.dxs[ck]

@@ -195,13 +195,160 @@ func TestRunIterationValidation(t *testing.T) {
 	if _, err := tr.RunIteration(wrongN); err == nil {
 		t.Error("micro mismatch accepted")
 	}
+}
+
+// splitSchedule returns 1F1B rewritten by the split-backward graph pass
+// (fused BW → BI + WG), which must now execute for real.
+func splitSchedule(t *testing.T) *pipeline.Schedule {
+	t.Helper()
 	split, _, err := graph.SplitBackward(baseSchedule(t, pipeline.Scheme1F1B),
 		graph.Options{Estimator: cost.Uniform(4, 1, 2, 0.25)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := newTrainer(t).RunIteration(split); err != ErrUnsupportedSchedule {
-		t.Errorf("split-backward schedule error = %v, want ErrUnsupportedSchedule", err)
+	if split.CountKind(-1, pipeline.BackwardInput) == 0 {
+		t.Fatal("SplitBackward did not split this pipeline")
+	}
+	return split
+}
+
+// TestSplitBackwardBitIdentical is the semantic acceptance check of the
+// zero-bubble family: training under split-backward schedules (ZB-H1 and the
+// SplitBackward-rewritten 1F1B) produces bit-identical per-iteration losses
+// — and bit-identical weights — to fused-backward 1F1B, because every nn
+// layer's fused Backward IS BackwardInput composed with its weight work and
+// the weight halves replay in the same per-parameter order.
+func TestSplitBackwardBitIdentical(t *testing.T) {
+	const iters = 4
+	run := func(s *pipeline.Schedule) (*Trainer, []float64) {
+		tr := newTrainer(t)
+		losses := make([]float64, iters)
+		for it := 0; it < iters; it++ {
+			st, err := tr.RunIteration(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			losses[it] = st.Loss
+		}
+		return tr, losses
+	}
+	refTr, refLoss := run(baseSchedule(t, pipeline.Scheme1F1B))
+	for _, tc := range []struct {
+		name  string
+		sched *pipeline.Schedule
+	}{
+		{"zb-h1", baseSchedule(t, pipeline.SchemeZBH1)},
+		{"split-1f1b", splitSchedule(t)},
+	} {
+		tr, losses := run(tc.sched)
+		for it := range losses {
+			if losses[it] != refLoss[it] {
+				t.Errorf("%s: iteration %d loss %v != fused %v", tc.name, it, losses[it], refLoss[it])
+			}
+		}
+		pa, pb := refTr.Params(), tr.Params()
+		for st := range pa {
+			for i := range pa[st] {
+				for j := range pa[st][i].W.Data {
+					if pa[st][i].W.Data[j] != pb[st][i].W.Data[j] {
+						t.Fatalf("%s: stage %d param %d elem %d: weight %v != fused %v",
+							tc.name, st, i, j, pb[st][i].W.Data[j], pa[st][i].W.Data[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSplitBackwardLanguageModel runs the LM mode (embedding + head, whose
+// weight gradients are deferred too) under ZB-H1 and checks bit-identical
+// losses against fused 1F1B over several iterations.
+func TestSplitBackwardLanguageModel(t *testing.T) {
+	lmCfg := config()
+	lmCfg.Vocab = 32
+	const iters = 3
+	run := func(s *pipeline.Schedule) []float64 {
+		tr, err := New(lmCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		losses := make([]float64, iters)
+		for it := 0; it < iters; it++ {
+			st, err := tr.RunIteration(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			losses[it] = st.Loss
+		}
+		return losses
+	}
+	ref := run(baseSchedule(t, pipeline.Scheme1F1B))
+	got := run(baseSchedule(t, pipeline.SchemeZBH1))
+	for it := range ref {
+		if got[it] != ref[it] {
+			t.Errorf("iteration %d: ZB-H1 LM loss %v != fused %v", it, got[it], ref[it])
+		}
+	}
+}
+
+// TestDualPipeDExecutes: the bidirectional split-backward schedule trains
+// for real — two weight replicas fed from both pipeline ends, deferred
+// weight work on every stage — with per-micro losses identical to 1F1B and
+// replica weights converged after the merge + step.
+func TestDualPipeDExecutes(t *testing.T) {
+	ref := newTrainer(t)
+	refStats, err := ref.RunIteration(baseSchedule(t, pipeline.Scheme1F1B))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := newTrainer(t)
+	dp, err := scheme.Build(pipeline.SchemeDualPipeD, scheme.Config{Devices: 4, Micros: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := tr.RunIteration(dp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := range refStats.MicroLosses {
+		if st.MicroLosses[m] != refStats.MicroLosses[m] {
+			t.Errorf("micro %d: DualPipe-D loss %v != 1F1B loss %v", m, st.MicroLosses[m], refStats.MicroLosses[m])
+		}
+	}
+	pa, pb := ref.Params(), tr.Params()
+	for stg := range pa {
+		for i := range pa[stg] {
+			for j := range pa[stg][i].W.Data {
+				diff := math.Abs(float64(pa[stg][i].W.Data[j]) - float64(pb[stg][i].W.Data[j]))
+				if diff > 1e-6 {
+					t.Fatalf("stage %d param %d elem %d: weights diverge by %v", stg, i, j, diff)
+				}
+			}
+		}
+	}
+}
+
+// TestSplitBackwardCheckpointed: ZB-H1 survives the full Mario pass pipeline
+// (checkpointing inserts the Recompute before the BI half) and still trains
+// with the fused-identical loss.
+func TestSplitBackwardCheckpointed(t *testing.T) {
+	s := baseSchedule(t, pipeline.SchemeZBH1)
+	opt, _, err := graph.Optimize(s, graph.Options{Estimator: cost.Uniform(4, 1, 2, 0.25)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := newTrainer(t)
+	refStats, err := ref.RunIteration(baseSchedule(t, pipeline.Scheme1F1B))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := newTrainer(t)
+	st, err := tr.RunIteration(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Loss != refStats.Loss {
+		t.Errorf("checkpointed ZB-H1 loss %v != fused 1F1B %v", st.Loss, refStats.Loss)
 	}
 }
 

@@ -106,8 +106,9 @@ func (t *Tuner) probePoint(space Space, p gridPoint) (nd bnbNode, ok bool) {
 //
 //   - the busiest device's serial occupancy over the built list, where every
 //     instruction contributes at least its launch overhead and compute
-//     instructions their full latency (forwards, backwards, the cool-down
-//     all-reduce and optimizer step). Every transformation the tuner may
+//     instructions their full latency (forwards, backwards — split-base
+//     schemes their B/W halves at the simulator's exact durations — the
+//     cool-down all-reduce and optimizer step). Every transformation the tuner may
 //     apply afterwards only adds device work (checkpointing inserts
 //     recomputes; split backward splits one backward into two halves whose
 //     durations sum to more than the original; prepose only reorders; no
@@ -135,6 +136,10 @@ func (t *Tuner) bnbBound(sched *pipeline.Schedule, est *cost.Estimator, p gridPo
 				busy += lo + est.FwTime[in.Stage]
 			case pipeline.Backward:
 				busy += lo + est.BwTime[in.Stage]
+			case pipeline.BackwardInput:
+				busy += lo + est.BwTime[in.Stage]*est.BwSplitRatio
+			case pipeline.BackwardWeight:
+				busy += lo + est.BwTime[in.Stage]*(1-est.BwSplitRatio)
 			case pipeline.SendAct, pipeline.RecvAct, pipeline.SendGrad, pipeline.RecvGrad:
 				busy += lo
 			case pipeline.AllReduce:
@@ -163,10 +168,13 @@ func (t *Tuner) chainBound(sched *pipeline.Schedule, est *cost.Estimator, p grid
 	lo := est.LaunchOverhead
 	S := sched.NumStages()
 	// The chain only needs the input-gradient half of each backward when the
-	// split pass may defer the weight half; that pass runs on checkpointed
-	// candidates only.
+	// weight half can be deferred off the critical path: on split-base
+	// schemes (ZB-H1, DualPipe-D) always, otherwise when the split-backward
+	// pass may rewrite the (checkpointed) candidate. Using the full backward
+	// there would overestimate the lower bound and make the prune
+	// inadmissible.
 	r := 1.0
-	if t.SplitBackward && p.ckpt {
+	if p.scheme.SplitsBackward() || (t.SplitBackward && p.ckpt) {
 		r = est.BwSplitRatio
 		if r < 0 {
 			r = 0

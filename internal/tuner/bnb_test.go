@@ -109,6 +109,14 @@ func TestBnBMatchesGridArgmax(t *testing.T) {
 			MicroBatches: []int{2, 4},
 			Workers:      1,
 		}, false},
+		{"zero-bubble", Space{
+			Devices:      8,
+			GlobalBatch:  64,
+			Schemes:      []pipeline.Scheme{pipeline.Scheme1F1B, pipeline.SchemeZBH1, pipeline.SchemeDualPipeD},
+			MicroBatches: []int{1, 2},
+			DeviceMem:    cost.A100_40G.MemBytes,
+			Workers:      1,
+		}, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -791,7 +791,9 @@ func (t *Tuner) evalPoint(ctx context.Context, space Space, p gridPoint, mb *mer
 // upperBound returns an admissible estimate of the point's throughput: the
 // samples per iteration divided by a lower bound on the makespan, times the
 // DP efficiency. The makespan bound is the busiest device's serial
-// forward+backward compute time in the freshly built schedule. Every
+// forward+backward compute time in the freshly built schedule; split-base
+// schemes (ZB-H1, DualPipe-D) contribute their BackwardInput and
+// BackwardWeight halves at exactly the simulator's durations. Every
 // transformation the tuner may later apply — checkpoint passes (which add
 // recomputes), prepose (which reorders), split backward (which splits one
 // backward into two whose durations sum to at least the original) — only
@@ -808,6 +810,10 @@ func (t *Tuner) upperBound(sched *pipeline.Schedule, est *cost.Estimator, p grid
 				busy += est.LaunchOverhead + est.FwTime[in.Stage]
 			case pipeline.Backward:
 				busy += est.LaunchOverhead + est.BwTime[in.Stage]
+			case pipeline.BackwardInput:
+				busy += est.LaunchOverhead + est.BwTime[in.Stage]*est.BwSplitRatio
+			case pipeline.BackwardWeight:
+				busy += est.LaunchOverhead + est.BwTime[in.Stage]*(1-est.BwSplitRatio)
 			}
 		}
 		if busy > lb {

@@ -307,3 +307,46 @@ func TestSplitBackwardMode(t *testing.T) {
 	}
 	t.Logf("plain %v, with split backward %v", bestPlain.Throughput, bestZB.Throughput)
 }
+
+// TestZeroBubbleSchemeAxis: ZB-H1 and DualPipe-D work as scheme-axis values
+// — they build, validate, pass the graph tuner on checkpointed points and
+// simulate to positive throughput — and at a fixed PP the ZB-H1 candidate is
+// at least as fast as same-shape 1F1B (the weight halves fill bubbles; the
+// bounds stay admissible for the split occupancy, or branch-and-bound would
+// disagree with the exhaustive walk, which TestBnBMatchesGridArgmax pins).
+func TestZeroBubbleSchemeAxis(t *testing.T) {
+	tn := newTuner()
+	best, trace, err := tn.Search(Space{
+		Devices:      8,
+		GlobalBatch:  64,
+		Schemes:      []pipeline.Scheme{pipeline.Scheme1F1B, pipeline.SchemeZBH1, pipeline.SchemeDualPipeD},
+		MicroBatches: []int{1, 2},
+		MinPP:        8,
+		// No memory cap: DualPipe-D's two weight replicas genuinely exceed
+		// 40G at this size, and the point here is schedule quality, not the
+		// OOM penalty (other tests pin that).
+		NoPrune: true, // full trace: every feasible point simulated
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Throughput <= 0 {
+		t.Fatalf("best candidate has throughput %v", best.Throughput)
+	}
+	byScheme := map[pipeline.Scheme]float64{}
+	for _, c := range trace {
+		if c.Throughput > byScheme[c.Scheme] {
+			byScheme[c.Scheme] = c.Throughput
+		}
+	}
+	for _, sch := range []pipeline.Scheme{pipeline.SchemeZBH1, pipeline.SchemeDualPipeD} {
+		if byScheme[sch] <= 0 {
+			t.Errorf("%s never reached a positive-throughput candidate", sch)
+		}
+	}
+	if byScheme[pipeline.SchemeZBH1] < byScheme[pipeline.Scheme1F1B] {
+		t.Errorf("ZB-H1 best %v below 1F1B best %v", byScheme[pipeline.SchemeZBH1], byScheme[pipeline.Scheme1F1B])
+	}
+	t.Logf("best per scheme: 1F1B=%v ZB-H1=%v DualPipe-D=%v",
+		byScheme[pipeline.Scheme1F1B], byScheme[pipeline.SchemeZBH1], byScheme[pipeline.SchemeDualPipeD])
+}

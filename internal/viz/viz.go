@@ -75,7 +75,7 @@ func ASCII(res *sim.Result, quantum float64) string {
 		}
 		fmt.Fprintf(&b, "dev%-2d |%s|\n", d, strings.TrimRight(string(row), " "))
 	}
-	fmt.Fprintf(&b, "total %.4g (F=forward C=ckpt-forward B=backward R=recompute A=allreduce O=optstep)\n", res.Total)
+	fmt.Fprintf(&b, "total %.4g (F=forward C=ckpt-forward B=backward b=bwd-input w=bwd-weight R=recompute A=allreduce O=optstep)\n", res.Total)
 	return b.String()
 }
 

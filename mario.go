@@ -36,8 +36,10 @@ import (
 
 // Config is the mario_conf of Listing 1.
 type Config struct {
-	// PipelineScheme is "Auto" (search all), a scheme name ("1F1B",
-	// "Chimera", "Interleave", "GPipe") or a shape alias ("V", "X", "W").
+	// PipelineScheme is "Auto" (search the paper's three schemes), a
+	// scheme name ("1F1B", "Chimera", "Interleave", "GPipe", "ZB-H1",
+	// "DualPipe-D") or a shape alias ("V", "X", "W", "Z", "D"). The
+	// split-backward schemes Z and D are opt-in, not part of Auto.
 	PipelineScheme string
 	// GlobalBatchSize is the fixed number of samples per training
 	// iteration.

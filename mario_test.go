@@ -113,7 +113,7 @@ func TestOptimizeValidation(t *testing.T) {
 	if _, err := mario.Optimize(mario.Config{NumDevices: 4, GlobalBatchSize: 8, MemoryPerDevice: "junk"}, model); err == nil {
 		t.Error("bad memory spec accepted")
 	}
-	if _, err := mario.Optimize(mario.Config{NumDevices: 4, GlobalBatchSize: 8, PipelineScheme: "Z"}, model); err == nil {
+	if _, err := mario.Optimize(mario.Config{NumDevices: 4, GlobalBatchSize: 8, PipelineScheme: "Q"}, model); err == nil {
 		t.Error("bad scheme accepted")
 	}
 	bad := model
