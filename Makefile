@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-gate bench-serve-json check fmt fuzz lint docs-check schemes-smoke serve-smoke fleet-smoke telemetry-smoke
+.PHONY: all build vet test race bench bench-json bench-gate bench-serve-json check fmt fuzz lint docs-check schemes-smoke serve-smoke fleet-smoke telemetry-smoke hetero-smoke
 
 all: check
 
@@ -68,7 +68,7 @@ fuzz:
 # planning service's public surface (internal/serve and its client).
 # Dependency-free (cmd/exportlint, go/ast).
 lint:
-	$(GO) run ./cmd/exportlint ./internal/sim ./internal/pipeline ./internal/scheme ./internal/serve ./internal/serve/api ./internal/serve/client ./internal/serve/loadgen ./internal/telemetry
+	$(GO) run ./cmd/exportlint ./internal/sim ./internal/pipeline ./internal/scheme ./internal/serve ./internal/serve/api ./internal/serve/client ./internal/serve/loadgen ./internal/telemetry ./internal/place
 
 # End-to-end smoke of the mariod planning service: boots the daemon on a
 # loopback port, plans a small workload through the Go client (fresh run,
@@ -98,6 +98,17 @@ telemetry-smoke:
 		-search-trace-measured "$$tmp/measured.json" -search-summary >/dev/null && \
 	test -s "$$tmp/trace.json" && test -s "$$tmp/spans.jsonl" && test -s "$$tmp/measured.json"
 
+# Heterogeneity smoke: the placement subsystem's acceptance contract (co-opt
+# strictly beats the uniform baseline in predicted AND measured throughput on
+# the pinned scenario), worker-count independence and bnb-vs-grid equivalence
+# over the placement axis under the race detector, and one CLI run through
+# -device-speeds/-placement.
+hetero-smoke:
+	$(GO) test -race -run 'TestHeteroCoOptBeatsUniform|TestHeteroAutoExploresBothModes' .
+	$(GO) test -race -run 'TestHeteroDeterministicAcrossWorkers|TestHeteroBnBMatchesGridArgmax|TestAllOnesSpeedsAreLegacy' ./internal/tuner
+	$(GO) run ./cmd/mario -model GPT3-13B -devices 8 -gbs 32 -mem 72G -scheme V \
+		-device-speeds 3=0.8 -placement coopt -run 1 >/dev/null
+
 # Markdown link + heading-anchor check over the repo docs plus the golden
 # snippets in EXPERIMENTS.md and docs/SCHEMES.md (TestGoldenDocs re-runs the
 # fast-mode experiments and the scheme-catalogue renderer and byte-compares
@@ -116,7 +127,7 @@ schemes-smoke:
 	$(GO) run ./cmd/experiments -fast -run zerobubble >/dev/null
 	$(GO) test -run 'TestGoldenDocs|TestZeroBubbleFast' ./internal/experiments
 
-check: vet build race fuzz lint docs-check schemes-smoke serve-smoke fleet-smoke telemetry-smoke
+check: vet build race fuzz lint docs-check schemes-smoke hetero-smoke serve-smoke fleet-smoke telemetry-smoke
 
 fmt:
 	gofmt -l -w .

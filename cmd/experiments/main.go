@@ -6,8 +6,8 @@
 //	experiments [-fast] [-run name] [-workers n]
 //
 // where name is one of: table1, figure2, figure5, figure6, table5, figure7,
-// figure8, figure9, figure10, figure11, drift, faults, extension, zerobubble,
-// summary, all (default).
+// figure8, figure9, figure10, figure11, drift, faults, searchtrace, hetero,
+// extension, zerobubble, summary, all (default).
 package main
 
 import (
@@ -22,7 +22,7 @@ import (
 
 func main() {
 	fast := flag.Bool("fast", false, "run reduced-size experiments")
-	run := flag.String("run", "all", "experiment to run (table1, figure2, figure5, figure6, table5, figure7, figure8, figure9, figure10, figure11, drift, faults, searchtrace, extension, zerobubble, summary, all)")
+	run := flag.String("run", "all", "experiment to run (table1, figure2, figure5, figure6, table5, figure7, figure8, figure9, figure10, figure11, drift, faults, searchtrace, hetero, extension, zerobubble, summary, all)")
 	workers := flag.Int("workers", 0, "concurrent tuner evaluations in figure11 (0 = GOMAXPROCS; output is identical)")
 	flag.Parse()
 
@@ -144,6 +144,14 @@ func main() {
 			fail("searchtrace", err)
 		}
 		experiments.PrintSearchTrace(w, r)
+	}
+	if want("hetero") {
+		header("Hetero", "heterogeneity-aware partitioning & placement vs the uniform baseline")
+		r, err := experiments.Hetero(opt)
+		if err != nil {
+			fail("hetero", err)
+		}
+		experiments.PrintHetero(w, r)
 	}
 	if want("extension") {
 		header("Extension", "ZB-H1 split-backward study (the paper's §8 future work)")

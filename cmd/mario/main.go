@@ -40,6 +40,7 @@ import (
 
 	"mario"
 	"mario/internal/obs"
+	"mario/internal/place"
 	"mario/internal/serve"
 	"mario/internal/serve/client"
 	"mario/internal/telemetry"
@@ -73,6 +74,8 @@ func main() {
 		showStats    = flag.Bool("stats", false, "print per-device measured stats and tuner search counters")
 		showDrift    = flag.Bool("drift", false, "print the predicted-vs-measured drift report")
 		faultsArg    = flag.String("faults", "", "degrade the measured run under a fault plan: inline spec (\"slow:dev=1,factor=1.5; link:from=0,to=1,drop=0.05\") or JSON file path")
+		speedsArg    = flag.String("device-speeds", "", "per-device relative compute speeds: full list (\"1,0.8,1,1\") or sparse dev=speed overrides (\"2=0.8\"); heterogeneous speeds open the partitioning/placement search")
+		placementArg = flag.String("placement", "", "partitioning/placement search mode: auto (default), uniform, coopt")
 		pprofPath    = flag.String("pprof", "", "write a CPU profile of the tuner search to this path")
 		remoteAddr   = flag.String("remote", "", "plan on a mariod server at this base URL instead of in process")
 
@@ -104,11 +107,28 @@ func main() {
 		os.Exit(2)
 	}
 
+	deviceSpeeds, err := place.ParseSpeeds(*speedsArg, *devices)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mario: %v\n", err)
+		os.Exit(2)
+	}
+	if _, err := place.ParseMode(*placementArg); err != nil {
+		fmt.Fprintf(os.Stderr, "mario: %v\n", err)
+		os.Exit(2)
+	}
+
 	var faults *mario.FaultPlan
 	if *faultsArg != "" {
 		var err error
 		if faults, err = mario.ParseFaults(*faultsArg); err != nil {
 			fmt.Fprintf(os.Stderr, "mario: %v\n", err)
+			os.Exit(2)
+		}
+		// Validate device indices at parse time rather than letting the spec
+		// fail deep inside the measured run: the cluster can never have more
+		// devices than -devices declares.
+		if err := faults.Validate(*devices); err != nil {
+			fmt.Fprintf(os.Stderr, "mario: -faults: %v\n", err)
 			os.Exit(2)
 		}
 	}
@@ -140,7 +160,6 @@ func main() {
 	}
 
 	var plan *mario.Plan
-	var err error
 	if *remoteAddr != "" {
 		req := serve.PlanRequest{
 			Model:         *modelName,
@@ -154,6 +173,8 @@ func main() {
 			NoBnB:         *noBnB,
 			NoDelta:       *noDelta,
 			Workers:       *workers,
+			DeviceSpeeds:  deviceSpeeds,
+			Placement:     *placementArg,
 		}
 		plan, err = remotePlan(*remoteAddr, req, *showStats)
 	} else {
@@ -169,6 +190,8 @@ func main() {
 			NoPrune:         *noPrune,
 			NoBnB:           *noBnB,
 			NoDelta:         *noDelta,
+			DeviceSpeeds:    deviceSpeeds,
+			Placement:       *placementArg,
 		}
 		var tracer *telemetry.Tracer
 		if wantSearchTrace {
@@ -184,6 +207,8 @@ func main() {
 				SplitBackward: *split,
 				NoPrune:       *noPrune,
 				NoBnB:         *noBnB,
+				DeviceSpeeds:  deviceSpeeds,
+				Placement:     *placementArg,
 			}
 			reqModel, verr := req.Validate()
 			if verr != nil {

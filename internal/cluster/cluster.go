@@ -70,6 +70,16 @@ type Machine struct {
 	// one device, so this is a systematic error source for the simulator —
 	// the "un-modeled behaviors" of §6.6.
 	Hetero float64
+	// SpeedFactors, when non-nil, gives each device a known static relative
+	// compute speed (1 = nominal, 0.8 = compute runs 25% slower). Unlike the
+	// unmodeled Hetero jitter this is declared cluster heterogeneity — the
+	// planner sees the same numbers through cost.Estimator.DeviceSpeed.
+	// Compute instructions on device d are scaled by 1/SpeedFactors[d]; p2p
+	// transfers are link-bound and stay unscaled. Entries beyond the device
+	// count are ignored; missing, zero or negative entries mean nominal
+	// speed. Composes multiplicatively (and deterministically) with injected
+	// fault slowdowns on the same device.
+	SpeedFactors []float64
 	// Seed makes all jitter reproducible.
 	Seed uint64
 	// LinkBuffer is the channel capacity per link; 0 uses a generous
@@ -263,6 +273,7 @@ func (m *Machine) Run(s *pipeline.Schedule, iters int) (*Report, error) {
 			// lifetime (drawn from a stream independent of the jitter).
 			devRNG := newRNG(m.Seed^0xDEC0DE, uint64(d))
 			r.devFactor = 1 + m.Hetero*devRNG.symmetric()
+			r.speedSlow = slowFactor(m.SpeedFactors, d)
 			if m.Sink != nil {
 				r.events = make([]obs.Event, 0, len(s.Lists[d])*iters)
 				r.mem = sim.NewMemSim(s, m.Truth, d)
@@ -392,6 +403,9 @@ type devRunner struct {
 	d         int
 	dp        int
 	devFactor float64
+	// speedSlow is the declared compute slowdown 1/SpeedFactors[d]
+	// (exactly 1 on a homogeneous machine).
+	speedSlow float64
 	rng       *rng
 	samples   map[SampleKey][]float64
 	links     map[linkKey]chan message
@@ -476,7 +490,7 @@ func (r *devRunner) execClock(in pipeline.Instr, ev *obs.Event) error {
 		case pipeline.OptimizerStep:
 			base = e.OptTime
 		}
-		dur := overhead + base*jitter()
+		dur := overhead + base*jitter()*r.speedSlow
 		if r.fj != nil {
 			// A slowdown degrades the hardware itself: the slowed duration is
 			// what profiling observes, exactly as a thermally-throttled chip
@@ -568,6 +582,19 @@ func (r *devRunner) execClock(in pipeline.Instr, ev *obs.Event) error {
 	}
 	r.clock += overhead
 	return nil
+}
+
+// slowFactor converts a declared per-device speed into the compute slowdown
+// multiplier: 1/speeds[d], or exactly 1 when the slice is short, missing, or
+// the entry is non-positive.
+func slowFactor(speeds []float64, d int) float64 {
+	if d < 0 || d >= len(speeds) {
+		return 1
+	}
+	if s := speeds[d]; s > 0 {
+		return 1 / s
+	}
+	return 1
 }
 
 // ownedStages lists the stages whose weights device d holds.

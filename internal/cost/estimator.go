@@ -21,6 +21,26 @@ func Partition(layers, stages int) []int {
 	return out
 }
 
+// ValidatePartition checks that part is a well-formed layer→stage split:
+// exactly stages entries, every stage holding at least one layer, and the
+// entries summing to layers.
+func ValidatePartition(part []int, layers, stages int) error {
+	if len(part) != stages {
+		return fmt.Errorf("cost: partition has %d stages, want %d", len(part), stages)
+	}
+	sum := 0
+	for s, n := range part {
+		if n < 1 {
+			return fmt.Errorf("cost: partition stage %d holds %d layers, want at least 1", s, n)
+		}
+		sum += n
+	}
+	if sum != layers {
+		return fmt.Errorf("cost: partition covers %d layers, model has %d", sum, layers)
+	}
+	return nil
+}
+
 // Estimator provides per-instruction latency and memory estimates for a
 // concrete (model, hardware, pipeline, micro-batch size, TP) configuration.
 // It is the E of Equation 1. Estimators are produced either analytically
@@ -77,6 +97,27 @@ type Estimator struct {
 	// the weight-gradient half runs, which reproduces the fused-backward
 	// accounting exactly.
 	WGradBytes []float64
+	// DeviceSpeed is the relative compute speed of each pipeline rank
+	// (1 = nominal, 0.8 = runs compute 25% slower). nil means a homogeneous
+	// cluster. Compute-bound work (forward, backward, recompute, optimizer,
+	// all-reduce) on rank d is scaled by 1/DeviceSpeed[d]; p2p transfers are
+	// link-bound and stay unscaled.
+	DeviceSpeed []float64
+}
+
+// SlowOf returns the compute slowdown multiplier of pipeline rank d:
+// 1/DeviceSpeed[d], or exactly 1 when the cluster is homogeneous, the rank is
+// out of range, or the recorded speed is non-positive. Multiplying a duration
+// by the homogeneous value 1 is bit-exact, so callers may apply it
+// unconditionally.
+func (e *Estimator) SlowOf(d int) float64 {
+	if d < 0 || d >= len(e.DeviceSpeed) {
+		return 1
+	}
+	if s := e.DeviceSpeed[d]; s > 0 {
+		return 1 / s
+	}
+	return 1
 }
 
 // CommTime returns the latency of a p2p transfer of the given size.
@@ -110,6 +151,11 @@ type AnalyticConfig struct {
 	// NVLinkBandwidth is the intra-node bandwidth used by TP collectives;
 	// defaults to 150 GB/s when zero.
 	NVLinkBandwidth float64
+	// Partition overrides the uniform layer→stage split: Partition[s] is the
+	// number of transformer layers on stage s. nil keeps the even
+	// Partition(Layers, Stages) split. When set it must have exactly Stages
+	// entries, every entry at least 1, and sum to Model.Layers.
+	Partition []int
 }
 
 // Analytic builds an estimator from first-principles FLOP and byte counts.
@@ -173,7 +219,12 @@ func Analytic(cfg AnalyticConfig) (*Estimator, error) {
 	// The stage input stash kept by a checkpointed forward.
 	stashBytes := s * b * h * BytesPerActElem / ftp
 
-	layersPerStage := Partition(m.Layers, cfg.Stages)
+	layersPerStage := cfg.Partition
+	if layersPerStage == nil {
+		layersPerStage = Partition(m.Layers, cfg.Stages)
+	} else if err := ValidatePartition(layersPerStage, m.Layers, cfg.Stages); err != nil {
+		return nil, err
+	}
 
 	e := &Estimator{
 		Stages:         cfg.Stages,

@@ -45,6 +45,14 @@ func goldenOutputs(t *testing.T) map[string]string {
 	PrintSearchTrace(&b, st)
 	out["searchtrace-fast"] = b.String()
 
+	hr, err := Hetero(Opts{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	PrintHetero(&b, hr)
+	out["hetero-fast"] = b.String()
+
 	zb, err := ZeroBubble(Opts{Fast: true})
 	if err != nil {
 		t.Fatal(err)

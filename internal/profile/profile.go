@@ -92,6 +92,29 @@ func (p *Profiler) NewMachine(model cost.ModelConfig, stages, mbs, tp int) (*clu
 	}, nil
 }
 
+// NewMachinePartitioned builds the emulated hardware for a training job with
+// an explicit layer→stage partition and declared per-rank speed factors: the
+// analytic truth follows the partition, and the machine applies the speed
+// factors to compute durations itself (the truth estimator carries no
+// DeviceSpeed — declared heterogeneity is a property of the hardware, not of
+// the cost model the planner feeds the simulator). A nil partition keeps the
+// even split; nil speeds mean a homogeneous cluster.
+func (p *Profiler) NewMachinePartitioned(model cost.ModelConfig, stages, mbs, tp int, part []int, speeds []float64) (*cluster.Machine, error) {
+	truth, err := cost.Analytic(cost.AnalyticConfig{Model: model, HW: p.HW, Stages: stages, MicroBatch: mbs, TP: tp, Partition: part})
+	if err != nil {
+		return nil, err
+	}
+	return &cluster.Machine{
+		Truth:         truth,
+		Noise:         p.Spec.Noise,
+		ExtraOverhead: p.Spec.ExtraOverhead,
+		MemSlack:      p.Spec.MemSlack,
+		Hetero:        p.Spec.Hetero,
+		Seed:          p.Spec.Seed,
+		SpeedFactors:  append([]float64(nil), speeds...),
+	}, nil
+}
+
 // EstimatorFor returns a profiled estimator for a pipeline with the given
 // stage count, micro-batch size and TP degree, running the probe sweep on
 // first use (cached per (mbs, tp)).
@@ -106,7 +129,25 @@ func (p *Profiler) EstimatorFor(stages, mbs, tp int) (*cost.Estimator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.assemble(f, stages, mbs, tp)
+	return p.assemble(f, cost.Partition(p.Model.Layers, stages), mbs, tp)
+}
+
+// EstimatorForPartition returns a profiled estimator whose stage costs follow
+// an explicit layer→stage partition instead of the even split: part[s]
+// transformer blocks on stage s. The uniform partition yields an estimator
+// bit-identical to EstimatorFor's.
+func (p *Profiler) EstimatorForPartition(part []int, mbs, tp int) (*cost.Estimator, error) {
+	if tp <= 0 {
+		tp = 1
+	}
+	if err := cost.ValidatePartition(part, p.Model.Layers, len(part)); err != nil {
+		return nil, err
+	}
+	f, err := p.fitFor(mbs, tp)
+	if err != nil {
+		return nil, err
+	}
+	return p.assemble(f, part, mbs, tp)
 }
 
 func (p *Profiler) fitFor(mbs, tp int) (*fit, error) {
@@ -232,9 +273,9 @@ func (p *Profiler) probe(mbs, tp int) (*fit, error) {
 }
 
 // assemble builds a cost.Estimator for the requested pipeline shape from the
-// fitted lines.
-func (p *Profiler) assemble(f *fit, stages, mbs, tp int) (*cost.Estimator, error) {
-	blocks := cost.Partition(p.Model.Layers, stages)
+// fitted lines, placing blocks[s] transformer blocks on stage s.
+func (p *Profiler) assemble(f *fit, blocks []int, mbs, tp int) (*cost.Estimator, error) {
+	stages := len(blocks)
 	ftp := float64(tp)
 	s, b, h := float64(p.Model.SeqLen), float64(mbs), float64(p.Model.Hidden)
 	p2pBytes := s * b * h * cost.BytesPerActElem / ftp

@@ -21,6 +21,7 @@ import (
 	"mario"
 	"mario/internal/cost"
 	"mario/internal/pipeline"
+	"mario/internal/place"
 	"mario/internal/profile"
 	"mario/internal/tuner"
 )
@@ -72,6 +73,16 @@ type PlanRequest struct {
 	Machine *profile.MachineSpec `json:"machine,omitempty"`
 	// Hardware overrides the device description; nil uses A100-40G.
 	Hardware *cost.Hardware `json:"hardware,omitempty"`
+	// DeviceSpeeds declares per-device relative compute speeds (1 = nominal);
+	// empty means homogeneous. When set it must hold exactly Devices positive
+	// entries. Heterogeneous speeds open the tuner's partitioning/placement
+	// axis, so the field is fingerprinted (all-nominal lists canonicalize to
+	// nil first).
+	DeviceSpeeds []float64 `json:"device_speeds,omitempty"`
+	// Placement selects the partitioning/placement search mode ("auto",
+	// "uniform", "coopt"); empty means auto. Fingerprinted (canonicalized to
+	// lower case, with "auto" normalized to empty).
+	Placement string `json:"placement,omitempty"`
 
 	// NoDelta disables delta re-simulation inside the graph passes. Not
 	// fingerprinted: the plan is bit-identical either way (it is a speed
@@ -131,6 +142,26 @@ func (r *PlanRequest) Validate() (cost.ModelConfig, error) {
 			return model, fmt.Errorf("serve: micro_batches entries must be positive (got %d)", m)
 		}
 	}
+	if len(r.DeviceSpeeds) != 0 && len(r.DeviceSpeeds) != r.Devices {
+		return model, fmt.Errorf("serve: %d device_speeds entries for %d devices", len(r.DeviceSpeeds), r.Devices)
+	}
+	for d, v := range r.DeviceSpeeds {
+		if v <= 0 {
+			return model, fmt.Errorf("serve: device_speeds[%d] = %g must be positive", d, v)
+		}
+	}
+	if place.Homogeneous(r.DeviceSpeeds) {
+		r.DeviceSpeeds = nil // all-nominal speeds are the homogeneous workload
+	}
+	pmode, err := place.ParseMode(r.Placement)
+	if err != nil {
+		return model, err
+	}
+	if pmode == place.ModeAuto {
+		r.Placement = "" // the default mode fingerprints like an absent field
+	} else {
+		r.Placement = string(pmode)
+	}
 	if r.TimeoutSec < 0 {
 		return model, fmt.Errorf("serve: timeout_sec must not be negative")
 	}
@@ -156,6 +187,8 @@ type fingerprintKey struct {
 	NoBnB        bool                 `json:"no_bnb"`
 	Machine      *profile.MachineSpec `json:"machine"`
 	Hardware     *cost.Hardware       `json:"hardware"`
+	DeviceSpeeds []float64            `json:"device_speeds"`
+	Placement    string               `json:"placement"`
 }
 
 // Fingerprint returns the workload fingerprint: a hex SHA-256 over the
@@ -182,6 +215,8 @@ func (r *PlanRequest) Fingerprint(model cost.ModelConfig) string {
 		NoBnB:        r.NoBnB,
 		Machine:      r.Machine,
 		Hardware:     r.Hardware,
+		DeviceSpeeds: r.DeviceSpeeds,
+		Placement:    r.Placement,
 	}
 	data, err := json.Marshal(key)
 	if err != nil {
@@ -211,6 +246,8 @@ func (r *PlanRequest) Config(workers int) mario.Config {
 		NoBnB:           r.NoBnB,
 		NoDelta:         r.NoDelta,
 		Workers:         workers,
+		DeviceSpeeds:    r.DeviceSpeeds,
+		Placement:       r.Placement,
 	}
 	if r.Machine != nil {
 		conf.Machine = *r.Machine
@@ -295,8 +332,10 @@ const RoutedHeader = "X-Mario-Routed"
 // ShardProtoVersion is the fleet shard protocol version. A coordinator and
 // its workers must agree exactly: a worker refuses a mismatched Proto with
 // 400, and the coordinator's local fallback keeps the search exact while a
-// mixed-version fleet rolls.
-const ShardProtoVersion = 1
+// mixed-version fleet rolls. Version 2 added the partitioning/placement
+// workload fields (device_speeds, placement), which change the enumerated
+// grid — a version-1 worker would index a different point list.
+const ShardProtoVersion = 2
 
 // ShardRequest is the body of POST /v1/shard: one coordinator-probed batch
 // of grid points for the worker to evaluate against the given workload.

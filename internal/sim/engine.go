@@ -59,6 +59,7 @@ type devState struct {
 	// stages lists the distinct stages whose weights the device holds.
 	stages []int
 	arDur  float64 // AllReduce duration for this device's stage set
+	slow   float64 // compute slowdown multiplier (1 = nominal speed)
 	static float64 // framework + owned-weight bytes
 	peak   float64 // cached peak memory of list
 	busy   float64 // cached compute-busy total of list
@@ -393,7 +394,10 @@ func (m *Simulator) bind(s *pipeline.Schedule, e *cost.Estimator, dp int, rdv bo
 		ds.comm = ds.comm[:0]
 		ds.peers = ds.peers[:0]
 		ds.stages = appendDeviceStages(ds.stages[:0], s.Placement, d)
-		ds.arDur = e.LaunchOverhead + e.AllReduceTime(dp, ds.stages)
+		// Multiplying by the homogeneous slowdown 1 is bit-exact, so the
+		// scale is applied unconditionally.
+		ds.slow = e.SlowOf(d)
+		ds.arDur = e.LaunchOverhead + e.AllReduceTime(dp, ds.stages)*ds.slow
 		static := e.FrameworkMem
 		for _, st := range ds.stages {
 			static += e.WeightBytes[st]
@@ -759,9 +763,17 @@ func (m *Simulator) fillMeta(s *pipeline.Schedule, e *cost.Estimator, ds *devSta
 	case pipeline.Forward, pipeline.CkptForward, pipeline.Backward,
 		pipeline.BackwardInput, pipeline.BackwardWeight,
 		pipeline.Recompute, pipeline.OptimizerStep:
-		// Same arithmetic as the estimator calls, hoisted into the
-		// bind-time duration table.
-		mt.dur = m.durTab[int(in.Kind)*m.nStages+in.Stage]
+		if ds.slow != 1 {
+			// Heterogeneous rank: re-derive the base from the estimator with
+			// the same expression ComputeBase exposes to the tuner bounds, so
+			// a bound's lo + base·slow term and the simulated duration are the
+			// same float value — admissibility holds at the bit level.
+			mt.dur = e.LaunchOverhead + ComputeBase(e, in.Kind, in.Stage)*ds.slow
+		} else {
+			// Same arithmetic as the estimator calls, hoisted into the
+			// bind-time duration table.
+			mt.dur = m.durTab[int(in.Kind)*m.nStages+in.Stage]
+		}
 		mt.compute = true
 	case pipeline.AllReduce:
 		mt.dur = ds.arDur
@@ -800,6 +812,29 @@ func (m *Simulator) fillMeta(s *pipeline.Schedule, e *cost.Estimator, ds *devSta
 		mt.dur = e.LaunchOverhead
 	}
 	return false
+}
+
+// ComputeBase returns the unscaled estimator latency of a compute kind on the
+// given stage — the value the engine's duration table stores before launch
+// overhead and per-device slowdown are applied. The tuner's admissible bounds
+// call it so their per-device lo + base·slow terms are bit-identical to the
+// simulated durations. Non-compute kinds return 0.
+func ComputeBase(e *cost.Estimator, k pipeline.Kind, stage int) float64 {
+	switch k {
+	case pipeline.Forward, pipeline.CkptForward:
+		return e.FwTime[stage]
+	case pipeline.Backward:
+		return e.BwTime[stage]
+	case pipeline.BackwardInput:
+		return e.BwTime[stage] * e.BwSplitRatio
+	case pipeline.BackwardWeight:
+		return e.BwTime[stage] * (1 - e.BwSplitRatio)
+	case pipeline.Recompute:
+		return e.RcTime[stage]
+	case pipeline.OptimizerStep:
+		return e.OptTime
+	}
+	return 0
 }
 
 // permWindow diffs two equal-length lists and reports the window [lo, hi)

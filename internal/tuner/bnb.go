@@ -91,7 +91,7 @@ func (t *Tuner) probePoint(space Space, p gridPoint) (nd bnbNode, ok bool) {
 	if err != nil {
 		return nd, false
 	}
-	est, err := t.Prof.EstimatorFor(stages, p.mbs, space.TP)
+	est, _, err := t.estimatorFor(space, p, sched, stages)
 	if err != nil {
 		return nd, false
 	}
@@ -129,24 +129,30 @@ func (t *Tuner) bnbBound(sched *pipeline.Schedule, est *cost.Estimator, p gridPo
 	var lb float64
 	var stagesBuf []int
 	for d, list := range sched.Lists {
+		// Per-rank compute scaling, bit-exact with the simulator: SlowOf is
+		// exactly 1 on homogeneous estimators, and the scaled terms below use
+		// the same expressions as sim.ComputeBase and the simulator's
+		// all-reduce duration, so the bound stays admissible on heterogeneous
+		// clusters without any slack.
+		slow := est.SlowOf(d)
 		var busy float64
 		for _, in := range list {
 			switch in.Kind {
 			case pipeline.Forward, pipeline.CkptForward:
-				busy += lo + est.FwTime[in.Stage]
+				busy += lo + est.FwTime[in.Stage]*slow
 			case pipeline.Backward:
-				busy += lo + est.BwTime[in.Stage]
+				busy += lo + est.BwTime[in.Stage]*slow
 			case pipeline.BackwardInput:
-				busy += lo + est.BwTime[in.Stage]*est.BwSplitRatio
+				busy += lo + est.BwTime[in.Stage]*est.BwSplitRatio*slow
 			case pipeline.BackwardWeight:
-				busy += lo + est.BwTime[in.Stage]*(1-est.BwSplitRatio)
+				busy += lo + est.BwTime[in.Stage]*(1-est.BwSplitRatio)*slow
 			case pipeline.SendAct, pipeline.RecvAct, pipeline.SendGrad, pipeline.RecvGrad:
 				busy += lo
 			case pipeline.AllReduce:
 				stagesBuf = appendPlacementStages(stagesBuf[:0], sched.Placement, d)
-				busy += lo + est.AllReduceTime(p.dp, stagesBuf)
+				busy += lo + est.AllReduceTime(p.dp, stagesBuf)*slow
 			case pipeline.OptimizerStep:
-				busy += lo + est.OptTime
+				busy += lo + est.OptTime*slow
 			}
 		}
 		if busy > lb {
@@ -183,11 +189,25 @@ func (t *Tuner) chainBound(sched *pipeline.Schedule, est *cost.Estimator, p grid
 			r = 1
 		}
 	}
+	pl := sched.Placement
+	// Per-stage compute scaling: the micro rides some part, so the cheapest
+	// part's slowdown lower-bounds whichever rank actually runs the stage
+	// (exactly 1 on homogeneous estimators, keeping the legacy bound
+	// bit-identical).
+	minSlow := func(st int) float64 {
+		mn := est.SlowOf(stageDevice(pl, 0, st))
+		for part := 1; part < pl.NumParts(); part++ {
+			if s := est.SlowOf(stageDevice(pl, part, st)); s < mn {
+				mn = s
+			}
+		}
+		return mn
+	}
 	var chain float64
 	for st := 0; st < S; st++ {
-		chain += (lo + est.FwTime[st]) + (lo + r*est.BwTime[st])
+		sl := minSlow(st)
+		chain += (lo + est.FwTime[st]*sl) + (lo + r*est.BwTime[st]*sl)
 	}
-	pl := sched.Placement
 	actHop := lo + est.CommTime(est.ActP2PBytes)
 	gradHop := lo + est.CommTime(est.GradP2PBytes)
 	minComm := math.Inf(1)
@@ -206,8 +226,16 @@ func (t *Tuner) chainBound(sched *pipeline.Schedule, est *cost.Estimator, p grid
 		chain += minComm
 	}
 	// After the chain's final backward, its device still runs the cool-down
-	// AllReduce (payload lower-bounded at zero) and OptimizerStep.
-	chain += 2*lo + est.OptTime
+	// AllReduce (payload lower-bounded at zero) and OptimizerStep. The
+	// optimizer runs on whichever rank finishes the chain, so the fastest
+	// rank's slowdown keeps the term admissible.
+	optSlow := est.SlowOf(0)
+	for d := 1; d < len(sched.Lists); d++ {
+		if s := est.SlowOf(d); s < optSlow {
+			optSlow = s
+		}
+	}
+	chain += 2*lo + est.OptTime*optSlow
 	return chain
 }
 

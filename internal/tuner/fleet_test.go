@@ -141,6 +141,7 @@ func TestFleetByteIdentity(t *testing.T) {
 	}{
 		{"detSpace", detSpace(1)},
 		{"memPressure", memPressureSpace(t)},
+		{"hetero", heteroSpace(1)},
 	}
 	for _, s := range spaces {
 		t.Run(s.name, func(t *testing.T) {

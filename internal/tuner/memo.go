@@ -100,6 +100,12 @@ type graphKey struct {
 	memLimit  float64
 	maxRounds int
 	split     bool
+	// place is the canonical Assignment.Key() of the point's partitioning/
+	// placement assignment ("" for legacy axis-free points): assignments
+	// steer the estimator the graph passes simulate with, and memos persist
+	// across Search calls on the same Tuner, so the identity must be in the
+	// key.
+	place string
 }
 
 // graphVal is the cached outcome of graph.Optimize (plus the optional

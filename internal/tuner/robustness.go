@@ -7,7 +7,9 @@ import (
 	"sort"
 	"strings"
 
+	"mario/internal/cluster"
 	"mario/internal/fault"
+	"mario/internal/place"
 	"mario/internal/profile"
 	"mario/internal/telemetry"
 )
@@ -181,7 +183,18 @@ func RobustnessContext(ctx context.Context, prof *profile.Profiler, trace []Cand
 			}
 			row.Slack /= float64(len(r.ComputeBusy))
 		}
-		mach, err := prof.NewMachine(prof.Model, c.Schedule.NumStages(), c.MicroBatch, tp)
+		// Candidates tuned with a partitioning/placement assignment are
+		// re-scored on a machine that mirrors it: the emulator's truth
+		// estimator carries the same layer split and the machine applies the
+		// same per-rank speed factors the simulator scored with.
+		var mach *cluster.Machine
+		var err error
+		if c.Place != nil {
+			mach, err = prof.NewMachinePartitioned(prof.Model, c.Schedule.NumStages(), c.MicroBatch, tp,
+				c.Place.LayersPerStage, c.Place.RankSpeed)
+		} else {
+			mach, err = prof.NewMachine(prof.Model, c.Schedule.NumStages(), c.MicroBatch, tp)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -236,12 +249,13 @@ func RobustnessContext(ctx context.Context, prof *profile.Profiler, trace []Cand
 	return rep, nil
 }
 
-// pairKey identifies a (scheme, pp, mbs) configuration regardless of the
-// checkpointing flag.
+// pairKey identifies a (scheme, pp, mbs, placement-mode) configuration
+// regardless of the checkpointing flag.
 type pairKey struct {
 	shape string
 	pp    int
 	mbs   int
+	mode  place.Mode
 }
 
 // gainSurvival pairs base and mario rows of the same configuration and
@@ -252,7 +266,7 @@ func gainSurvival(rows []RobustnessRow) []GainSurvival {
 	var order []pairKey
 	for i := range rows {
 		c := rows[i].Cand
-		k := pairKey{shape: c.Scheme.Shape(), pp: c.PP, mbs: c.MicroBatch}
+		k := pairKey{shape: c.Scheme.Shape(), pp: c.PP, mbs: c.MicroBatch, mode: c.PlaceMode}
 		p := pairs[k]
 		if p == nil {
 			p = &pair{}
@@ -273,7 +287,11 @@ func gainSurvival(rows []RobustnessRow) []GainSurvival {
 		if p.base == nil || p.ckpt == nil || p.base.Healthy <= 0 {
 			continue
 		}
-		g := GainSurvival{Config: fmt.Sprintf("%s-%d-%d", k.shape, k.pp, k.mbs)}
+		cfg := fmt.Sprintf("%s-%d-%d", k.shape, k.pp, k.mbs)
+		if k.mode != "" {
+			cfg += "+" + string(k.mode)
+		}
+		g := GainSurvival{Config: cfg}
 		g.HealthyGain = p.ckpt.Healthy/p.base.Healthy - 1
 		n := 0
 		for i := range p.ckpt.Outcomes {

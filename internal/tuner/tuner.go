@@ -30,6 +30,7 @@ import (
 	"mario/internal/cost"
 	"mario/internal/graph"
 	"mario/internal/pipeline"
+	"mario/internal/place"
 	"mario/internal/profile"
 	"mario/internal/scheme"
 	"mario/internal/sim"
@@ -75,6 +76,21 @@ type Space struct {
 	// the same best candidate; branch-and-bound typically simulates far
 	// fewer points.
 	NoBnB bool
+	// DeviceSpeeds declares the relative compute speed of each physical
+	// device (1 = nominal); nil or all-ones means a homogeneous cluster and
+	// keeps the search byte-identical to one without the field. Entries map
+	// to devices in data-parallel-replica-major order: replica k runs on
+	// devices [k·pp, (k+1)·pp). Lists shorter than the device count treat
+	// missing entries as nominal.
+	DeviceSpeeds []float64
+	// Placement selects the partitioning/placement axis (see place.Mode):
+	// ModeAuto (the default) explores the co-optimized assignment alongside
+	// the uniform baseline on heterogeneous clusters and collapses to the
+	// legacy behaviour on homogeneous ones; ModeUniform forces the even
+	// split with identity placement; ModeCoOpt forces the co-optimized
+	// assignment (useful even on homogeneous clusters, where the DP shifts
+	// layers off the embedding- and LM-head-heavy boundary stages).
+	Placement place.Mode
 }
 
 func (s Space) withDefaults() Space {
@@ -105,7 +121,39 @@ func (s Space) withDefaults() Space {
 	if s.Workers <= 0 {
 		s.Workers = runtime.GOMAXPROCS(0)
 	}
+	if place.Homogeneous(s.DeviceSpeeds) {
+		// All-nominal speed lists normalize to nil so a "1,1,…,1" spec is
+		// byte-identical to no spec at all (on workers and coordinators
+		// alike — withDefaults runs on both sides of the fleet protocol).
+		s.DeviceSpeeds = nil
+	}
+	if s.Placement == "" {
+		s.Placement = place.ModeAuto
+	}
 	return s
+}
+
+// placementModes lists the placement-axis values enumerate appends to each
+// grid coordinate. The empty mode is the legacy axis-free point: homogeneous
+// clusters under ModeAuto (or ModeUniform, which is the legacy behaviour
+// there) produce exactly that, keeping the grid — and with it every key,
+// span and stat — byte-identical to a search without the subsystem.
+func placementModes(space Space) []place.Mode {
+	hetero := !place.Homogeneous(space.DeviceSpeeds)
+	switch space.Placement {
+	case place.ModeUniform:
+		if hetero {
+			return []place.Mode{place.ModeUniform}
+		}
+		return []place.Mode{""}
+	case place.ModeCoOpt:
+		return []place.Mode{place.ModeCoOpt}
+	default:
+		if hetero {
+			return []place.Mode{place.ModeUniform, place.ModeCoOpt}
+		}
+		return []place.Mode{""}
+	}
 }
 
 // Candidate is one evaluated configuration. The paper labels candidates
@@ -125,15 +173,28 @@ type Candidate struct {
 	// infeasible candidates).
 	Result   *sim.Result
 	Schedule *pipeline.Schedule
+	// PlaceMode records which placement-axis value produced the candidate;
+	// empty for legacy axis-free points. The omitempty tags keep the plan
+	// JSON of axis-free candidates byte-identical to the version-1 body.
+	PlaceMode place.Mode `json:",omitempty"`
+	// Place is the partitioning/placement assignment the candidate was
+	// scored with; nil for legacy axis-free points (even split, identity
+	// placement, homogeneous speeds).
+	Place *place.Assignment `json:",omitempty"`
 }
 
-// Label renders the paper's x-y-z naming plus the Mario flag.
+// Label renders the paper's x-y-z naming plus the Mario flag, suffixed with
+// the placement mode when the candidate carries one.
 func (c Candidate) Label() string {
 	tag := "base"
 	if c.Ckpt {
 		tag = "mario"
 	}
-	return fmt.Sprintf("%s-%d-%d(%s)", c.Scheme.Shape(), c.PP, c.MicroBatch, tag)
+	s := fmt.Sprintf("%s-%d-%d(%s)", c.Scheme.Shape(), c.PP, c.MicroBatch, tag)
+	if c.PlaceMode != "" {
+		s += "+" + string(c.PlaceMode)
+	}
+	return s
 }
 
 // SearchStats counts what one Search call explored — the tuner's own
@@ -274,12 +335,14 @@ func (t *Tuner) dpEff(dp int) float64 {
 	return math.Pow(eff, math.Log2(float64(dp)))
 }
 
-// gridPoint is one canonical grid coordinate of Equation 1.
+// gridPoint is one canonical grid coordinate of Equation 1. pmode is the
+// placement-axis value; the zero value is the legacy axis-free point.
 type gridPoint struct {
 	scheme pipeline.Scheme
 	ckpt   bool
 	pp, dp int
 	mbs    int
+	pmode  place.Mode
 }
 
 // pointResult is a worker's (possibly speculative) evaluation of one grid
@@ -330,6 +393,7 @@ func (m *mergedBest) load() (float64, bool) {
 // checkpointing, then PP (ascending, divisors of D only), then micro-batch
 // size — the order the sequential search of the paper walks.
 func enumerate(space Space) []gridPoint {
+	modes := placementModes(space)
 	var points []gridPoint
 	for _, b := range space.Schemes {
 		for _, a := range space.Checkpoint {
@@ -339,7 +403,9 @@ func enumerate(space Space) []gridPoint {
 				}
 				dp := space.Devices / pp
 				for _, mbs := range space.MicroBatches {
-					points = append(points, gridPoint{scheme: b, ckpt: a, pp: pp, dp: dp, mbs: mbs})
+					for _, pm := range modes {
+						points = append(points, gridPoint{scheme: b, ckpt: a, pp: pp, dp: dp, mbs: mbs, pmode: pm})
+					}
 				}
 			}
 		}
@@ -618,7 +684,11 @@ func pointKey(i int, p gridPoint) string {
 	if p.ckpt {
 		tag = "mario"
 	}
-	return fmt.Sprintf("%04d %s-%d-%d(%s)", i, p.scheme.Shape(), p.pp, p.mbs, tag)
+	s := fmt.Sprintf("%04d %s-%d-%d(%s)", i, p.scheme.Shape(), p.pp, p.mbs, tag)
+	if p.pmode != "" {
+		s += "+" + string(p.pmode)
+	}
+	return s
 }
 
 // buildFor memoizes (and freezes) the base schedule of a grid point; both
@@ -637,6 +707,98 @@ func (t *Tuner) buildFor(space Space, p gridPoint, micros int) (*pipeline.Schedu
 		s.Freeze()
 		return s, nil
 	})
+}
+
+// assignmentFor computes a grid point's partitioning/placement assignment.
+// Legacy axis-free points (pmode "") get nil; ModeUniform gets the even split
+// with identity placement carrying the per-rank speeds; ModeCoOpt runs the
+// place.CoOptimize fixpoint over the per-layer cost model (an estimator fit
+// with one stage per layer, so the embedding and LM-head extras land on the
+// first and last layer). The result is a pure function of the point and the
+// space, so probe and evaluation agree and re-computation is race-free.
+func (t *Tuner) assignmentFor(space Space, p gridPoint, sched *pipeline.Schedule) (*place.Assignment, error) {
+	if p.pmode == "" {
+		return nil, nil
+	}
+	pl := sched.Placement
+	rankSpeed := place.RankSpeeds(space.DeviceSpeeds, pl.NumDevices(), p.dp)
+	if p.pmode == place.ModeUniform {
+		return place.Uniform(t.Prof.Model.Layers, pl, rankSpeed), nil
+	}
+	layers := t.Prof.Model.Layers
+	perLayer := make([]int, layers)
+	for i := range perLayer {
+		perLayer[i] = 1
+	}
+	layerEst, err := t.Prof.EstimatorForPartition(perLayer, p.mbs, space.TP)
+	if err != nil {
+		return nil, err
+	}
+	return place.CoOptimize(place.NewLayerModel(layerEst), pl, rankSpeed, place.Options{
+		MemCap:       space.DeviceMem,
+		FrameworkMem: layerEst.FrameworkMem,
+		InFlight:     inFlightPerStage(sched),
+		BufBytes:     layerEst.ActP2PBytes + layerEst.GradP2PBytes,
+	})
+}
+
+// inFlightPerStage counts, per stage, the forwards a device issues before the
+// stage's first backward in the freshly built schedule — the retained
+// micro-batch high water the checkpoint pass turns into stashes. The
+// partitioner's memory cap multiplies the per-micro stash by this depth.
+func inFlightPerStage(sched *pipeline.Schedule) []int {
+	S := sched.NumStages()
+	out := make([]int, S)
+	fw := make([]int, S)
+	done := make([]bool, S)
+	for _, list := range sched.Lists {
+		for i := range fw {
+			fw[i], done[i] = 0, false
+		}
+		for _, in := range list {
+			switch in.Kind {
+			case pipeline.Forward, pipeline.CkptForward:
+				if !done[in.Stage] {
+					fw[in.Stage]++
+				}
+			case pipeline.Backward, pipeline.BackwardInput:
+				done[in.Stage] = true
+			}
+		}
+		for st, n := range fw {
+			if n > out[st] {
+				out[st] = n
+			}
+		}
+	}
+	for st, n := range out {
+		if n < 1 {
+			out[st] = 1
+		}
+	}
+	return out
+}
+
+// estimatorFor builds the estimator a grid point is scored with. Legacy
+// axis-free points keep the uniform-split estimator untouched; placement-axis
+// points get the partitioned estimator steered by the assignment's layer
+// split, with the per-rank speeds attached so the simulator (and the bounds)
+// scale compute on slow ranks.
+func (t *Tuner) estimatorFor(space Space, p gridPoint, sched *pipeline.Schedule, stages int) (*cost.Estimator, *place.Assignment, error) {
+	asg, err := t.assignmentFor(space, p, sched)
+	if err != nil {
+		return nil, nil, err
+	}
+	if asg == nil {
+		est, err := t.Prof.EstimatorFor(stages, p.mbs, space.TP)
+		return est, nil, err
+	}
+	est, err := t.Prof.EstimatorForPartition(asg.LayersPerStage, p.mbs, space.TP)
+	if err != nil {
+		return nil, nil, err
+	}
+	est.DeviceSpeed = asg.RankSpeed
+	return est, asg, nil
 }
 
 // evalTraced wraps evalPoint with a detached point span that the canonical
@@ -700,7 +862,7 @@ func (t *Tuner) evalPoint(ctx context.Context, space Space, p gridPoint, mb *mer
 	if err != nil {
 		return infeasible // scheme constraint (odd Chimera, indivisible Interleave, …)
 	}
-	est, err := t.Prof.EstimatorFor(stages, p.mbs, space.TP)
+	est, asg, err := t.estimatorFor(space, p, sched, stages)
 	if err != nil {
 		return infeasible
 	}
@@ -720,7 +882,8 @@ func (t *Tuner) evalPoint(ctx context.Context, space Space, p gridPoint, mb *mer
 	}
 
 	simOpts := sim.Options{DP: p.dp, MemLimit: space.DeviceMem, NoDelta: t.NoDelta}
-	cand := &Candidate{Scheme: p.scheme, Ckpt: p.ckpt, PP: p.pp, DP: p.dp, MicroBatch: p.mbs, Micros: micros}
+	cand := &Candidate{Scheme: p.scheme, Ckpt: p.ckpt, PP: p.pp, DP: p.dp, MicroBatch: p.mbs, Micros: micros,
+		PlaceMode: p.pmode, Place: asg}
 	var res *sim.Result
 	if p.ckpt {
 		maxRounds := t.MaxRounds
@@ -728,11 +891,16 @@ func (t *Tuner) evalPoint(ctx context.Context, space Space, p gridPoint, mb *mer
 			maxRounds = 8
 		}
 		gk := graphKey{bk: bk, mbs: p.mbs, dp: p.dp, tp: space.TP,
-			memLimit: space.DeviceMem, maxRounds: maxRounds, split: t.SplitBackward}
-		gs := sp.Child(telemetry.PhaseGraph, "")
-		gs.Memo(fmt.Sprintf("%s|pp%d|u%d|c%d|mbs%d|dp%d|tp%d|mem%g|r%d|split%t",
+			memLimit: space.DeviceMem, maxRounds: maxRounds, split: t.SplitBackward,
+			place: asg.Key()}
+		memoTag := fmt.Sprintf("%s|pp%d|u%d|c%d|mbs%d|dp%d|tp%d|mem%g|r%d|split%t",
 			p.scheme.Shape(), p.pp, micros, space.Chunks, p.mbs, p.dp, space.TP,
-			space.DeviceMem, maxRounds, t.SplitBackward))
+			space.DeviceMem, maxRounds, t.SplitBackward)
+		if pk := asg.Key(); pk != "" {
+			memoTag += "|pl" + pk
+		}
+		gs := sp.Child(telemetry.PhaseGraph, "")
+		gs.Memo(memoTag)
 		gv, err := t.graphs.do(gk, func() (graphVal, error) {
 			// The round spans land under this point's graph span; if a
 			// canonically earlier point shares the memo key, Snapshot moves
@@ -802,18 +970,24 @@ func (t *Tuner) evalPoint(ctx context.Context, space Space, p gridPoint, mb *mer
 // point can never exceed the bound.
 func (t *Tuner) upperBound(sched *pipeline.Schedule, est *cost.Estimator, p gridPoint) float64 {
 	var lb float64
-	for _, list := range sched.Lists {
+	for d, list := range sched.Lists {
+		// Per-rank compute scaling: SlowOf is exactly 1 on homogeneous
+		// estimators (bit-exact multiplication), and on heterogeneous ones
+		// the scaled terms match the simulator's durations bit-for-bit
+		// (sim.ComputeBase uses the same expressions), keeping the bound
+		// admissible.
+		slow := est.SlowOf(d)
 		var busy float64
 		for _, in := range list {
 			switch in.Kind {
 			case pipeline.Forward, pipeline.CkptForward:
-				busy += est.LaunchOverhead + est.FwTime[in.Stage]
+				busy += est.LaunchOverhead + est.FwTime[in.Stage]*slow
 			case pipeline.Backward:
-				busy += est.LaunchOverhead + est.BwTime[in.Stage]
+				busy += est.LaunchOverhead + est.BwTime[in.Stage]*slow
 			case pipeline.BackwardInput:
-				busy += est.LaunchOverhead + est.BwTime[in.Stage]*est.BwSplitRatio
+				busy += est.LaunchOverhead + est.BwTime[in.Stage]*est.BwSplitRatio*slow
 			case pipeline.BackwardWeight:
-				busy += est.LaunchOverhead + est.BwTime[in.Stage]*(1-est.BwSplitRatio)
+				busy += est.LaunchOverhead + est.BwTime[in.Stage]*(1-est.BwSplitRatio)*slow
 			}
 		}
 		if busy > lb {

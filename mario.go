@@ -24,10 +24,12 @@ import (
 	"strconv"
 	"strings"
 
+	"mario/internal/cluster"
 	"mario/internal/cost"
 	"mario/internal/fault"
 	"mario/internal/obs"
 	"mario/internal/pipeline"
+	"mario/internal/place"
 	"mario/internal/profile"
 	"mario/internal/telemetry"
 	"mario/internal/tuner"
@@ -68,6 +70,21 @@ type Config struct {
 	// Machine overrides the emulated hardware imperfections; zero value
 	// uses profile.DefaultMachine.
 	Machine profile.MachineSpec
+	// DeviceSpeeds declares the relative compute speed of each device
+	// (1 = nominal, 0.8 = 25% slower compute); nil or all-ones means a
+	// homogeneous cluster. When set it must hold exactly NumDevices positive
+	// entries, in data-parallel-replica-major order (replica k runs on
+	// devices [k·pp, (k+1)·pp)). Heterogeneous speeds open the tuner's
+	// partitioning/placement axis and carry through to the emulated cluster.
+	DeviceSpeeds []float64
+	// Placement selects the layer-partitioning/placement search mode:
+	// "auto" (default — co-optimized assignment explored alongside the
+	// uniform baseline on heterogeneous clusters, legacy behaviour on
+	// homogeneous ones), "uniform" (force the even split with identity
+	// placement) or "coopt" (force the co-optimized assignment; useful even
+	// on homogeneous clusters, where the partition DP offloads the
+	// embedding- and LM-head-heavy boundary stages).
+	Placement string
 	// Hardware overrides the device description; zero value uses A100-40G
 	// with the memory limit from MemoryPerDevice.
 	Hardware *cost.Hardware
@@ -273,6 +290,18 @@ func searchSetup(conf Config, model ModelConfig) (*tuner.Tuner, tuner.Space, flo
 	if conf.Checkpoint != nil {
 		ckpt = []bool{*conf.Checkpoint}
 	}
+	if len(conf.DeviceSpeeds) != 0 && len(conf.DeviceSpeeds) != conf.NumDevices {
+		return nil, space, 0, 0, fmt.Errorf("mario: %d device speeds for %d devices", len(conf.DeviceSpeeds), conf.NumDevices)
+	}
+	for d, v := range conf.DeviceSpeeds {
+		if v <= 0 {
+			return nil, space, 0, 0, fmt.Errorf("mario: device %d speed %g must be positive", d, v)
+		}
+	}
+	pmode, err := place.ParseMode(conf.Placement)
+	if err != nil {
+		return nil, space, 0, 0, err
+	}
 
 	prof := &profile.Profiler{Model: model, HW: hw, Spec: spec, Devices: 4, Iters: 10}
 	tn := &tuner.Tuner{Prof: prof, SplitBackward: conf.SplitBackward, GraphWorkers: conf.GraphWorkers,
@@ -290,6 +319,8 @@ func searchSetup(conf Config, model ModelConfig) (*tuner.Tuner, tuner.Space, flo
 		Workers:      conf.Workers,
 		NoPrune:      conf.NoPrune,
 		NoBnB:        conf.NoBnB,
+		DeviceSpeeds: conf.DeviceSpeeds,
+		Placement:    pmode,
 	}
 	tp := conf.TP
 	if tp <= 0 {
@@ -430,7 +461,18 @@ func RunWithOptions(p *Plan, iters int, opts RunOptions) (*RunReport, error) {
 	if tp <= 0 {
 		tp = 1
 	}
-	mach, err := p.Profiler.NewMachine(p.Profiler.Model, stages, p.Best.MicroBatch, tp)
+	// Plans tuned with a partitioning/placement assignment run on a machine
+	// that mirrors it: the truth estimator carries the same layer split and
+	// the emulator applies the same per-rank speed factors the simulator
+	// scored with.
+	var mach *cluster.Machine
+	var err error
+	if pa := p.Best.Place; pa != nil {
+		mach, err = p.Profiler.NewMachinePartitioned(p.Profiler.Model, stages, p.Best.MicroBatch, tp,
+			pa.LayersPerStage, pa.RankSpeed)
+	} else {
+		mach, err = p.Profiler.NewMachine(p.Profiler.Model, stages, p.Best.MicroBatch, tp)
+	}
 	if err != nil {
 		return nil, err
 	}

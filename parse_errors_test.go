@@ -138,3 +138,40 @@ func TestParseFaultsAccepts(t *testing.T) {
 		t.Errorf("ParseFaults(bad file) error = %v, want a parsing error", err)
 	}
 }
+
+// TestParseFaultsValidateDevices pins the cmd/mario sequence: a plan whose
+// clauses name devices outside the cluster parses fine (the grammar does not
+// know the device count) but is rejected by Validate before any run starts,
+// with the offending clause and the valid range in the message.
+func TestParseFaultsValidateDevices(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"slow device", "slow:dev=7,factor=2", "slowdown 0: device 7 out of range [0,4)"},
+		{"link endpoint", "link:from=0,to=9,drop=0.1", "link fault 0: endpoint 0->9 out of range [0,4)"},
+		{"stall device", "stall:dev=4,at=0,dur=1", "stall 0: device 4 out of range [0,4)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := mario.ParseFaults(tc.in)
+			if err != nil {
+				t.Fatalf("ParseFaults(%q): %v", tc.in, err)
+			}
+			err = p.Validate(4)
+			if err == nil {
+				t.Fatalf("Validate(4) accepted %q", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate error = %q, want it to contain %q", err, tc.wantErr)
+			}
+		})
+	}
+	// Wildcards (-1) address every device and pass validation at any count.
+	p, err := mario.ParseFaults("slow:dev=*,factor=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(2); err != nil {
+		t.Errorf("wildcard slowdown rejected: %v", err)
+	}
+}

@@ -22,7 +22,13 @@ import (
 // byte-identical to a fresh Optimize.
 
 // planVersion guards the wire format; bump it on incompatible changes.
-const planVersion = 1
+// Version 2 added the partitioning/placement fields (Candidate.PlaceMode,
+// Candidate.Place); their omitempty encoding keeps an axis-free version-2
+// body identical to a version-1 body, so version-1 plans decode unchanged.
+const planVersion = 2
+
+// minPlanVersion is the oldest wire format UnmarshalJSON still accepts.
+const minPlanVersion = 1
 
 // profilerJSON captures the deterministic inputs of a profile.Profiler. The
 // probe-fit cache is deliberately absent: it is rebuilt on demand and, with
@@ -78,8 +84,8 @@ func (p *Plan) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &in); err != nil {
 		return fmt.Errorf("mario: decoding plan: %w", err)
 	}
-	if in.Version != planVersion {
-		return fmt.Errorf("mario: plan version %d not supported (want %d)", in.Version, planVersion)
+	if in.Version < minPlanVersion || in.Version > planVersion {
+		return fmt.Errorf("mario: plan version %d not supported (want %d..%d)", in.Version, minPlanVersion, planVersion)
 	}
 	if in.Best.Schedule == nil {
 		return fmt.Errorf("mario: decoded plan has no schedule")

@@ -101,6 +101,94 @@ func TestPlanJSONDecodedPlanRuns(t *testing.T) {
 	}
 }
 
+// A version-1 plan (written before the partitioning/placement fields
+// existed) must still decode: an axis-free version-2 body is byte-identical
+// to a version-1 body apart from the version field itself, so rewriting the
+// version yields a faithful legacy artifact.
+func TestPlanJSONLegacyV1Decode(t *testing.T) {
+	plan := smallPlan(t)
+	good, err := json.Marshal(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Best.Place != nil || plan.Best.PlaceMode != "" {
+		t.Fatal("homogeneous plan unexpectedly carries a placement assignment")
+	}
+	if bytes.Contains(good, []byte(`"Place"`)) || bytes.Contains(good, []byte(`"PlaceMode"`)) {
+		t.Fatal("axis-free plan JSON must omit the placement fields")
+	}
+	legacy := bytes.Replace(good, []byte(`"version":2`), []byte(`"version":1`), 1)
+	if bytes.Equal(legacy, good) {
+		t.Fatal("version field not found in plan JSON")
+	}
+	decoded, err := mario.LoadPlan(legacy)
+	if err != nil {
+		t.Fatalf("legacy v1 plan rejected: %v", err)
+	}
+	if decoded.Best.Label() != plan.Best.Label() || decoded.Best.Throughput != plan.Best.Throughput {
+		t.Errorf("legacy decode changed best: %s (%v) vs %s (%v)",
+			decoded.Best.Label(), decoded.Best.Throughput, plan.Best.Label(), plan.Best.Throughput)
+	}
+	// Re-saving a legacy plan upgrades it to the current version.
+	resaved, err := json.Marshal(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resaved, good) {
+		t.Error("re-saved legacy plan differs from the current-version encoding")
+	}
+}
+
+// A heterogeneous plan's partitioning/placement assignment must survive the
+// round trip byte-identically, and the decoded plan must Run on the same
+// speed-factored machine.
+func TestPlanJSONHeteroRoundTrip(t *testing.T) {
+	plan, err := mario.Optimize(mario.Config{
+		PipelineScheme:  "1F1B",
+		GlobalBatchSize: 16,
+		NumDevices:      4,
+		MemoryPerDevice: "40G",
+		MicroBatchSizes: []int{2},
+		DeviceSpeeds:    []float64{1, 1, 0.8, 1},
+	}, mario.Model("LLaMA2-3B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Best.Place == nil {
+		t.Fatal("heterogeneous plan carries no placement assignment")
+	}
+	first, err := json.Marshal(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := mario.LoadPlan(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("re-marshal differs: %d vs %d bytes", len(first), len(second))
+	}
+	if decoded.Best.Place == nil || decoded.Best.Place.Key() != plan.Best.Place.Key() {
+		t.Errorf("assignment changed across round trip: %q vs %q",
+			decoded.Best.Place.Key(), plan.Best.Place.Key())
+	}
+	want, err := mario.Run(plan, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mario.Run(decoded, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.SamplesPerSec != got.SamplesPerSec {
+		t.Errorf("decoded hetero plan throughput %v != original %v", got.SamplesPerSec, want.SamplesPerSec)
+	}
+}
+
 // Corrupted or incompatible payloads must be rejected, not half-decoded.
 func TestPlanJSONRejectsBadInput(t *testing.T) {
 	plan := smallPlan(t)
@@ -111,7 +199,7 @@ func TestPlanJSONRejectsBadInput(t *testing.T) {
 	cases := map[string][]byte{
 		"not json":      []byte("{nope"),
 		"empty object":  []byte("{}"),
-		"wrong version": bytes.Replace(good, []byte(`"version":1`), []byte(`"version":99`), 1),
+		"wrong version": bytes.Replace(good, []byte(`"version":2`), []byte(`"version":99`), 1),
 		"bad schedule":  bytes.Replace(good, []byte(`"k":"BW"`), []byte(`"k":"??"`), 1),
 	}
 	for name, data := range cases {
